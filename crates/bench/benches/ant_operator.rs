@@ -1,0 +1,62 @@
+//! B1 — micro-cost of the `ant` r-operator and list maintenance, the
+//! innermost loop of `compute()`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyngraph::NodeId;
+use grp_core::ancestor_list::AncestorList;
+use grp_core::marks::Mark;
+use std::hint::black_box;
+
+fn list_with(levels: usize, width: usize, offset: u64) -> AncestorList {
+    AncestorList::from_levels(
+        (0..levels)
+            .map(|l| {
+                (0..width)
+                    .map(|w| (NodeId(offset + (l * width + w) as u64), Mark::Clear))
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+fn bench_ant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ant_operator");
+    group.sample_size(40);
+    for &(levels, width) in &[(3usize, 2usize), (5, 4), (7, 8)] {
+        let a = list_with(levels, width, 0);
+        let b = list_with(levels, width, (levels * width / 2) as u64);
+        group.bench_with_input(
+            BenchmarkId::new("ant", format!("{levels}x{width}")),
+            &(a, b),
+            |bencher, (a, b)| bencher.iter(|| black_box(a.ant(black_box(b)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_merge_and_filters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list_maintenance");
+    group.sample_size(40);
+    let a = list_with(5, 6, 0);
+    let b = list_with(5, 6, 15);
+    group.bench_function("merge_5x6", |bencher| {
+        bencher.iter(|| black_box(a.merge(black_box(&b))))
+    });
+    group.bench_function("remove_marked_5x6", |bencher| {
+        bencher.iter(|| {
+            let mut l = a.clone();
+            l.remove_marked_except(NodeId(0));
+            black_box(l)
+        })
+    });
+    group.bench_function("good_list_5x6", |bencher| {
+        bencher.iter(|| black_box(grp_core::good_list(NodeId(1), black_box(&a), 6)))
+    });
+    group.bench_function("compatible_list_5x6", |bencher| {
+        bencher.iter(|| black_box(grp_core::compatible_list(NodeId(1), black_box(&a), black_box(&b), 6)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ant, bench_merge_and_filters);
+criterion_main!(benches);

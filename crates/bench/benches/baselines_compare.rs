@@ -1,0 +1,79 @@
+//! B7 / E5 — GRP vs. the clustering baselines on identical workloads:
+//! cost of one simulated round for each algorithm.
+
+use baselines::{KHopClustering, MaxMinDCluster, NeighborhoodBall};
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::e1_convergence::sized_rgg;
+use grp_core::{GrpConfig, GrpNode};
+use netsim::{Protocol, SimConfig, Simulator, TopologyMode};
+use std::hint::black_box;
+
+fn build<P, F>(topology: &dyngraph::Graph, make: F) -> Simulator<P>
+where
+    P: Protocol,
+    F: Fn(dyngraph::NodeId) -> P,
+{
+    let mut sim = Simulator::new(
+        SimConfig {
+            seed: 11,
+            ..Default::default()
+        },
+        TopologyMode::Explicit(topology.clone()),
+    );
+    sim.add_nodes(topology.nodes().map(make).collect::<Vec<_>>());
+    sim.run_rounds(20);
+    sim
+}
+
+fn bench_protocol_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_round_cost");
+    group.sample_size(10);
+    let n = 32;
+    let dmax = 4;
+    let topology = sized_rgg(n, 11);
+
+    group.bench_function("grp", |bencher| {
+        bencher.iter_batched(
+            || build(&topology, |id| GrpNode::new(id, GrpConfig::new(dmax))),
+            |mut sim| {
+                sim.run_rounds(5);
+                black_box(sim.stats())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("khop_min_id", |bencher| {
+        bencher.iter_batched(
+            || build(&topology, |id| KHopClustering::new(id, dmax)),
+            |mut sim| {
+                sim.run_rounds(5);
+                black_box(sim.stats())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("maxmin_dcluster", |bencher| {
+        bencher.iter_batched(
+            || build(&topology, |id| MaxMinDCluster::new(id, dmax)),
+            |mut sim| {
+                sim.run_rounds(5);
+                black_box(sim.stats())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("neighbourhood_ball", |bencher| {
+        bencher.iter_batched(
+            || build(&topology, |id| NeighborhoodBall::new(id, dmax)),
+            |mut sim| {
+                sim.run_rounds(5);
+                black_box(sim.stats())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol_rounds);
+criterion_main!(benches);

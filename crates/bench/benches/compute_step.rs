@@ -1,0 +1,62 @@
+//! B2 — per-node cost of one `compute()` round as the neighbourhood grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyngraph::NodeId;
+use grp_core::{GrpConfig, GrpNode};
+use std::hint::black_box;
+
+/// A node that just received one message from each of `neighbours` peers,
+/// every peer quoting a star of `peer_degree` further nodes.
+fn loaded_node(neighbours: usize, peer_degree: usize, dmax: usize) -> GrpNode {
+    let me = NodeId(0);
+    let mut node = GrpNode::new(me, GrpConfig::new(dmax));
+    for p in 0..neighbours {
+        let peer = NodeId(1000 + p as u64);
+        let mut peer_node = GrpNode::new(peer, GrpConfig::new(dmax));
+        // the peer heard us and its own fan-out once
+        let mut my_msg = node.build_message();
+        my_msg.sender = me;
+        peer_node.receive(my_msg);
+        for f in 0..peer_degree {
+            let fan = GrpNode::new(NodeId(2000 + (p * peer_degree + f) as u64), GrpConfig::new(dmax));
+            peer_node.receive(fan.build_message());
+        }
+        peer_node.on_round();
+        node.receive(peer_node.build_message());
+    }
+    node
+}
+
+fn bench_compute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compute_round");
+    group.sample_size(30);
+    for &neighbours in &[2usize, 8, 16] {
+        let template = loaded_node(neighbours, 4, 4);
+        group.bench_with_input(
+            BenchmarkId::new("neighbours", neighbours),
+            &template,
+            |bencher, template| {
+                bencher.iter(|| {
+                    let mut node = template.clone();
+                    node.compute();
+                    black_box(node)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_build_message(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_message");
+    group.sample_size(30);
+    let mut node = loaded_node(8, 4, 4);
+    node.on_round();
+    group.bench_function("fanout_8x4", |bencher| {
+        bencher.iter(|| black_box(node.build_message()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compute, bench_build_message);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! B4 / E4 — cost of the mobility + continuity-checking pipeline
+//! (Figure 2 workload: highway convoy, ΠT/ΠC evaluation per round).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyngraph::NodeId;
+use experiments::runner::{grp_spatial_simulator, run_grp_on};
+use metrics::ChurnAccumulator;
+use netsim::mobility::Highway;
+use netsim::radio::UnitDisk;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn continuity_run(n: usize, rounds: usize) -> u64 {
+    let dmax = 3;
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mobility = Highway::new(n, 2, 600.0, 12.0, (0.002, 0.01), &mut rng);
+    let radio = UnitDisk::new(30.0);
+    let ids: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+    let mut sim = grp_spatial_simulator(&ids, dmax, Box::new(radio), Box::new(mobility), 7);
+    let run = run_grp_on(&mut sim, dmax, rounds);
+    let mut acc = ChurnAccumulator::new();
+    for pair in run.snapshots.windows(2) {
+        acc.record(&pair[0], &pair[1], dmax);
+    }
+    acc.transitions
+}
+
+fn bench_continuity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("continuity_highway");
+    group.sample_size(10);
+    for &n in &[8usize, 16] {
+        group.bench_with_input(BenchmarkId::new("vehicles", n), &n, |bencher, &n| {
+            bencher.iter(|| black_box(continuity_run(n, 30)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_continuity);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! B3 / E1 — wall-clock cost of full convergence runs (Table 1 workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::e1_convergence::sized_rgg;
+use experiments::runner::{convergence_budget, run_grp};
+use std::hint::black_box;
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence_rgg");
+    group.sample_size(10);
+    for &n in &[10usize, 20, 40] {
+        let dmax = 3;
+        let topology = sized_rgg(n, 1);
+        let rounds = convergence_budget(n, dmax);
+        group.bench_with_input(BenchmarkId::new("nodes", n), &topology, |bencher, topology| {
+            bencher.iter(|| black_box(run_grp(topology, dmax, rounds, 1).convergence_round()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_convergence_dmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence_dmax");
+    group.sample_size(10);
+    let n = 24;
+    let topology = sized_rgg(n, 2);
+    for &dmax in &[2usize, 4, 6] {
+        let rounds = convergence_budget(n, dmax);
+        group.bench_with_input(BenchmarkId::new("dmax", dmax), &dmax, |bencher, &dmax| {
+            bencher.iter(|| black_box(run_grp(&topology, dmax, rounds, 2).convergence_round()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence, bench_convergence_dmax);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! B5 — cost of the specification predicate checkers (ΠA, ΠS, ΠM, ΠT, ΠC),
+//! which dominate the experiment harness itself.
+
+use bench::converged_grp;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::e1_convergence::sized_rgg;
+use grp_core::predicates::{pi_c, pi_t, SystemSnapshot};
+use std::hint::black_box;
+
+fn bench_predicates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predicates");
+    group.sample_size(20);
+    for &n in &[10usize, 30] {
+        let dmax = 3;
+        let topology = sized_rgg(n, 3);
+        let sim = converged_grp(&topology, dmax, 3);
+        let snapshot = SystemSnapshot::from_simulator(&sim);
+        group.bench_with_input(BenchmarkId::new("agreement", n), &snapshot, |b, s| {
+            b.iter(|| black_box(s.agreement()))
+        });
+        group.bench_with_input(BenchmarkId::new("safety", n), &snapshot, |b, s| {
+            b.iter(|| black_box(s.safety(dmax)))
+        });
+        group.bench_with_input(BenchmarkId::new("maximality", n), &snapshot, |b, s| {
+            b.iter(|| black_box(s.maximality(dmax)))
+        });
+        group.bench_with_input(BenchmarkId::new("pi_t_pi_c", n), &snapshot, |b, s| {
+            b.iter(|| black_box((pi_t(s, s, dmax), pi_c(s, s))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predicates);
+criterion_main!(benches);

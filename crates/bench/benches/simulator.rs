@@ -1,0 +1,76 @@
+//! B6 — raw simulator throughput: events per second for steady-state GRP
+//! rounds on explicit and spatial topologies.
+
+use bench::converged_grp;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyngraph::NodeId;
+use experiments::e1_convergence::sized_rgg;
+use grp_core::{GrpConfig, GrpNode};
+use netsim::mobility::RandomWaypoint;
+use netsim::radio::UnitDisk;
+use netsim::{SimConfig, Simulator, TopologyMode};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_steady_state_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_rounds");
+    group.sample_size(10);
+    for &n in &[16usize, 48] {
+        let topology = sized_rgg(n, 5);
+        let sim = converged_grp(&topology, 3, 5);
+        group.bench_with_input(BenchmarkId::new("explicit", n), &sim, |bencher, sim| {
+            bencher.iter_batched(
+                || sim_clone(sim, &topology),
+                |mut s| {
+                    s.run_rounds(5);
+                    black_box(s.stats())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// The simulator is not `Clone` (it holds boxed models), so rebuild an
+/// equivalent one for each batch.
+fn sim_clone(_sim: &Simulator<GrpNode>, topology: &dyngraph::Graph) -> Simulator<GrpNode> {
+    converged_grp(topology, 3, 5);
+    experiments::runner::grp_simulator(topology, 3, 5)
+}
+
+fn bench_spatial_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_spatial");
+    group.sample_size(10);
+    let n = 24;
+    group.bench_function("waypoint_24", |bencher| {
+        bencher.iter_batched(
+            || {
+                let mut rng = ChaCha8Rng::seed_from_u64(9);
+                let mobility = RandomWaypoint::new(n, 120.0, 120.0, (0.01, 0.02), &mut rng);
+                let mut sim = Simulator::new(
+                    SimConfig {
+                        seed: 9,
+                        ..Default::default()
+                    },
+                    TopologyMode::Spatial {
+                        radio: Box::new(UnitDisk::new(35.0)),
+                        mobility: Box::new(mobility),
+                    },
+                );
+                sim.add_nodes((0..n as u64).map(|i| GrpNode::new(NodeId(i), GrpConfig::new(3))));
+                sim
+            },
+            |mut sim| {
+                sim.run_rounds(5);
+                black_box(sim.stats())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_steady_state_rounds, bench_spatial_rounds);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Graph algorithms used by the GRP specification and its predicates:
+//! breadth-first search distances, connected components, diameter /
+//! eccentricity, and distances restricted to an induced subgraph
+//! (`d_X(u, v)` in the paper).
+
+pub mod bfs;
+pub mod components;
+pub mod diameter;
+pub mod subgraph;

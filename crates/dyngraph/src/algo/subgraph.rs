@@ -1,0 +1,134 @@
+//! Induced subgraphs and restricted distances.
+//!
+//! The paper's formal specification relies on `d_X(u, v)`, the distance
+//! between `u` and `v` in the subgraph induced by a node set `X` (the group
+//! `Ω_v`), with `d_X(u, v) = +∞` when no such path exists. These helpers
+//! implement that notion (`None` plays the role of `+∞`).
+
+use crate::algo::bfs::bfs_distances;
+use crate::algo::diameter::diameter;
+use crate::graph::Graph;
+use crate::id::NodeId;
+use std::collections::BTreeSet;
+
+/// The subgraph of `graph` induced by `nodes`: it keeps exactly the members
+/// of `nodes` that exist in `graph` and every edge of `graph` whose two
+/// endpoints are members (the paper's definition of a subgraph `H`).
+pub fn induced_subgraph(graph: &Graph, nodes: &BTreeSet<NodeId>) -> Graph {
+    let mut sub = Graph::new();
+    for &n in nodes {
+        if graph.contains_node(n) {
+            sub.add_node(n);
+        }
+    }
+    for &a in nodes {
+        for b in graph.neighbors(a) {
+            if nodes.contains(&b) {
+                sub.add_edge(a, b);
+            }
+        }
+    }
+    sub
+}
+
+/// `d_X(u, v)`: shortest-path distance between `u` and `v` using only edges
+/// whose endpoints both belong to `nodes`. `None` encodes `+∞` (either node
+/// missing from the restriction or no path inside the restriction).
+pub fn subgraph_distance(
+    graph: &Graph,
+    nodes: &BTreeSet<NodeId>,
+    from: NodeId,
+    to: NodeId,
+) -> Option<usize> {
+    if !nodes.contains(&from) || !nodes.contains(&to) {
+        return None;
+    }
+    let sub = induced_subgraph(graph, nodes);
+    if !sub.contains_node(from) || !sub.contains_node(to) {
+        return None;
+    }
+    if from == to {
+        return Some(0);
+    }
+    bfs_distances(&sub, from).get(&to).copied()
+}
+
+/// Diameter of the subgraph induced by `nodes`; `None` when the induced
+/// subgraph is empty or disconnected (infinite diameter).
+pub fn subgraph_diameter(graph: &Graph, nodes: &BTreeSet<NodeId>) -> Option<usize> {
+    let sub = induced_subgraph(graph, nodes);
+    diameter(&sub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    fn set(ids: &[u64]) -> BTreeSet<NodeId> {
+        ids.iter().map(|&i| n(i)).collect()
+    }
+
+    /// 0-1-2-3-4 path plus a chord 0-4.
+    fn path_with_chord() -> Graph {
+        let mut g = Graph::new();
+        for i in 0..4u64 {
+            g.add_edge(n(i), n(i + 1));
+        }
+        g.add_edge(n(0), n(4));
+        g
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_only_internal_edges() {
+        let g = path_with_chord();
+        let sub = induced_subgraph(&g, &set(&[0, 1, 2]));
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert!(!sub.contains_edge(n(0), n(4)));
+    }
+
+    #[test]
+    fn induced_subgraph_ignores_nodes_absent_from_graph() {
+        let g = path_with_chord();
+        let sub = induced_subgraph(&g, &set(&[0, 1, 99]));
+        assert_eq!(sub.node_count(), 2);
+        assert!(!sub.contains_node(n(99)));
+    }
+
+    #[test]
+    fn restricted_distance_ignores_outside_shortcuts() {
+        let g = path_with_chord();
+        // Full graph: 0-4 distance 1 (chord). Restricted to {0,1,2,3}: chord
+        // unusable and 4 not even in the restriction.
+        assert_eq!(subgraph_distance(&g, &set(&[0, 1, 2, 3]), n(0), n(3)), Some(3));
+        assert_eq!(subgraph_distance(&g, &set(&[0, 1, 2, 3]), n(0), n(4)), None);
+    }
+
+    #[test]
+    fn restricted_distance_is_infinite_when_disconnected() {
+        let g = path_with_chord();
+        assert_eq!(subgraph_distance(&g, &set(&[0, 2]), n(0), n(2)), None);
+    }
+
+    #[test]
+    fn restricted_distance_to_self() {
+        let g = path_with_chord();
+        assert_eq!(subgraph_distance(&g, &set(&[2]), n(2), n(2)), Some(0));
+    }
+
+    #[test]
+    fn subgraph_diameter_matches_restriction() {
+        let g = path_with_chord();
+        assert_eq!(subgraph_diameter(&g, &set(&[0, 1, 2, 3])), Some(3));
+        // whole graph with chord: cycle of 5 → diameter 2
+        assert_eq!(subgraph_diameter(&g, &set(&[0, 1, 2, 3, 4])), Some(2));
+        // disconnected restriction
+        assert_eq!(subgraph_diameter(&g, &set(&[0, 2])), None);
+        // empty restriction
+        assert_eq!(subgraph_diameter(&g, &BTreeSet::new()), None);
+    }
+}

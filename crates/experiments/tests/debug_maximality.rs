@@ -1,0 +1,112 @@
+//! Diagnostic for maximality stand-offs (ignored by default).
+use dyngraph::generators::path;
+use dyngraph::{Graph, NodeId};
+use experiments::runner::{convergence_budget, grp_simulator, run_grp_on};
+use grp_core::predicates::SystemSnapshot;
+
+#[test]
+#[ignore]
+fn trace_path9_dmax2() {
+    let topology = path(9);
+    let dmax = 2;
+    let mut sim = grp_simulator(&topology, dmax, 1);
+    let run = run_grp_on(&mut sim, dmax, convergence_budget(9, dmax));
+    for (r, snap) in run.snapshots.iter().enumerate().skip(run.snapshots.len() - 5) {
+        println!("round {r}: groups={:?} A={} S={} M={}",
+            snap.groups().iter().map(|g| g.iter().map(|n| n.raw()).collect::<Vec<_>>()).collect::<Vec<_>>(),
+            snap.agreement(), snap.safety(dmax), snap.maximality(dmax));
+    }
+    for (id, node) in sim.protocols() {
+        println!("{id}: view={:?} pr={} list={}", node.view().iter().map(|n| n.raw()).collect::<Vec<_>>(), node.priority(), node.list());
+    }
+}
+
+#[test]
+#[ignore]
+fn trace_path9_seed2_long() {
+    let topology = path(9);
+    let dmax = 2;
+    let mut sim = grp_simulator(&topology, dmax, 2);
+    for r in 0..200 {
+        sim.run_rounds(1);
+        if r % 20 == 19 || r >= 195 {
+            let snap = SystemSnapshot::from_simulator(&sim);
+            println!("round {r}: groups={:?} M={}",
+                snap.groups().iter().map(|g| g.iter().map(|n| n.raw()).collect::<Vec<_>>()).collect::<Vec<_>>(),
+                snap.maximality(dmax));
+        }
+    }
+}
+
+#[test]
+#[ignore]
+fn trace_rgg8_recovery() {
+    let topology = experiments::e1_convergence::sized_rgg(8, 1);
+    println!("edges: {:?}", topology.edges().collect::<Vec<_>>());
+    let dmax = 3;
+    let mut sim = grp_simulator(&topology, dmax, 1);
+    for r in 0..60 {
+        sim.run_rounds(1);
+        if r >= 54 {
+            let snap = SystemSnapshot::from_simulator(&sim);
+            println!("round {r}: A={}", snap.agreement());
+            for (id, node) in sim.protocols() {
+                println!(
+                    "  {id}: view={:?} list={}",
+                    node.view().iter().map(|n| n.raw()).collect::<Vec<_>>(),
+                    node.list()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore]
+fn trace_path9_quarantine() {
+    let topology = path(9);
+    let dmax = 2;
+    let mut sim = grp_simulator(&topology, dmax, 1);
+    sim.run_rounds(40);
+    for r in 40..50 {
+        sim.run_rounds(1);
+        let n2 = sim.protocol(NodeId(2)).unwrap();
+        let n1 = sim.protocol(NodeId(1)).unwrap();
+        println!(
+            "round {r}: n2 list={} view={:?} q1={:?} q3={:?} | n1 list={} view={:?} q2={:?}",
+            n2.list(),
+            n2.view().iter().map(|n| n.raw()).collect::<Vec<_>>(),
+            n2.quarantine_of(NodeId(1)),
+            n2.quarantine_of(NodeId(3)),
+            n1.list(),
+            n1.view().iter().map(|n| n.raw()).collect::<Vec<_>>(),
+            n1.quarantine_of(NodeId(2)),
+        );
+    }
+}
+
+#[test]
+#[ignore]
+fn trace_shortcut_merge() {
+    // path 0-1-2, anchor 100 adjacent to 1 and 2, tail 101
+    let mut g = Graph::new();
+    g.add_edge(NodeId(0), NodeId(1));
+    g.add_edge(NodeId(1), NodeId(2));
+    g.add_edge(NodeId(100), NodeId(2));
+    g.add_edge(NodeId(100), NodeId(1));
+    g.add_edge(NodeId(100), NodeId(101));
+    let dmax = 3;
+    let mut sim = grp_simulator(&g, dmax, 1);
+    for r in 0..60 {
+        sim.run_rounds(1);
+        if r % 10 == 9 {
+            let snap = SystemSnapshot::from_simulator(&sim);
+            println!("round {r}: groups={:?} A={} M={}",
+                snap.groups().iter().map(|gr| gr.iter().map(|n| n.raw()).collect::<Vec<_>>()).collect::<Vec<_>>(),
+                snap.agreement(), snap.maximality(dmax));
+        }
+    }
+    for (id, node) in sim.protocols() {
+        println!("{id}: view={:?} pr={} gpr={} list={}", node.view().iter().map(|n| n.raw()).collect::<Vec<_>>(), node.priority(), node.group_priority(), node.list());
+    }
+}

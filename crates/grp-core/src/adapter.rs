@@ -1,0 +1,110 @@
+//! Running GRP on the `netsim` simulator.
+//!
+//! [`GrpNode`] implements [`netsim::Protocol`] directly: reception feeds
+//! `msgSetv`, the compute timer runs `compute()` and resets `msgSetv`, the
+//! send timer broadcasts `listv` with priorities — exactly the event handlers
+//! of the GRP algorithm listing.
+
+use crate::message::GrpMessage;
+use crate::node::GrpNode;
+use dyngraph::NodeId;
+use netsim::{Protocol, SimTime};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+impl Protocol for GrpNode {
+    type Message = GrpMessage;
+
+    fn id(&self) -> NodeId {
+        self.node_id()
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: GrpMessage, _now: SimTime) {
+        self.receive(msg);
+    }
+
+    fn on_compute(&mut self, _now: SimTime) {
+        self.on_round();
+    }
+
+    fn on_send(&mut self, _now: SimTime) -> Option<GrpMessage> {
+        Some(self.build_message())
+    }
+
+    fn message_size(msg: &GrpMessage) -> usize {
+        msg.wire_size()
+    }
+
+    fn corrupt_state(&mut self, rng: &mut ChaCha8Rng) {
+        let ghost_count = rng.gen_range(1..=3);
+        let ghosts: Vec<NodeId> = (0..ghost_count)
+            .map(|_| NodeId(rng.gen_range(100_000..200_000)))
+            .collect();
+        let scrambled_priority = rng.gen_range(0..1000);
+        self.corrupt(&ghosts, scrambled_priority);
+    }
+
+    fn reset(&mut self) {
+        self.reboot();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GrpConfig;
+    use dyngraph::generators::path;
+    use netsim::{SimConfig, Simulator, TopologyMode};
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    fn grp_sim(n: usize, dmax: usize, seed: u64) -> Simulator<GrpNode> {
+        let mut sim = Simulator::new(
+            SimConfig {
+                seed,
+                ..Default::default()
+            },
+            TopologyMode::Explicit(path(n)),
+        );
+        sim.add_nodes((0..n).map(|i| GrpNode::new(NodeId(i as u64), GrpConfig::new(dmax))));
+        sim
+    }
+
+    #[test]
+    fn small_path_converges_to_one_group_on_simulator() {
+        let mut sim = grp_sim(4, 3, 1);
+        sim.run_rounds(30);
+        let all: BTreeSet<NodeId> = (0..4).map(NodeId).collect();
+        for (_, node) in sim.protocols() {
+            assert_eq!(node.view(), &all);
+        }
+    }
+
+    #[test]
+    fn long_path_splits_under_small_dmax() {
+        let mut sim = grp_sim(8, 2, 2);
+        sim.run_rounds(60);
+        for (_, node) in sim.protocols() {
+            let ids: Vec<u64> = node.view().iter().map(|x| x.raw()).collect();
+            let span = ids.iter().max().unwrap() - ids.iter().min().unwrap();
+            assert!(span <= 2, "view {:?} spans more than Dmax", ids);
+        }
+    }
+
+    #[test]
+    fn protocol_hooks_corrupt_and_reset() {
+        let mut node = GrpNode::new(NodeId(1), GrpConfig::new(2));
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        node.corrupt_state(&mut rng);
+        assert!(node.view().len() > 1, "corruption planted ghost members");
+        Protocol::reset(&mut node);
+        assert_eq!(node.view().len(), 1);
+    }
+
+    #[test]
+    fn message_size_reflects_wire_size() {
+        let node = GrpNode::new(NodeId(1), GrpConfig::new(2));
+        let msg = node.build_message();
+        assert_eq!(GrpNode::message_size(&msg), msg.wire_size());
+    }
+}

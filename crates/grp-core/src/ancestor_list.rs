@@ -1,0 +1,412 @@
+//! Ordered lists of ancestors' sets and the `ant` r-operator.
+//!
+//! The ordered list of ancestors' sets of a node `v` is
+//! `(a⁰_v, a¹_v, …, aᵖ_v)` where every node of `aⁱ_v` is at distance `i`
+//! from `v` and `a⁰_v = {v}` (Section 4.2). Entries additionally carry a
+//! [`Mark`], the typographic single/double marking of the paper.
+//!
+//! Three operations define the algebra:
+//!
+//! * `⊕` ([`AncestorList::merge`]) — position-wise union followed by
+//!   deduplication (a node is kept only at its smallest position) and
+//!   removal of trailing empty sets;
+//! * `r` ([`AncestorList::shifted`]) — prepend an empty set, i.e. push every
+//!   node one hop farther;
+//! * `ant(l1, l2) = l1 ⊕ r(l2)` ([`AncestorList::ant`]) — the strictly
+//!   idempotent r-operator used by `compute()` to fold the neighbours'
+//!   lists into the local one.
+
+use crate::marks::Mark;
+use dyngraph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An ordered list of ancestors' sets with per-entry marks.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AncestorList {
+    levels: Vec<BTreeMap<NodeId, Mark>>,
+}
+
+impl AncestorList {
+    /// The empty list (no levels). Only used as a folding identity.
+    pub fn empty() -> Self {
+        AncestorList { levels: Vec::new() }
+    }
+
+    /// `(v)`: the list of a node that only knows itself.
+    pub fn singleton(node: NodeId) -> Self {
+        AncestorList::marked_singleton(node, Mark::Clear)
+    }
+
+    /// `(u)` with a mark — the replacement list used when a neighbour's list
+    /// is rejected (lines 4, 7 and 19 of `compute()`).
+    pub fn marked_singleton(node: NodeId, mark: Mark) -> Self {
+        let mut level = BTreeMap::new();
+        level.insert(node, mark);
+        AncestorList {
+            levels: vec![level],
+        }
+    }
+
+    /// Build from explicit levels (mostly for tests and corruption).
+    /// Trailing empty levels are meaningless and removed; internal empty
+    /// levels are kept (they are a malformation `goodList` must detect).
+    pub fn from_levels(levels: Vec<Vec<(NodeId, Mark)>>) -> Self {
+        let mut list = AncestorList {
+            levels: levels
+                .into_iter()
+                .map(|level| level.into_iter().collect())
+                .collect(),
+        };
+        list.trim_trailing_empty();
+        list
+    }
+
+    /// Number of levels, the paper's `s(list)`.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// True when the list has no level at all.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The `i`-th ancestors' set (`list.i`), if present.
+    pub fn level(&self, i: usize) -> Option<&BTreeMap<NodeId, Mark>> {
+        self.levels.get(i)
+    }
+
+    /// The node ids of the `i`-th ancestors' set (empty set when absent).
+    pub fn level_nodes(&self, i: usize) -> BTreeSet<NodeId> {
+        self.levels
+            .get(i)
+            .map(|l| l.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total number of node entries across all levels (used as a proxy for
+    /// the wire size of a message).
+    pub fn entry_count(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+
+    /// Does the list mention this node (at any level, marked or not)?
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.levels.iter().any(|l| l.contains_key(&node))
+    }
+
+    /// The level at which a node appears, if any.
+    pub fn position_of(&self, node: NodeId) -> Option<usize> {
+        self.levels.iter().position(|l| l.contains_key(&node))
+    }
+
+    /// The mark of a node, if it appears.
+    pub fn mark_of(&self, node: NodeId) -> Option<Mark> {
+        self.levels.iter().find_map(|l| l.get(&node).copied())
+    }
+
+    /// Iterate over `(node, level, mark)` for every entry.
+    pub fn entries(&self) -> impl Iterator<Item = (NodeId, usize, Mark)> + '_ {
+        self.levels
+            .iter()
+            .enumerate()
+            .flat_map(|(i, l)| l.iter().map(move |(&n, &m)| (n, i, m)))
+    }
+
+    /// All node ids mentioned in the list.
+    pub fn all_nodes(&self) -> BTreeSet<NodeId> {
+        self.entries().map(|(n, _, _)| n).collect()
+    }
+
+    /// All *unmarked* node ids (the candidates for the view).
+    pub fn unmarked_nodes(&self) -> BTreeSet<NodeId> {
+        self.entries()
+            .filter(|(_, _, m)| !m.is_marked())
+            .map(|(n, _, _)| n)
+            .collect()
+    }
+
+    /// Does any level contain no node at all (the `∅ ∈ list` malformation
+    /// rejected by `goodList`)? Trailing levels never stay empty after
+    /// normalisation, so this only detects internal holes.
+    pub fn has_empty_level(&self) -> bool {
+        self.levels.iter().any(|l| l.is_empty())
+    }
+
+    /// Remove every marked entry except a *single-marked* `keep` (line 2 of
+    /// `compute()`: marked nodes are only meaningful between direct
+    /// neighbours; a single mark on *ourselves* tells us the sender heard us,
+    /// whereas a double mark means the sender rejected us — Proposition 3
+    /// requires that rejection to cut propagation in both directions, so the
+    /// double-marked entry is dropped and the receiver will treat the link
+    /// as asymmetric).
+    pub fn remove_marked_except(&mut self, keep: NodeId) {
+        for level in &mut self.levels {
+            level.retain(|&n, &mut m| !m.is_marked() || (n == keep && m == Mark::Pending));
+        }
+        self.trim_trailing_empty();
+    }
+
+    /// Set the mark of a node wherever it appears.
+    pub fn set_mark(&mut self, node: NodeId, mark: Mark) {
+        for level in &mut self.levels {
+            if let Some(m) = level.get_mut(&node) {
+                *m = mark;
+            }
+        }
+    }
+
+    /// Keep only the first `max_levels` levels (line 28 of `compute()`).
+    pub fn truncate(&mut self, max_levels: usize) {
+        self.levels.truncate(max_levels);
+        self.trim_trailing_empty();
+    }
+
+    /// `r`: a copy of the list with an empty set prepended (every node one
+    /// hop farther).
+    pub fn shifted(&self) -> AncestorList {
+        let mut levels = Vec::with_capacity(self.levels.len() + 1);
+        levels.push(BTreeMap::new());
+        levels.extend(self.levels.iter().cloned());
+        AncestorList { levels }
+    }
+
+    /// `⊕`: position-wise union, deduplication keeping the smallest
+    /// position (combining marks when the same node meets itself at the same
+    /// position), and removal of trailing empty sets.
+    pub fn merge(&self, other: &AncestorList) -> AncestorList {
+        let depth = self.levels.len().max(other.levels.len());
+        let mut levels: Vec<BTreeMap<NodeId, Mark>> = Vec::with_capacity(depth);
+        for i in 0..depth {
+            let mut level: BTreeMap<NodeId, Mark> = BTreeMap::new();
+            if let Some(a) = self.levels.get(i) {
+                for (&n, &m) in a {
+                    level
+                        .entry(n)
+                        .and_modify(|cur| *cur = cur.combine(m))
+                        .or_insert(m);
+                }
+            }
+            if let Some(b) = other.levels.get(i) {
+                for (&n, &m) in b {
+                    level
+                        .entry(n)
+                        .and_modify(|cur| *cur = cur.combine(m))
+                        .or_insert(m);
+                }
+            }
+            levels.push(level);
+        }
+        // dedup: a node appears only once, at its smallest position
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        for level in &mut levels {
+            level.retain(|n, _| seen.insert(*n));
+        }
+        let mut result = AncestorList { levels };
+        result.trim_trailing_empty();
+        result
+    }
+
+    /// The `ant` r-operator: `ant(l1, l2) = l1 ⊕ r(l2)`.
+    pub fn ant(&self, other: &AncestorList) -> AncestorList {
+        self.merge(&other.shifted())
+    }
+
+    fn trim_trailing_empty(&mut self) {
+        while matches!(self.levels.last(), Some(l) if l.is_empty()) {
+            self.levels.pop();
+        }
+    }
+}
+
+impl fmt::Display for AncestorList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, level) in self.levels.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{{")?;
+            for (j, (n, m)) in level.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                match m {
+                    Mark::Clear => write!(f, "{n}")?,
+                    Mark::Pending => write!(f, "{n}*")?,
+                    Mark::Incompatible => write!(f, "{n}**")?,
+                }
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    fn clear_levels(levels: &[&[u64]]) -> AncestorList {
+        AncestorList::from_levels(
+            levels
+                .iter()
+                .map(|lvl| lvl.iter().map(|&i| (n(i), Mark::Clear)).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn paper_example_of_merge() {
+        // ({d},{b},{a,c}) ⊕ ({c},{a,e},{b}) = ({d,c},{b,a,e})
+        // with d=4, b=2, a=1, c=3, e=5
+        let l1 = clear_levels(&[&[4], &[2], &[1, 3]]);
+        let l2 = clear_levels(&[&[3], &[1, 5], &[2]]);
+        let merged = l1.merge(&l2);
+        let expected = clear_levels(&[&[4, 3], &[2, 1, 5]]);
+        assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn paper_example_of_shift() {
+        // r({d},{b},{a,c}) = (∅,{d},{b},{a,c})
+        let l = clear_levels(&[&[4], &[2], &[1, 3]]);
+        let shifted = l.shifted();
+        assert_eq!(shifted.len(), 4);
+        assert!(shifted.level(0).unwrap().is_empty());
+        assert_eq!(shifted.level_nodes(1), [n(4)].into_iter().collect());
+    }
+
+    #[test]
+    fn singleton_and_marked_singleton() {
+        let s = AncestorList::singleton(n(7));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.position_of(n(7)), Some(0));
+        assert_eq!(s.mark_of(n(7)), Some(Mark::Clear));
+
+        let m = AncestorList::marked_singleton(n(7), Mark::Incompatible);
+        assert_eq!(m.mark_of(n(7)), Some(Mark::Incompatible));
+        assert!(m.unmarked_nodes().is_empty());
+    }
+
+    #[test]
+    fn ant_puts_sender_at_distance_one() {
+        let me = AncestorList::singleton(n(1));
+        let neighbour = clear_levels(&[&[2], &[3]]);
+        let result = me.ant(&neighbour);
+        assert_eq!(result.position_of(n(1)), Some(0));
+        assert_eq!(result.position_of(n(2)), Some(1));
+        assert_eq!(result.position_of(n(3)), Some(2));
+        assert_eq!(result.len(), 3);
+    }
+
+    #[test]
+    fn merge_is_idempotent_commutative() {
+        let l1 = clear_levels(&[&[4], &[2], &[1, 3]]);
+        let l2 = clear_levels(&[&[3], &[1, 5], &[2]]);
+        assert_eq!(l1.merge(&l1), l1);
+        assert_eq!(l1.merge(&l2), l2.merge(&l1));
+    }
+
+    #[test]
+    fn r_operator_idempotency() {
+        // x ⊕ r(x) = x : every node of r(x) already appears one level
+        // earlier in x, so the dedup removes all of them.
+        let x = clear_levels(&[&[1], &[2, 3], &[4]]);
+        assert_eq!(x.merge(&x.shifted()), x);
+    }
+
+    #[test]
+    fn dedup_keeps_smallest_position() {
+        let l1 = clear_levels(&[&[1], &[2]]);
+        let l2 = clear_levels(&[&[2], &[1]]);
+        let merged = l1.merge(&l2);
+        // both 1 and 2 known at distance 0 → single level
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged.level_nodes(0), [n(1), n(2)].into_iter().collect());
+    }
+
+    #[test]
+    fn merge_combines_marks_at_same_position() {
+        let a = AncestorList::from_levels(vec![vec![(n(1), Mark::Clear)]]);
+        let b = AncestorList::from_levels(vec![vec![(n(1), Mark::Pending)]]);
+        assert_eq!(a.merge(&b).mark_of(n(1)), Some(Mark::Pending));
+    }
+
+    #[test]
+    fn remove_marked_except_keeps_pending_self_but_not_double_mark() {
+        let mut l = AncestorList::from_levels(vec![
+            vec![(n(1), Mark::Clear)],
+            vec![(n(2), Mark::Pending), (n(3), Mark::Clear), (n(4), Mark::Incompatible)],
+        ]);
+        let mut pending_self = l.clone();
+        pending_self.remove_marked_except(n(2));
+        assert!(pending_self.contains(n(2)), "a pending mark on ourselves survives");
+        assert!(!pending_self.contains(n(4)), "double marks always go");
+        l.remove_marked_except(n(4));
+        assert!(!l.contains(n(2)));
+        assert!(l.contains(n(3)));
+        assert!(
+            !l.contains(n(4)),
+            "a double mark on ourselves is dropped: the sender rejected us"
+        );
+    }
+
+    #[test]
+    fn remove_marked_trims_trailing_levels() {
+        let mut l = AncestorList::from_levels(vec![
+            vec![(n(1), Mark::Clear)],
+            vec![(n(2), Mark::Pending)],
+        ]);
+        l.remove_marked_except(n(1));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn truncate_limits_levels() {
+        let mut l = clear_levels(&[&[1], &[2], &[3], &[4]]);
+        l.truncate(2);
+        assert_eq!(l.len(), 2);
+        assert!(!l.contains(n(3)));
+    }
+
+    #[test]
+    fn entry_count_and_all_nodes() {
+        let l = clear_levels(&[&[1], &[2, 3]]);
+        assert_eq!(l.entry_count(), 3);
+        assert_eq!(l.all_nodes(), [n(1), n(2), n(3)].into_iter().collect());
+    }
+
+    #[test]
+    fn set_mark_changes_existing_entry() {
+        let mut l = clear_levels(&[&[1], &[2]]);
+        l.set_mark(n(2), Mark::Incompatible);
+        assert_eq!(l.mark_of(n(2)), Some(Mark::Incompatible));
+        assert_eq!(l.unmarked_nodes(), [n(1)].into_iter().collect());
+    }
+
+    #[test]
+    fn display_shows_marks() {
+        let l = AncestorList::from_levels(vec![
+            vec![(n(1), Mark::Clear)],
+            vec![(n(2), Mark::Pending), (n(3), Mark::Incompatible)],
+        ]);
+        let s = l.to_string();
+        assert!(s.contains("n2*"));
+        assert!(s.contains("n3**"));
+    }
+
+    #[test]
+    fn empty_level_detection() {
+        let l = AncestorList::from_levels(vec![vec![(n(1), Mark::Clear)], vec![], vec![(n(2), Mark::Clear)]]);
+        assert!(l.has_empty_level());
+        let ok = clear_levels(&[&[1], &[2]]);
+        assert!(!ok.has_empty_level());
+    }
+}

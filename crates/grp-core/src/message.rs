@@ -1,0 +1,119 @@
+//! The broadcast message: a list of ancestors' sets with priorities.
+//!
+//! Line 8 of the GRP algorithm broadcasts "`listv` with priorities" to the
+//! neighbourhood. A message therefore carries the sender's ordered list of
+//! ancestors' sets plus, for every node it quotes, the node priority and the
+//! group priority the sender currently associates with that node. These are
+//! exactly the inputs the far-node arbitration of `compute()` needs on the
+//! receiving side.
+
+use crate::ancestor_list::AncestorList;
+use crate::priority::Priority;
+use dyngraph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The priorities the sender knows about one quoted node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PriorityInfo {
+    /// The node's own priority (its "oldness").
+    pub node: Priority,
+    /// The priority of the group the node belongs to, as far as the sender
+    /// knows (the minimum priority over that group's members).
+    pub group: Priority,
+}
+
+impl PriorityInfo {
+    pub fn new(node: Priority, group: Priority) -> Self {
+        PriorityInfo { node, group }
+    }
+
+    /// A node alone in its group: the group priority is its own.
+    pub fn solo(node: Priority) -> Self {
+        PriorityInfo { node, group: node }
+    }
+}
+
+/// The message broadcast by a GRP node at every `Ts` expiration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GrpMessage {
+    /// The sender's identity.
+    pub sender: NodeId,
+    /// The sender's ordered list of ancestors' sets (with marks).
+    pub list: AncestorList,
+    /// Per-quoted-node priorities.
+    pub priorities: BTreeMap<NodeId, PriorityInfo>,
+    /// The priority of the sender's group (minimum over its view).
+    pub group_priority: Priority,
+}
+
+impl GrpMessage {
+    /// Approximate wire size: one byte of header plus, per entry, a node id
+    /// (8 bytes), a level (1 byte), a mark (1 byte) and the two priorities
+    /// (16 bytes). Used only by the overhead experiment — relative numbers
+    /// are what matters.
+    pub fn wire_size(&self) -> usize {
+        1 + self.list.entry_count() * (8 + 1 + 1) + self.priorities.len() * 16
+    }
+
+    /// The priorities the sender attributes to a node, if quoted.
+    pub fn priority_of(&self, node: NodeId) -> Option<PriorityInfo> {
+        self.priorities.get(&node).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marks::Mark;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn wire_size_grows_with_entries() {
+        let small = GrpMessage {
+            sender: n(1),
+            list: AncestorList::singleton(n(1)),
+            priorities: BTreeMap::new(),
+            group_priority: Priority::new(0, n(1)),
+        };
+        let mut priorities = BTreeMap::new();
+        priorities.insert(n(1), PriorityInfo::solo(Priority::new(0, n(1))));
+        priorities.insert(n(2), PriorityInfo::solo(Priority::new(0, n(2))));
+        let big = GrpMessage {
+            sender: n(1),
+            list: AncestorList::from_levels(vec![
+                vec![(n(1), Mark::Clear)],
+                vec![(n(2), Mark::Clear), (n(3), Mark::Clear)],
+            ]),
+            priorities,
+            group_priority: Priority::new(0, n(1)),
+        };
+        assert!(big.wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn priority_lookup() {
+        let mut priorities = BTreeMap::new();
+        let p = PriorityInfo::new(Priority::new(3, n(2)), Priority::new(1, n(9)));
+        priorities.insert(n(2), p);
+        let msg = GrpMessage {
+            sender: n(1),
+            list: AncestorList::singleton(n(1)),
+            priorities,
+            group_priority: Priority::new(0, n(1)),
+        };
+        assert_eq!(msg.priority_of(n(2)), Some(p));
+        assert_eq!(msg.priority_of(n(5)), None);
+    }
+
+    #[test]
+    fn solo_priority_info_uses_same_priority_for_group() {
+        let p = Priority::new(4, n(8));
+        let info = PriorityInfo::solo(p);
+        assert_eq!(info.node, p);
+        assert_eq!(info.group, p);
+    }
+}

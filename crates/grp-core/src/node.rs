@@ -1,0 +1,708 @@
+//! The per-node GRP state machine and its `compute()` procedure.
+//!
+//! A [`GrpNode`] holds exactly the state of Section 4.3: the ordered list of
+//! ancestors' sets `listv`, the output view `viewv`, the set of messages
+//! received since the last compute (`msgSetv`), the quarantine counters and
+//! the node priority. The [`GrpNode::compute`] method is a line-by-line
+//! transcription of the `compute()` pseudo-code (the line numbers quoted in
+//! the comments refer to the paper's listing).
+
+use crate::ancestor_list::AncestorList;
+use crate::checks::{compatible_list, good_list, naive_compatible_list};
+use crate::config::GrpConfig;
+use crate::marks::Mark;
+use crate::message::{GrpMessage, PriorityInfo};
+use crate::priority::{group_priority, Priority};
+use dyngraph::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One GRP protocol instance (the local algorithm of node `v`).
+#[derive(Clone, Debug)]
+pub struct GrpNode {
+    id: NodeId,
+    config: GrpConfig,
+    /// `listv`: the ordered list of ancestors' sets computed at the last
+    /// compute-timer expiration.
+    list: AncestorList,
+    /// `viewv`: the output of the protocol — the composition of the group as
+    /// exposed to the application.
+    view: BTreeSet<NodeId>,
+    /// `msgSetv`: last message received from each neighbour since the last
+    /// compute (only the most recent per sender is kept).
+    msg_set: BTreeMap<NodeId, GrpMessage>,
+    /// Quarantine counters of candidate members (rounds remaining before
+    /// they may enter the view).
+    quarantine: BTreeMap<NodeId, u32>,
+    /// The logical-clock component of this node's priority ("oldness").
+    /// Implemented as a membership-epoch counter: it advances when the node
+    /// *leaves* a group (and stays frozen inside a group), so that nodes
+    /// that joined long ago always beat recent arrivals — see DESIGN.md for
+    /// why a per-round increment would prevent convergence in lockstep
+    /// executions.
+    priority_value: u64,
+    /// Was the node part of a group of two or more at the end of the last
+    /// compute? Used to detect the in-group → alone transition.
+    was_in_group: bool,
+    /// Priorities learnt from received messages, per quoted node.
+    known_priorities: BTreeMap<NodeId, PriorityInfo>,
+    /// Number of compute-timer expirations so far (diagnostics).
+    compute_count: u64,
+}
+
+impl GrpNode {
+    /// A freshly booted node: alone in its own group.
+    pub fn new(id: NodeId, config: GrpConfig) -> Self {
+        let mut view = BTreeSet::new();
+        view.insert(id);
+        GrpNode {
+            id,
+            config,
+            list: AncestorList::singleton(id),
+            view,
+            msg_set: BTreeMap::new(),
+            quarantine: BTreeMap::new(),
+            priority_value: 0,
+            was_in_group: false,
+            known_priorities: BTreeMap::new(),
+            compute_count: 0,
+        }
+    }
+
+    /// This node's identity.
+    pub fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &GrpConfig {
+        &self.config
+    }
+
+    /// The current output view (group composition exposed to applications).
+    pub fn view(&self) -> &BTreeSet<NodeId> {
+        &self.view
+    }
+
+    /// The current ordered list of ancestors' sets.
+    pub fn list(&self) -> &AncestorList {
+        &self.list
+    }
+
+    /// The number of messages waiting in `msgSetv`.
+    pub fn pending_messages(&self) -> usize {
+        self.msg_set.len()
+    }
+
+    /// Number of compute rounds executed so far.
+    pub fn compute_count(&self) -> u64 {
+        self.compute_count
+    }
+
+    /// Is this node currently in a group of two or more members?
+    pub fn in_group(&self) -> bool {
+        self.view.len() > 1
+    }
+
+    /// This node's priority (the smaller, the stronger).
+    pub fn priority(&self) -> Priority {
+        Priority::new(self.priority_value, self.id)
+    }
+
+    /// The priority of this node's group: the minimum priority over the
+    /// members of its view (its own priority when alone).
+    pub fn group_priority(&self) -> Priority {
+        let members = self.view.iter().map(|&m| {
+            if m == self.id {
+                self.priority()
+            } else {
+                self.known_priorities
+                    .get(&m)
+                    .map(|i| i.node)
+                    .unwrap_or_else(|| Priority::new(u64::MAX, m))
+            }
+        });
+        group_priority(members).unwrap_or_else(|| self.priority())
+    }
+
+    /// Remaining quarantine of a candidate, if it is being tracked.
+    pub fn quarantine_of(&self, node: NodeId) -> Option<u32> {
+        self.quarantine.get(&node).copied()
+    }
+
+    /// "Upon reception of a message msg sent by a node u: update message of
+    /// u in msgSetv" — only the latest message per sender is kept.
+    pub fn receive(&mut self, msg: GrpMessage) {
+        self.msg_set.insert(msg.sender, msg);
+    }
+
+    /// "Upon Ts timer expiration: send(listv with priorities)" — build the
+    /// broadcast for the neighbourhood.
+    pub fn build_message(&self) -> GrpMessage {
+        let my_priority = self.priority();
+        let my_group_priority = self.group_priority();
+        let mut priorities = BTreeMap::new();
+        for node in self.list.all_nodes() {
+            let info = if node == self.id {
+                PriorityInfo::new(my_priority, my_group_priority)
+            } else if let Some(&known) = self.known_priorities.get(&node) {
+                // a view member shares our group priority; otherwise relay
+                // what we learnt about its group
+                let group = if self.view.contains(&node) {
+                    my_group_priority
+                } else {
+                    known.group
+                };
+                PriorityInfo::new(known.node, group)
+            } else {
+                // quoted but of unknown priority: advertise the weakest
+                // possible priority so it never wins an arbitration by error
+                PriorityInfo::solo(Priority::new(u64::MAX, node))
+            };
+            priorities.insert(node, info);
+        }
+        GrpMessage {
+            sender: self.id,
+            list: self.list.clone(),
+            priorities,
+            group_priority: my_group_priority,
+        }
+    }
+
+    /// "Upon Tc timer expiration: compute(); reset msgSetv" — the whole
+    /// round handler.
+    pub fn on_round(&mut self) {
+        self.compute();
+        self.msg_set.clear();
+    }
+
+    /// The `compute()` procedure of Section 4.3.
+    pub fn compute(&mut self) {
+        self.compute_count += 1;
+        let dmax = self.config.dmax;
+        self.absorb_priorities();
+
+        // ------------------------------------------------------- lines 1-9
+        // Checking the received lists.
+        let mut checked: BTreeMap<NodeId, AncestorList> = BTreeMap::new();
+        for (&sender, msg) in &self.msg_set {
+            let mut lu = msg.list.clone();
+            // line 2: marked nodes are only useful between neighbours
+            lu.remove_marked_except(self.id);
+            if !good_list(self.id, &lu, dmax) {
+                // lines 3-4: the list cannot be used, only the sender is kept
+                lu = AncestorList::marked_singleton(sender, Mark::Pending);
+            } else if !self.view.contains(&sender) && !self.is_compatible(&lu) {
+                // lines 6-8: new sender whose list cannot be accepted
+                lu = AncestorList::marked_singleton(sender, Mark::Incompatible);
+            }
+            checked.insert(sender, lu);
+        }
+
+        // ---------------------------------------------------- lines 10-13
+        // Computing the list of ancestors' sets of v with the ant operator.
+        let mut lv = AncestorList::singleton(self.id);
+        for lu in checked.values() {
+            lv = lv.ant(lu);
+        }
+
+        // ---------------------------------------------------- lines 14-29
+        // Removal of incoming lists containing too-far nodes with priority.
+        if lv.len() > dmax + 1 {
+            let far_nodes = lv.level_nodes(dmax + 1);
+            for w in far_nodes {
+                if self.far_node_has_priority(w) {
+                    // lines 17-21: the neighbours that provided w (w in the
+                    // last place of their list) are ignored and double-marked
+                    let providers: Vec<NodeId> = checked
+                        .iter()
+                        .filter(|(_, lu)| {
+                            lu.level(dmax).map_or(false, |lvl| lvl.contains_key(&w))
+                        })
+                        .map(|(&u, _)| u)
+                        .collect();
+                    for u in providers {
+                        checked.insert(u, AncestorList::marked_singleton(u, Mark::Incompatible));
+                    }
+                }
+            }
+            // lines 24-27: recompute without the offending lists
+            lv = AncestorList::singleton(self.id);
+            for lu in checked.values() {
+                lv = lv.ant(lu);
+            }
+            // line 28: the remaining too-far nodes have less priority — cut
+            lv.truncate(dmax + 1);
+        }
+
+        self.list = lv;
+
+        // -------------------------------------------------------- line 30
+        self.update_quarantines();
+
+        // -------------------------------------------------------- line 31
+        // viewv ← non-marked nodes of listv with null quarantine.
+        self.view = self
+            .list
+            .unmarked_nodes()
+            .into_iter()
+            .filter(|&x| x == self.id || self.quarantine.get(&x).copied().unwrap_or(0) == 0)
+            .collect();
+        self.view.insert(self.id);
+
+        // -------------------------------------------------------- line 32
+        // Priorities only move while the node is not in a group: the
+        // "oldness" clock advances on the in-group → alone transition and is
+        // frozen for group members, so established members always beat
+        // newcomers.
+        if self.was_in_group && !self.in_group() {
+            self.priority_value = self.priority_value.saturating_add(1);
+        }
+        self.was_in_group = self.in_group();
+    }
+
+    /// The compatibility test, honouring the E10 ablation switch.
+    fn is_compatible(&self, received: &AncestorList) -> bool {
+        if self.config.naive_compatibility {
+            naive_compatible_list(self.id, &self.list, received, self.config.dmax)
+        } else {
+            compatible_list(self.id, &self.list, received, self.config.dmax)
+        }
+    }
+
+    /// "if w has the priority compared to v" (line 16): node priorities are
+    /// compared inside a group; across groups the group priorities are
+    /// compared (this is a merge arbitration). Unknown priorities never win,
+    /// which biases towards preserving the local group — the conservative
+    /// choice for continuity.
+    fn far_node_has_priority(&self, w: NodeId) -> bool {
+        if w == self.id {
+            return false;
+        }
+        match self.known_priorities.get(&w) {
+            Some(info) => {
+                if self.view.contains(&w) {
+                    info.node.beats(&self.priority())
+                } else {
+                    info.group.beats(&self.group_priority())
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Learn priorities quoted in the received messages. A sender is the
+    /// authority on its own priority; for third-party nodes any quote is
+    /// accepted (the newest message wins by iteration order).
+    fn absorb_priorities(&mut self) {
+        let messages: Vec<GrpMessage> = self.msg_set.values().cloned().collect();
+        for msg in &messages {
+            for (&node, &info) in &msg.priorities {
+                if node == self.id {
+                    continue;
+                }
+                self.known_priorities.insert(node, info);
+            }
+        }
+        for msg in &messages {
+            if let Some(&self_info) = msg.priorities.get(&msg.sender) {
+                self.known_priorities.insert(msg.sender, self_info);
+            }
+        }
+    }
+
+    /// Line 30: the quarantine of new nodes is `Dmax`; non-null quarantines
+    /// of already-known candidates decrease by one.
+    ///
+    /// A candidate that briefly drops out of the list (e.g. while a boundary
+    /// neighbour momentarily rejects us) keeps its quarantine entry and
+    /// continues ageing: treating every reappearance as a brand-new arrival
+    /// resets the counter for ever and freezes mergeable groups apart.
+    /// Entries of nodes that stay absent age out and are dropped once they
+    /// reach zero, so the map stays bounded by the recently-seen nodes.
+    fn update_quarantines(&mut self) {
+        let unmarked = self.list.unmarked_nodes();
+        for &x in &unmarked {
+            if x == self.id {
+                continue;
+            }
+            if self.view.contains(&x) {
+                self.quarantine.insert(x, 0);
+                continue;
+            }
+            match self.quarantine.get_mut(&x) {
+                Some(q) => {
+                    if *q > 0 {
+                        *q -= 1;
+                    }
+                }
+                None => {
+                    self.quarantine.insert(x, self.config.quarantine_rounds());
+                }
+            }
+        }
+        let own_id = self.id;
+        self.quarantine.retain(|n, q| {
+            if unmarked.contains(n) {
+                return true;
+            }
+            if *n == own_id {
+                return false;
+            }
+            // absent candidate: age the entry and forget it once expired
+            if *q > 0 {
+                *q -= 1;
+            }
+            *q > 0
+        });
+    }
+
+    /// Overwrite the local state with arbitrary values (transient fault).
+    /// Used by the self-stabilization experiments; the protocol must recover
+    /// from whatever this produces.
+    pub fn corrupt(&mut self, ghost_nodes: &[NodeId], scramble_priority: u64) {
+        let mut levels: Vec<Vec<(NodeId, Mark)>> = vec![vec![(self.id, Mark::Clear)]];
+        for (i, &g) in ghost_nodes.iter().enumerate() {
+            let level = 1 + (i % (self.config.dmax + 2));
+            while levels.len() <= level {
+                levels.push(Vec::new());
+            }
+            levels[level].push((g, Mark::Clear));
+        }
+        self.list = AncestorList::from_levels(levels);
+        self.view = self.list.all_nodes();
+        self.view.insert(self.id);
+        for &g in ghost_nodes {
+            self.quarantine.insert(g, 0);
+        }
+        self.priority_value = scramble_priority;
+    }
+
+    /// Reset to the freshly-booted state (crash/restart).
+    pub fn reboot(&mut self) {
+        *self = GrpNode::new(self.id, self.config.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    fn cfg(dmax: usize) -> GrpConfig {
+        GrpConfig::new(dmax)
+    }
+
+    /// Exchange messages between all pairs of nodes that are neighbours in
+    /// `edges`, then run a compute round on every node — a miniature
+    /// synchronous simulator for unit-testing the state machine alone.
+    fn round(nodes: &mut BTreeMap<NodeId, GrpNode>, edges: &[(u64, u64)]) {
+        let messages: BTreeMap<NodeId, GrpMessage> = nodes
+            .iter()
+            .map(|(&id, node)| (id, node.build_message()))
+            .collect();
+        for &(a, b) in edges {
+            let (a, b) = (n(a), n(b));
+            let msg_a = messages[&a].clone();
+            let msg_b = messages[&b].clone();
+            nodes.get_mut(&b).unwrap().receive(msg_a);
+            nodes.get_mut(&a).unwrap().receive(msg_b);
+        }
+        for node in nodes.values_mut() {
+            node.on_round();
+        }
+    }
+
+    fn make_nodes(ids: &[u64], dmax: usize) -> BTreeMap<NodeId, GrpNode> {
+        ids.iter()
+            .map(|&i| (n(i), GrpNode::new(n(i), cfg(dmax))))
+            .collect()
+    }
+
+    /// Like [`round`], but with staggered compute timers: every node sends
+    /// each sub-round (Ts ≤ Tc), while only one node's compute timer fires
+    /// per sub-round, in round-robin order. This matches the paper's timer
+    /// model; perfectly synchronous computes can oscillate between two
+    /// legitimate partitions at group boundaries (see DESIGN.md).
+    fn staggered_round(nodes: &mut BTreeMap<NodeId, GrpNode>, edges: &[(u64, u64)], turn: usize) {
+        let messages: BTreeMap<NodeId, GrpMessage> = nodes
+            .iter()
+            .map(|(&id, node)| (id, node.build_message()))
+            .collect();
+        for &(a, b) in edges {
+            let (a, b) = (n(a), n(b));
+            let msg_a = messages[&a].clone();
+            let msg_b = messages[&b].clone();
+            nodes.get_mut(&b).unwrap().receive(msg_a);
+            nodes.get_mut(&a).unwrap().receive(msg_b);
+        }
+        let ids: Vec<NodeId> = nodes.keys().copied().collect();
+        let id = ids[turn % ids.len()];
+        nodes.get_mut(&id).unwrap().on_round();
+    }
+
+    #[test]
+    fn initial_state_is_a_singleton_group() {
+        let node = GrpNode::new(n(5), cfg(3));
+        assert_eq!(node.view().len(), 1);
+        assert!(node.view().contains(&n(5)));
+        assert_eq!(node.list().len(), 1);
+        assert!(!node.in_group());
+        assert_eq!(node.compute_count(), 0);
+    }
+
+    #[test]
+    fn compute_without_messages_keeps_singleton() {
+        let mut node = GrpNode::new(n(5), cfg(3));
+        node.on_round();
+        assert_eq!(node.view().len(), 1);
+        assert_eq!(node.list().len(), 1);
+        assert_eq!(node.compute_count(), 1);
+    }
+
+    #[test]
+    fn priority_is_frozen_in_a_group_and_ages_on_leaving() {
+        let mut nodes = make_nodes(&[1, 2], 3);
+        // alone: the oldness clock stays put until membership changes
+        for _ in 0..2 {
+            round(&mut nodes, &[]);
+        }
+        assert_eq!(nodes[&n(1)].priority().value, 0);
+        // form a group of two and let the views converge
+        for _ in 0..10 {
+            round(&mut nodes, &[(1, 2)]);
+        }
+        assert!(nodes[&n(1)].in_group());
+        let frozen = nodes[&n(1)].priority().value;
+        for _ in 0..3 {
+            round(&mut nodes, &[(1, 2)]);
+        }
+        assert_eq!(nodes[&n(1)].priority().value, frozen, "priority frozen in a group");
+        // break the link: both nodes end up alone and their clock advances,
+        // so they will lose future arbitrations against established members
+        for _ in 0..6 {
+            round(&mut nodes, &[]);
+        }
+        assert!(!nodes[&n(1)].in_group());
+        assert!(nodes[&n(1)].priority().value > frozen);
+    }
+
+    #[test]
+    fn triple_handshake_brings_two_neighbours_into_one_view() {
+        let mut nodes = make_nodes(&[1, 2], 2);
+        // Round 1: each hears the other's singleton list, which does not
+        // quote it → pending mark, no view change yet.
+        round(&mut nodes, &[(1, 2)]);
+        assert_eq!(nodes[&n(1)].view().len(), 1);
+        assert!(nodes[&n(1)].list().contains(n(2)), "sender kept, marked");
+        // After enough rounds (handshake + quarantine of Dmax rounds) both
+        // views contain both nodes.
+        for _ in 0..(2 + 3) {
+            round(&mut nodes, &[(1, 2)]);
+        }
+        let expected: BTreeSet<NodeId> = [n(1), n(2)].into_iter().collect();
+        assert_eq!(nodes[&n(1)].view(), &expected);
+        assert_eq!(nodes[&n(2)].view(), &expected);
+        assert!(nodes[&n(1)].in_group());
+    }
+
+    #[test]
+    fn quarantine_delays_view_entry() {
+        let dmax = 3;
+        let mut nodes = make_nodes(&[1, 2], dmax);
+        // the handshake needs two rounds before node 2 appears unmarked in
+        // node 1's list; quarantine then holds it out of the view for Dmax
+        // further rounds
+        let mut rounds_until_in_view = 0;
+        for r in 1..=20 {
+            round(&mut nodes, &[(1, 2)]);
+            if nodes[&n(1)].view().contains(&n(2)) {
+                rounds_until_in_view = r;
+                break;
+            }
+        }
+        assert!(
+            rounds_until_in_view > dmax as u32 as usize,
+            "view entry after {rounds_until_in_view} rounds, expected more than Dmax={dmax}"
+        );
+    }
+
+    #[test]
+    fn disable_quarantine_speeds_up_view_entry() {
+        let mut slow = make_nodes(&[1, 2], 3);
+        let mut fast: BTreeMap<NodeId, GrpNode> = [1u64, 2]
+            .iter()
+            .map(|&i| (n(i), GrpNode::new(n(i), cfg(3).without_quarantine())))
+            .collect();
+        let entered = |nodes: &BTreeMap<NodeId, GrpNode>| nodes[&n(1)].view().contains(&n(2));
+        let mut slow_rounds = 0;
+        let mut fast_rounds = 0;
+        for r in 1..=20 {
+            round(&mut slow, &[(1, 2)]);
+            if slow_rounds == 0 && entered(&slow) {
+                slow_rounds = r;
+            }
+            round(&mut fast, &[(1, 2)]);
+            if fast_rounds == 0 && entered(&fast) {
+                fast_rounds = r;
+            }
+        }
+        assert!(fast_rounds > 0 && slow_rounds > 0);
+        assert!(fast_rounds < slow_rounds, "fast {fast_rounds} vs slow {slow_rounds}");
+    }
+
+    #[test]
+    fn path_within_dmax_converges_to_single_group() {
+        // 4 nodes on a path, Dmax = 3: the whole path fits in one group.
+        let mut nodes = make_nodes(&[0, 1, 2, 3], 3);
+        let edges = [(0, 1), (1, 2), (2, 3)];
+        for _ in 0..25 {
+            round(&mut nodes, &edges);
+        }
+        let all: BTreeSet<NodeId> = (0..4).map(n).collect();
+        for node in nodes.values() {
+            assert_eq!(node.view(), &all, "node {} disagrees", node.node_id());
+        }
+    }
+
+    #[test]
+    fn path_longer_than_dmax_splits_into_groups() {
+        // 6 nodes on a path, Dmax = 2: a single group would have diameter 5.
+        let mut nodes = make_nodes(&[0, 1, 2, 3, 4, 5], 2);
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)];
+        for _ in 0..40 {
+            round(&mut nodes, &edges);
+        }
+        for node in nodes.values() {
+            // no view may span more than Dmax+1 consecutive path nodes
+            let ids: Vec<u64> = node.view().iter().map(|x| x.raw()).collect();
+            let span = ids.iter().max().unwrap() - ids.iter().min().unwrap();
+            assert!(
+                span <= 2,
+                "node {} has view spanning {} hops: {:?}",
+                node.node_id(),
+                span,
+                ids
+            );
+        }
+        // and the members of each view agree on it
+        for node in nodes.values() {
+            for member in node.view() {
+                assert_eq!(nodes[member].view(), node.view());
+            }
+        }
+    }
+
+    #[test]
+    fn lists_never_exceed_dmax_plus_one_levels() {
+        let dmax = 2;
+        let mut nodes = make_nodes(&[0, 1, 2, 3, 4, 5, 6], dmax);
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)];
+        for _ in 0..30 {
+            round(&mut nodes, &edges);
+            for node in nodes.values() {
+                assert!(node.list().len() <= dmax + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_then_recover() {
+        let mut nodes = make_nodes(&[0, 1, 2], 3);
+        let edges = [(0, 1), (1, 2)];
+        for _ in 0..20 {
+            round(&mut nodes, &edges);
+        }
+        let all: BTreeSet<NodeId> = (0..3).map(n).collect();
+        assert_eq!(nodes[&n(0)].view(), &all);
+        // corrupt node 1 with ghost members
+        nodes
+            .get_mut(&n(1))
+            .unwrap()
+            .corrupt(&[n(77), n(88)], 123);
+        assert!(nodes[&n(1)].view().contains(&n(77)));
+        // the ghosts are never heard from, so they vanish and the views
+        // re-converge (self-stabilization)
+        for _ in 0..25 {
+            round(&mut nodes, &edges);
+        }
+        for node in nodes.values() {
+            assert_eq!(node.view(), &all);
+            assert!(!node.list().contains(n(77)));
+        }
+    }
+
+    #[test]
+    fn reboot_restores_initial_state() {
+        let mut node = GrpNode::new(n(3), cfg(2));
+        node.corrupt(&[n(9)], 55);
+        node.reboot();
+        assert_eq!(node.view().len(), 1);
+        assert_eq!(node.priority().value, 0);
+        assert_eq!(node.compute_count(), 0);
+    }
+
+    #[test]
+    fn build_message_quotes_all_list_nodes_with_priorities() {
+        let mut nodes = make_nodes(&[1, 2, 3], 3);
+        let edges = [(1, 2), (2, 3)];
+        for _ in 0..10 {
+            round(&mut nodes, &edges);
+        }
+        let msg = nodes[&n(2)].build_message();
+        for node in msg.list.all_nodes() {
+            assert!(msg.priorities.contains_key(&node), "missing priority for {node}");
+        }
+        assert_eq!(msg.sender, n(2));
+    }
+
+    #[test]
+    fn two_far_groups_do_not_merge() {
+        // Two cliques of 3 joined by a 4-hop chain; Dmax = 2 keeps them apart.
+        // Topology: 0-1-2 triangle, 10-11-12 triangle, chain 2-20-21-10.
+        // Staggered compute timers (the paper's Ts ≤ Tc regime): boundary
+        // nodes must settle into one of the legitimate partitions instead of
+        // oscillating.
+        let ids = [0, 1, 2, 10, 11, 12, 20, 21];
+        let mut nodes = make_nodes(&ids, 2);
+        let edges = [
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (10, 11),
+            (11, 12),
+            (10, 12),
+            (2, 20),
+            (20, 21),
+            (21, 10),
+        ];
+        for turn in 0..(ids.len() * 30) {
+            staggered_round(&mut nodes, &edges, turn);
+        }
+        let v0 = nodes[&n(0)].view().clone();
+        let v10 = nodes[&n(10)].view().clone();
+        assert!(v0.contains(&n(1)) && v0.contains(&n(2)), "triangle A intact: {v0:?}");
+        assert!(v10.contains(&n(11)) && v10.contains(&n(12)), "triangle B intact: {v10:?}");
+        assert!(v0.is_disjoint(&v10), "far groups must stay distinct: {v0:?} vs {v10:?}");
+        // whatever partition was chosen, every view agrees with its members
+        for node in nodes.values() {
+            for member in node.view() {
+                assert_eq!(nodes[member].view(), node.view(), "{} vs {}", node.node_id(), member);
+            }
+        }
+    }
+
+    #[test]
+    fn message_sizes_are_bounded_by_group_content() {
+        let mut nodes = make_nodes(&[0, 1, 2, 3], 3);
+        let edges = [(0, 1), (1, 2), (2, 3)];
+        for _ in 0..15 {
+            round(&mut nodes, &edges);
+        }
+        let msg = nodes[&n(1)].build_message();
+        assert!(msg.wire_size() > 0);
+        assert!(msg.list.entry_count() <= 4);
+    }
+}

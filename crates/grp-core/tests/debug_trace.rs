@@ -1,0 +1,103 @@
+//! Temporary diagnostic trace (converted into a real assertion once fixed).
+use grp_core::{GrpConfig, GrpMessage, GrpNode};
+use dyngraph::NodeId;
+use std::collections::BTreeMap;
+
+fn n(i: u64) -> NodeId {
+    NodeId(i)
+}
+
+fn round(nodes: &mut BTreeMap<NodeId, GrpNode>, edges: &[(u64, u64)]) {
+    let messages: BTreeMap<NodeId, GrpMessage> = nodes
+        .iter()
+        .map(|(&id, node)| (id, node.build_message()))
+        .collect();
+    for &(a, b) in edges {
+        let (a, b) = (n(a), n(b));
+        nodes.get_mut(&b).unwrap().receive(messages[&a].clone());
+        nodes.get_mut(&a).unwrap().receive(messages[&b].clone());
+    }
+    for node in nodes.values_mut() {
+        node.on_round();
+    }
+}
+
+#[test]
+#[ignore]
+fn trace_path_of_four() {
+    let mut nodes: BTreeMap<NodeId, GrpNode> = (0..4u64)
+        .map(|i| (n(i), GrpNode::new(n(i), GrpConfig::new(3))))
+        .collect();
+    let edges = [(0, 1), (1, 2), (2, 3)];
+    for r in 1..=25 {
+        round(&mut nodes, &edges);
+        println!("--- round {r} ---");
+        for (id, node) in &nodes {
+            println!(
+                "{id}: list={} view={:?} pr={} q={:?}",
+                node.list(),
+                node.view().iter().map(|x| x.raw()).collect::<Vec<_>>(),
+                node.priority(),
+                (0..4u64)
+                    .filter_map(|i| node.quarantine_of(n(i)).map(|q| (i, q)))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore]
+fn trace_path7_dmax1() {
+    let mut nodes: BTreeMap<NodeId, GrpNode> = (0..7u64)
+        .map(|i| (n(i), GrpNode::new(n(i), GrpConfig::new(1))))
+        .collect();
+    let edges: Vec<(u64, u64)> = (1..7).map(|i| (i - 1, i)).collect();
+    for r in 1..=30 {
+        round(&mut nodes, &edges);
+        if r % 5 == 0 || r <= 6 {
+            println!("--- round {r} ---");
+            for (id, node) in &nodes {
+                println!(
+                    "{id}: list={} view={:?}",
+                    node.list(),
+                    node.view().iter().map(|x| x.raw()).collect::<Vec<_>>(),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore]
+fn trace_triangles_with_chain() {
+    let ids = [0u64, 1, 2, 10, 11, 12, 20, 21];
+    let mut nodes: BTreeMap<NodeId, GrpNode> = ids
+        .iter()
+        .map(|&i| (n(i), GrpNode::new(n(i), GrpConfig::new(2))))
+        .collect();
+    let edges = [
+        (0, 1),
+        (1, 2),
+        (0, 2),
+        (10, 11),
+        (11, 12),
+        (10, 12),
+        (2, 20),
+        (20, 21),
+        (21, 10),
+    ];
+    for r in 1..=40 {
+        round(&mut nodes, &edges);
+        if r % 4 == 0 || r <= 8 {
+            println!("--- round {r} ---");
+            for (id, node) in &nodes {
+                println!(
+                    "{id}: list={} view={:?}",
+                    node.list(),
+                    node.view().iter().map(|x| x.raw()).collect::<Vec<_>>(),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests for the GRP algebra and state machine invariants.
+
+use dyngraph::NodeId;
+use grp_core::ancestor_list::AncestorList;
+use grp_core::checks::{compatible_list, good_list};
+use grp_core::marks::Mark;
+use grp_core::{GrpConfig, GrpMessage, GrpNode};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Strategy: an arbitrary ancestor list over node ids 0..20 with up to 5
+/// levels and random marks, canonicalised into the algebra's domain S (a
+/// node appears at most once, no trailing empty level) by merging with the
+/// neutral element.
+fn arb_list() -> impl Strategy<Value = AncestorList> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u64..20, 0u8..3), 0..4),
+        1..5,
+    )
+    .prop_map(|levels| {
+        let raw = AncestorList::from_levels(
+            levels
+                .into_iter()
+                .map(|lvl| {
+                    lvl.into_iter()
+                        .map(|(id, mark)| {
+                            let mark = match mark {
+                                0 => Mark::Clear,
+                                1 => Mark::Pending,
+                                _ => Mark::Incompatible,
+                            };
+                            (NodeId(id), mark)
+                        })
+                        .collect()
+                })
+                .collect(),
+        );
+        raw.merge(&AncestorList::empty())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// ⊕ is idempotent: x ⊕ x = x.
+    #[test]
+    fn merge_is_idempotent(x in arb_list()) {
+        prop_assert_eq!(x.merge(&x), x);
+    }
+
+    /// ⊕ is commutative up to mark combination (marks combine with max, a
+    /// commutative operation, so the whole merge commutes).
+    #[test]
+    fn merge_is_commutative(x in arb_list(), y in arb_list()) {
+        prop_assert_eq!(x.merge(&y), y.merge(&x));
+    }
+
+    /// ⊕ is associative.
+    #[test]
+    fn merge_is_associative(x in arb_list(), y in arb_list(), z in arb_list()) {
+        prop_assert_eq!(x.merge(&y).merge(&z), x.merge(&y.merge(&z)));
+    }
+
+    /// The r-operator property: x ⊕ r(x) = x (strict idempotency of ant
+    /// relative to its own output).
+    #[test]
+    fn r_operator_absorbs_shifted_self(x in arb_list()) {
+        prop_assert_eq!(x.merge(&x.shifted()), x);
+    }
+
+    /// After a merge every node appears exactly once, at a position no
+    /// deeper than in either operand.
+    #[test]
+    fn merge_deduplicates_at_smallest_position(x in arb_list(), y in arb_list()) {
+        let merged = x.merge(&y);
+        for node in merged.all_nodes() {
+            let positions: Vec<usize> = merged
+                .entries()
+                .filter(|(n, _, _)| *n == node)
+                .map(|(_, lvl, _)| lvl)
+                .collect();
+            prop_assert_eq!(positions.len(), 1, "{} appears more than once", node);
+            let best_before = [x.position_of(node), y.position_of(node)]
+                .into_iter()
+                .flatten()
+                .min()
+                .expect("node came from one of the operands");
+            prop_assert_eq!(positions[0], best_before);
+        }
+    }
+
+    /// ant never loses information: every node of either operand is still
+    /// present, and the sender side is pushed exactly one level deeper.
+    #[test]
+    fn ant_preserves_nodes(x in arb_list(), y in arb_list()) {
+        let result = x.ant(&y);
+        for node in x.all_nodes() {
+            prop_assert!(result.contains(node));
+        }
+        for node in y.all_nodes() {
+            prop_assert!(result.contains(node));
+        }
+        prop_assert!(result.len() <= x.len().max(y.len() + 1));
+    }
+
+    /// goodList never accepts a list longer than Dmax + 1.
+    #[test]
+    fn good_list_bounds_length(list in arb_list(), dmax in 1usize..5, me in 0u64..20) {
+        if good_list(NodeId(me), &list, dmax) {
+            prop_assert!(list.len() <= dmax + 1);
+        }
+    }
+
+    /// compatibleList is monotone in Dmax: a list accepted for some bound is
+    /// accepted for any larger bound.
+    #[test]
+    fn compatibility_is_monotone_in_dmax(own in arb_list(), recv in arb_list(), dmax in 1usize..5, me in 0u64..20) {
+        let me = NodeId(me);
+        if compatible_list(me, &own, &recv, dmax) {
+            prop_assert!(compatible_list(me, &own, &recv, dmax + 1));
+            prop_assert!(compatible_list(me, &own, &recv, dmax + 3));
+        }
+    }
+}
+
+/// Run a synchronous exchange between nodes on a path topology and return
+/// the nodes afterwards.
+fn run_path(n: usize, dmax: usize, rounds: usize) -> BTreeMap<NodeId, GrpNode> {
+    let mut nodes: BTreeMap<NodeId, GrpNode> = (0..n as u64)
+        .map(|i| (NodeId(i), GrpNode::new(NodeId(i), GrpConfig::new(dmax))))
+        .collect();
+    let edges: Vec<(NodeId, NodeId)> = (1..n as u64).map(|i| (NodeId(i - 1), NodeId(i))).collect();
+    for _ in 0..rounds {
+        let messages: BTreeMap<NodeId, GrpMessage> = nodes
+            .iter()
+            .map(|(&id, node)| (id, node.build_message()))
+            .collect();
+        for &(a, b) in &edges {
+            nodes.get_mut(&b).unwrap().receive(messages[&a].clone());
+            nodes.get_mut(&a).unwrap().receive(messages[&b].clone());
+        }
+        for node in nodes.values_mut() {
+            node.on_round();
+        }
+    }
+    nodes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// State-machine invariants that must hold at *every* point of any
+    /// execution: the list never exceeds Dmax+1 levels, the node is always
+    /// in its own view, and views only contain nodes of the list.
+    #[test]
+    fn node_invariants_on_paths(n in 2usize..8, dmax in 1usize..4, rounds in 1usize..30) {
+        let nodes = run_path(n, dmax, rounds);
+        for (id, node) in &nodes {
+            prop_assert!(node.list().len() <= dmax + 1);
+            prop_assert!(node.view().contains(id));
+            for member in node.view() {
+                prop_assert!(member == id || node.list().contains(*member));
+            }
+        }
+    }
+
+    /// After the execution has had ample time to converge, the views on a
+    /// line never span more than Dmax hops (the safety property ΠS), and
+    /// every view member agrees on the view (agreement ΠA). Transient
+    /// violations during convergence are allowed by the specification and
+    /// are therefore not asserted here.
+    #[test]
+    fn converged_paths_satisfy_safety_and_agreement(n in 2usize..8, dmax in 1usize..4) {
+        let rounds = 8 * n + 30;
+        let nodes = run_path(n, dmax, rounds);
+        for node in nodes.values() {
+            let ids: Vec<u64> = node.view().iter().map(|x| x.raw()).collect();
+            let span = ids.iter().max().unwrap() - ids.iter().min().unwrap();
+            prop_assert!(
+                span as usize <= dmax,
+                "view {:?} spans {} > Dmax {} on a line",
+                ids, span, dmax
+            );
+            for member in node.view() {
+                prop_assert_eq!(nodes[member].view(), node.view());
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # metrics — measurement, statistics and reporting
+//!
+//! The experiment harness measures four families of quantities:
+//!
+//! * summary statistics over replicated runs ([`stats`]);
+//! * per-round time series (group counts, diameters, …) ([`series`]);
+//! * view-churn and continuity accounting between consecutive snapshots
+//!   ([`churn`]);
+//! * human-readable report output — aligned markdown tables and CSV — so
+//!   every experiment prints the rows of the table or the series of the
+//!   figure it reproduces ([`table`]).
+
+pub mod churn;
+pub mod series;
+pub mod stats;
+pub mod table;
+
+pub use churn::ChurnAccumulator;
+pub use series::TimeSeries;
+pub use stats::Summary;
+pub use table::Table;

@@ -1,0 +1,97 @@
+//! The simulator's event queue.
+//!
+//! Events are totally ordered by `(time, sequence number)`; the sequence
+//! number makes the order deterministic when several events share a
+//! timestamp (e.g. all nodes booted at the same instant).
+
+use crate::time::SimTime;
+use dyngraph::NodeId;
+use std::cmp::Ordering;
+
+/// What happens when an event fires.
+#[derive(Clone, Debug)]
+pub enum EventKind<M> {
+    /// Node's compute timer `Tc` expired.
+    ComputeTimer(NodeId),
+    /// Node's send timer `Ts` expired.
+    SendTimer(NodeId),
+    /// A message sent by `from` reaches `to`.
+    Delivery {
+        from: NodeId,
+        to: NodeId,
+        message: M,
+    },
+    /// Positions advance and the topology is recomputed (spatial mode only).
+    MobilityTick,
+    /// An injected fault fires (index into the simulator's fault plan).
+    Fault(usize),
+}
+
+/// A scheduled event.
+#[derive(Clone, Debug)]
+pub struct Event<M> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    /// Reverse ordering so that `BinaryHeap` (a max-heap) pops the earliest
+    /// event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(time: u64, seq: u64) -> Event<()> {
+        Event {
+            time: SimTime(time),
+            seq,
+            kind: EventKind::MobilityTick,
+        }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(30, 0));
+        heap.push(ev(10, 1));
+        heap.push(ev(20, 2));
+        assert_eq!(heap.pop().unwrap().time, SimTime(10));
+        assert_eq!(heap.pop().unwrap().time, SimTime(20));
+        assert_eq!(heap.pop().unwrap().time, SimTime(30));
+    }
+
+    #[test]
+    fn ties_broken_by_sequence_number() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(10, 5));
+        heap.push(ev(10, 2));
+        heap.push(ev(10, 9));
+        assert_eq!(heap.pop().unwrap().seq, 2);
+        assert_eq!(heap.pop().unwrap().seq, 5);
+        assert_eq!(heap.pop().unwrap().seq, 9);
+    }
+}

@@ -1,0 +1,103 @@
+//! Transient-fault injection.
+//!
+//! Self-stabilization is about recovering from *transient failures that may
+//! affect a memory or a message* (Section 1). The fault plan lets an
+//! experiment schedule exactly those failures: corrupting a node's local
+//! state, crashing and restarting nodes (which also models nodes leaving and
+//! re-joining), and bursts of message loss.
+
+use crate::time::SimTime;
+use dyngraph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// The kinds of transient faults the simulator can inject.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Overwrite part of the node's protocol state with arbitrary values
+    /// (delegated to [`crate::Protocol::corrupt_state`]).
+    CorruptState(NodeId),
+    /// Deactivate the node: it stops computing, sending and receiving.
+    Crash(NodeId),
+    /// Reactivate a crashed node with a fresh (reset) protocol state.
+    Restart(NodeId),
+    /// Drop every message delivery scheduled during the next `duration`
+    /// ticks (a radio blackout).
+    LossBurst { duration: u64 },
+}
+
+/// A fault scheduled at an absolute simulation time.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledFault {
+    pub at: SimTime,
+    pub kind: FaultKind,
+}
+
+impl ScheduledFault {
+    pub fn new(at: SimTime, kind: FaultKind) -> Self {
+        ScheduledFault { at, kind }
+    }
+}
+
+/// A builder for fault plans, kept sorted by activation time.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    pub fn new() -> Self {
+        FaultPlan { faults: Vec::new() }
+    }
+
+    /// Schedule a fault; keeps the plan sorted by time.
+    pub fn schedule(&mut self, at: SimTime, kind: FaultKind) -> &mut Self {
+        self.faults.push(ScheduledFault::new(at, kind));
+        self.faults.sort_by_key(|f| f.at);
+        self
+    }
+
+    /// Corrupt the state of every listed node at `at`.
+    pub fn corrupt_all(&mut self, at: SimTime, nodes: &[NodeId]) -> &mut Self {
+        for &n in nodes {
+            self.schedule(at, FaultKind::CorruptState(n));
+        }
+        self
+    }
+
+    /// The scheduled faults, sorted by time.
+    pub fn faults(&self) -> &[ScheduledFault] {
+        &self.faults
+    }
+
+    /// Consume the plan.
+    pub fn into_faults(self) -> Vec<ScheduledFault> {
+        self.faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_kept_sorted() {
+        let mut plan = FaultPlan::new();
+        plan.schedule(SimTime(50), FaultKind::Crash(NodeId(1)))
+            .schedule(SimTime(10), FaultKind::CorruptState(NodeId(2)))
+            .schedule(SimTime(30), FaultKind::LossBurst { duration: 5 });
+        let times: Vec<u64> = plan.faults().iter().map(|f| f.at.ticks()).collect();
+        assert_eq!(times, vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn corrupt_all_adds_one_fault_per_node() {
+        let mut plan = FaultPlan::new();
+        plan.corrupt_all(SimTime(5), &[NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(plan.faults().len(), 3);
+        assert!(plan
+            .faults()
+            .iter()
+            .all(|f| matches!(f.kind, FaultKind::CorruptState(_))));
+        assert_eq!(plan.clone().into_faults().len(), 3);
+    }
+}

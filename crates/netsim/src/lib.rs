@@ -1,0 +1,48 @@
+//! # netsim — discrete-event wireless network simulator
+//!
+//! This crate is the substrate on which the GRP reproduction runs its
+//! distributed protocol. It implements the system model of Section 2 of
+//! *Best-effort Group Service in Dynamic Networks*:
+//!
+//! * nodes spread in a Euclidean space, active or inactive, each with a
+//!   processor and a communication device ([`node`], [`space`]);
+//! * a **vicinity**-based radio model — a node hears another when it lies in
+//!   its vicinity — with optional message loss ([`radio`]);
+//! * timer-driven message sending with the fair-channel hypothesis: a node
+//!   sends every `τ2` and every neighbour hears it at least once per `τ1`
+//!   ([`sim`], [`SimConfig`]);
+//! * mobility models producing dynamic topologies ([`mobility`]);
+//! * transient-fault injection (node crash/restart, state corruption,
+//!   message loss bursts) used by the self-stabilization experiments
+//!   ([`fault`]);
+//! * a per-round trace of topologies and message statistics ([`trace`]).
+//!
+//! Protocols are plugged in through the [`protocol::Protocol`] trait: GRP and
+//! the baseline algorithms all implement it, so every experiment runs the
+//! same simulation loop.
+//!
+//! The simulator is fully deterministic for a given seed: the event queue is
+//! ordered by (time, sequence number) and all randomness flows from a single
+//! `ChaCha8Rng`.
+
+pub mod event;
+pub mod fault;
+pub mod mobility;
+pub mod node;
+pub mod protocol;
+pub mod radio;
+pub mod sim;
+pub mod space;
+pub mod time;
+pub mod trace;
+
+pub use event::{Event, EventKind};
+pub use fault::{FaultKind, ScheduledFault};
+pub use mobility::MobilityModel;
+pub use node::SimNode;
+pub use protocol::Protocol;
+pub use radio::RadioModel;
+pub use sim::{SimConfig, Simulator, TopologyMode};
+pub use space::Point;
+pub use time::SimTime;
+pub use trace::{MessageStats, Trace};

@@ -1,0 +1,197 @@
+//! VANET highway (convoy) mobility.
+//!
+//! Vehicles drive along a one-dimensional road on parallel lanes, each with
+//! its own speed. Differences in speed stretch and compress the convoy, so
+//! links appear and disappear at a rate controlled by the speed spread —
+//! exactly the dynamics that motivates the best-effort continuity property.
+//! Vehicles that reach the end of the road wrap around (ring road), keeping
+//! the number of nodes constant throughout an experiment.
+
+use super::MobilityModel;
+use crate::space::Point;
+use dyngraph::NodeId;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// A convoy of vehicles on a multi-lane ring road.
+#[derive(Clone, Debug)]
+pub struct Highway {
+    road_length: f64,
+    lane_width: f64,
+    lanes: usize,
+    /// Per-vehicle speed (distance per tick), fixed at construction.
+    speeds: BTreeMap<NodeId, f64>,
+    lane_of: BTreeMap<NodeId, usize>,
+    offsets: BTreeMap<NodeId, f64>,
+    positions: BTreeMap<NodeId, Point>,
+    /// Probability per advance that a vehicle changes lane.
+    lane_change_prob: f64,
+}
+
+impl Highway {
+    /// Create a convoy of `n` vehicles (ids 0..n) spread over `lanes` lanes,
+    /// starting bunched with `initial_gap` metres between consecutive
+    /// vehicles, speeds drawn uniformly in `speed_range`.
+    pub fn new(
+        n: usize,
+        lanes: usize,
+        road_length: f64,
+        initial_gap: f64,
+        speed_range: (f64, f64),
+        rng: &mut ChaCha8Rng,
+    ) -> Self {
+        let lanes = lanes.max(1);
+        let lane_width = 4.0;
+        let mut model = Highway {
+            road_length,
+            lane_width,
+            lanes,
+            speeds: BTreeMap::new(),
+            lane_of: BTreeMap::new(),
+            offsets: BTreeMap::new(),
+            positions: BTreeMap::new(),
+            lane_change_prob: 0.01,
+        };
+        for i in 0..n {
+            let id = NodeId(i as u64);
+            let (lo, hi) = speed_range;
+            let speed = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+            let lane = i % lanes;
+            let offset = (i as f64 * initial_gap) % road_length;
+            model.speeds.insert(id, speed);
+            model.lane_of.insert(id, lane);
+            model.offsets.insert(id, offset);
+        }
+        model.refresh_positions();
+        model
+    }
+
+    /// Set the per-advance lane change probability.
+    pub fn with_lane_change_prob(mut self, p: f64) -> Self {
+        self.lane_change_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    fn refresh_positions(&mut self) {
+        self.positions = self
+            .offsets
+            .iter()
+            .map(|(&id, &off)| {
+                let lane = self.lane_of.get(&id).copied().unwrap_or(0);
+                (id, Point::new(off, lane as f64 * self.lane_width))
+            })
+            .collect();
+    }
+
+    /// Speed of a vehicle (panics if unknown).
+    pub fn speed(&self, node: NodeId) -> f64 {
+        self.speeds[&node]
+    }
+}
+
+impl MobilityModel for Highway {
+    fn positions(&self) -> &BTreeMap<NodeId, Point> {
+        &self.positions
+    }
+
+    fn advance(&mut self, dt: u64, rng: &mut ChaCha8Rng) {
+        let ids: Vec<NodeId> = self.offsets.keys().copied().collect();
+        for id in ids {
+            let speed = self.speeds[&id];
+            let off = self.offsets.get_mut(&id).expect("known vehicle");
+            *off = (*off + speed * dt as f64) % self.road_length;
+            if self.lane_change_prob > 0.0 && rng.gen_bool(self.lane_change_prob) {
+                let lane = self.lane_of.get_mut(&id).expect("known vehicle");
+                *lane = (*lane + 1) % self.lanes;
+            }
+        }
+        self.refresh_positions();
+    }
+
+    fn insert(&mut self, node: NodeId, at: Point) {
+        let lane = ((at.y / self.lane_width).round() as usize).min(self.lanes - 1);
+        let mean_speed = if self.speeds.is_empty() {
+            0.01
+        } else {
+            self.speeds.values().sum::<f64>() / self.speeds.len() as f64
+        };
+        self.speeds.insert(node, mean_speed);
+        self.lane_of.insert(node, lane);
+        self.offsets.insert(node, at.x % self.road_length);
+        self.refresh_positions();
+    }
+
+    fn remove(&mut self, node: NodeId) {
+        self.speeds.remove(&node);
+        self.lane_of.remove(&node);
+        self.offsets.remove(&node);
+        self.positions.remove(&node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn convoy_starts_spaced_by_gap() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = Highway::new(5, 1, 1000.0, 20.0, (0.01, 0.01), &mut rng);
+        assert_eq!(m.positions().len(), 5);
+        assert!((m.positions()[&NodeId(1)].x - 20.0).abs() < 1e-9);
+        assert!((m.positions()[&NodeId(4)].x - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vehicles_advance_and_wrap() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut m = Highway::new(2, 1, 100.0, 10.0, (1.0, 1.0), &mut rng).with_lane_change_prob(0.0);
+        m.advance(95, &mut rng);
+        // vehicle 0 started at 0, speed 1.0/tick, after 95 ticks → 95
+        assert!((m.positions()[&NodeId(0)].x - 95.0).abs() < 1e-9);
+        m.advance(10, &mut rng);
+        // 105 % 100 = 5
+        assert!((m.positions()[&NodeId(0)].x - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_spread_stretches_the_convoy() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut m =
+            Highway::new(10, 1, 10000.0, 10.0, (0.1, 1.0), &mut rng).with_lane_change_prob(0.0);
+        let spread = |m: &Highway| {
+            let xs: Vec<f64> = m.positions().values().map(|p| p.x).collect();
+            let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+            let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+            max - min
+        };
+        let before = spread(&m);
+        m.advance(500, &mut rng);
+        assert!(spread(&m) > before);
+    }
+
+    #[test]
+    fn insert_and_remove_vehicle() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut m = Highway::new(3, 2, 500.0, 15.0, (0.5, 0.5), &mut rng);
+        m.insert(NodeId(77), Point::new(60.0, 4.0));
+        assert_eq!(m.positions().len(), 4);
+        assert!(m.speed(NodeId(77)) > 0.0);
+        m.remove(NodeId(77));
+        assert_eq!(m.positions().len(), 3);
+    }
+
+    #[test]
+    fn lanes_give_distinct_y_coordinates() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let m = Highway::new(4, 2, 500.0, 15.0, (0.5, 0.5), &mut rng);
+        let ys: std::collections::BTreeSet<i64> = m
+            .positions()
+            .values()
+            .map(|p| (p.y * 10.0) as i64)
+            .collect();
+        assert_eq!(ys.len(), 2);
+    }
+}

@@ -1,0 +1,49 @@
+//! Mobility models.
+//!
+//! A mobility model owns the node positions and advances them by a time
+//! step; the simulator then asks the radio model for the implied topology.
+//! Four models are provided:
+//!
+//! * [`Stationary`] — nodes never move (fixed topologies / stabilization
+//!   experiments);
+//! * [`RandomWaypoint`] — the classical MANET benchmark model;
+//! * [`RandomWalk`] — independent bounded random steps;
+//! * [`Highway`] — a VANET-style convoy: lanes of vehicles with per-vehicle
+//!   speeds on a one-dimensional road, the emblematic scenario that
+//!   motivates the Dynamic Group Service.
+
+mod highway;
+mod stationary;
+mod walk;
+mod waypoint;
+
+pub use highway::Highway;
+pub use stationary::Stationary;
+pub use walk::RandomWalk;
+pub use waypoint::RandomWaypoint;
+
+use crate::space::Point;
+use dyngraph::NodeId;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// A model that owns and advances node positions.
+pub trait MobilityModel: Send {
+    /// Current position of every node.
+    fn positions(&self) -> &BTreeMap<NodeId, Point>;
+
+    /// Advance all positions by `dt` ticks.
+    fn advance(&mut self, dt: u64, rng: &mut ChaCha8Rng);
+
+    /// Add a node at a position (used when nodes join at runtime).
+    fn insert(&mut self, node: NodeId, at: Point);
+
+    /// Remove a node (when it leaves the system).
+    fn remove(&mut self, node: NodeId);
+}
+
+/// Helper shared by the models: uniformly random point in a rectangle.
+pub(crate) fn random_point(rng: &mut ChaCha8Rng, width: f64, height: f64) -> Point {
+    use rand::Rng;
+    Point::new(rng.gen_range(0.0..=width), rng.gen_range(0.0..=height))
+}

@@ -1,0 +1,110 @@
+//! Bounded random-walk mobility.
+
+use super::MobilityModel;
+use crate::space::Point;
+use dyngraph::NodeId;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// Each node takes an independent random step of at most `max_step × dt`
+/// per advance, reflected into the arena.
+#[derive(Clone, Debug)]
+pub struct RandomWalk {
+    width: f64,
+    height: f64,
+    /// Maximum displacement per tick.
+    max_step: f64,
+    positions: BTreeMap<NodeId, Point>,
+}
+
+impl RandomWalk {
+    /// Place `n` nodes (ids 0..n) uniformly at random.
+    pub fn new(n: usize, width: f64, height: f64, max_step: f64, rng: &mut ChaCha8Rng) -> Self {
+        let positions = (0..n)
+            .map(|i| (NodeId(i as u64), super::random_point(rng, width, height)))
+            .collect();
+        RandomWalk {
+            width,
+            height,
+            max_step,
+            positions,
+        }
+    }
+
+    /// Build from explicit positions.
+    pub fn from_positions(
+        positions: BTreeMap<NodeId, Point>,
+        width: f64,
+        height: f64,
+        max_step: f64,
+    ) -> Self {
+        RandomWalk {
+            width,
+            height,
+            max_step,
+            positions,
+        }
+    }
+}
+
+impl MobilityModel for RandomWalk {
+    fn positions(&self) -> &BTreeMap<NodeId, Point> {
+        &self.positions
+    }
+
+    fn advance(&mut self, dt: u64, rng: &mut ChaCha8Rng) {
+        let amplitude = self.max_step * dt as f64;
+        for pos in self.positions.values_mut() {
+            let dx = rng.gen_range(-amplitude..=amplitude);
+            let dy = rng.gen_range(-amplitude..=amplitude);
+            *pos = Point::new(pos.x + dx, pos.y + dy).clamp_to(self.width, self.height);
+        }
+    }
+
+    fn insert(&mut self, node: NodeId, at: Point) {
+        self.positions.insert(node, at.clamp_to(self.width, self.height));
+    }
+
+    fn remove(&mut self, node: NodeId) {
+        self.positions.remove(&node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn walk_stays_in_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut m = RandomWalk::new(15, 30.0, 30.0, 0.5, &mut rng);
+        for _ in 0..100 {
+            m.advance(10, &mut rng);
+        }
+        for p in m.positions().values() {
+            assert!(p.x >= 0.0 && p.x <= 30.0);
+            assert!(p.y >= 0.0 && p.y <= 30.0);
+        }
+    }
+
+    #[test]
+    fn zero_step_walk_is_static() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut m = RandomWalk::new(5, 30.0, 30.0, 0.0, &mut rng);
+        let before = m.positions().clone();
+        m.advance(100, &mut rng);
+        assert_eq!(m.positions(), &before);
+    }
+
+    #[test]
+    fn insert_clamps_position() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut m = RandomWalk::new(1, 10.0, 10.0, 0.1, &mut rng);
+        m.insert(NodeId(7), Point::new(100.0, -5.0));
+        assert_eq!(m.positions()[&NodeId(7)], Point::new(10.0, 0.0));
+        m.remove(NodeId(7));
+        assert_eq!(m.positions().len(), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Random waypoint mobility.
+//!
+//! Each node repeatedly picks a uniform destination in the arena and moves
+//! towards it at its own constant speed; on arrival it immediately picks a
+//! new destination (no pause time, the worst case for topology churn).
+
+use super::{random_point, MobilityModel};
+use crate::space::Point;
+use dyngraph::NodeId;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// Classical random-waypoint model in a rectangular arena.
+#[derive(Clone, Debug)]
+pub struct RandomWaypoint {
+    width: f64,
+    height: f64,
+    /// Speed in distance units per tick, drawn per node in `[min, max]`.
+    speed_range: (f64, f64),
+    positions: BTreeMap<NodeId, Point>,
+    targets: BTreeMap<NodeId, Point>,
+    speeds: BTreeMap<NodeId, f64>,
+}
+
+impl RandomWaypoint {
+    /// Place `n` nodes (ids 0..n) uniformly and assign per-node speeds.
+    pub fn new(
+        n: usize,
+        width: f64,
+        height: f64,
+        speed_range: (f64, f64),
+        rng: &mut ChaCha8Rng,
+    ) -> Self {
+        let mut model = RandomWaypoint {
+            width,
+            height,
+            speed_range,
+            positions: BTreeMap::new(),
+            targets: BTreeMap::new(),
+            speeds: BTreeMap::new(),
+        };
+        for i in 0..n {
+            let id = NodeId(i as u64);
+            let p = random_point(rng, width, height);
+            model.insert_with_rng(id, p, rng);
+        }
+        model
+    }
+
+    fn insert_with_rng(&mut self, node: NodeId, at: Point, rng: &mut ChaCha8Rng) {
+        let (lo, hi) = self.speed_range;
+        let speed = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+        self.positions.insert(node, at);
+        self.targets.insert(node, random_point(rng, self.width, self.height));
+        self.speeds.insert(node, speed);
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    fn positions(&self) -> &BTreeMap<NodeId, Point> {
+        &self.positions
+    }
+
+    fn advance(&mut self, dt: u64, rng: &mut ChaCha8Rng) {
+        let ids: Vec<NodeId> = self.positions.keys().copied().collect();
+        for id in ids {
+            let speed = self.speeds[&id];
+            let mut pos = self.positions[&id];
+            let mut target = self.targets[&id];
+            let mut budget = speed * dt as f64;
+            // a fast node may reach several waypoints within one tick
+            while budget > 0.0 {
+                let d = pos.distance(&target);
+                if d <= budget {
+                    pos = target;
+                    budget -= d;
+                    target = random_point(rng, self.width, self.height);
+                    if d == 0.0 {
+                        break;
+                    }
+                } else {
+                    pos = pos.step_towards(&target, budget);
+                    budget = 0.0;
+                }
+            }
+            self.positions.insert(id, pos);
+            self.targets.insert(id, target);
+        }
+    }
+
+    fn insert(&mut self, node: NodeId, at: Point) {
+        let speed = (self.speed_range.0 + self.speed_range.1) / 2.0;
+        self.positions.insert(node, at);
+        self.targets.insert(node, at);
+        self.speeds.insert(node, speed);
+    }
+
+    fn remove(&mut self, node: NodeId) {
+        self.positions.remove(&node);
+        self.targets.remove(&node);
+        self.speeds.remove(&node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nodes_stay_in_arena() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut m = RandomWaypoint::new(20, 100.0, 50.0, (0.01, 0.05), &mut rng);
+        for _ in 0..50 {
+            m.advance(100, &mut rng);
+        }
+        for p in m.positions().values() {
+            assert!(p.x >= -1e-9 && p.x <= 100.0 + 1e-9);
+            assert!(p.y >= -1e-9 && p.y <= 50.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_speed_nodes_do_not_move() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut m = RandomWaypoint::new(5, 100.0, 50.0, (0.0, 0.0), &mut rng);
+        let before = m.positions().clone();
+        m.advance(1000, &mut rng);
+        assert_eq!(m.positions(), &before);
+    }
+
+    #[test]
+    fn positive_speed_nodes_eventually_move() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut m = RandomWaypoint::new(5, 100.0, 50.0, (0.1, 0.2), &mut rng);
+        let before = m.positions().clone();
+        m.advance(500, &mut rng);
+        let moved = m
+            .positions()
+            .iter()
+            .any(|(id, p)| p.distance(&before[id]) > 1e-9);
+        assert!(moved);
+    }
+
+    #[test]
+    fn insert_and_remove_nodes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut m = RandomWaypoint::new(2, 10.0, 10.0, (0.1, 0.2), &mut rng);
+        m.insert(NodeId(99), Point::new(5.0, 5.0));
+        assert_eq!(m.positions().len(), 3);
+        m.remove(NodeId(99));
+        assert_eq!(m.positions().len(), 2);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let run = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut m = RandomWaypoint::new(10, 50.0, 50.0, (0.05, 0.1), &mut rng);
+            for _ in 0..20 {
+                m.advance(50, &mut rng);
+            }
+            m.positions().clone()
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

@@ -1,0 +1,53 @@
+//! A simulated node: a protocol instance plus its activity status.
+
+use crate::protocol::Protocol;
+use crate::time::SimTime;
+use dyngraph::NodeId;
+
+/// The simulator-side wrapper around one protocol instance.
+#[derive(Clone, Debug)]
+pub struct SimNode<P: Protocol> {
+    /// The node-local algorithm.
+    pub protocol: P,
+    /// Active nodes compute, send and receive; inactive nodes do nothing
+    /// (the paper's active/inactive states).
+    pub active: bool,
+    /// Phase offset of the send timer, so nodes are not in lockstep.
+    pub send_phase: u64,
+    /// Phase offset of the compute timer.
+    pub compute_phase: u64,
+    /// When the node last computed (for diagnostics).
+    pub last_compute: SimTime,
+}
+
+impl<P: Protocol> SimNode<P> {
+    /// Wrap a protocol instance; phases default to zero.
+    pub fn new(protocol: P) -> Self {
+        SimNode {
+            protocol,
+            active: true,
+            send_phase: 0,
+            compute_phase: 0,
+            last_compute: SimTime::ZERO,
+        }
+    }
+
+    /// The node identity, delegated to the protocol.
+    pub fn id(&self) -> NodeId {
+        self.protocol.id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::test_support::Flood;
+
+    #[test]
+    fn wraps_protocol_and_defaults_to_active() {
+        let node = SimNode::new(Flood::new(NodeId(4)));
+        assert!(node.active);
+        assert_eq!(node.id(), NodeId(4));
+        assert_eq!(node.last_compute, SimTime::ZERO);
+    }
+}

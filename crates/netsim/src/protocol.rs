@@ -1,0 +1,114 @@
+//! The interface between a distributed protocol and the simulator.
+//!
+//! The GRP algorithm (Section 4.3) is structured around three handlers —
+//! message reception, the compute timer `Tc` and the send timer `Ts` — and
+//! that is exactly the shape of this trait. The baselines use the same
+//! interface so that every experiment runs the same simulation loop.
+
+use crate::time::SimTime;
+use dyngraph::NodeId;
+use rand_chacha::ChaCha8Rng;
+
+/// A node-local protocol instance driven by the simulator.
+pub trait Protocol {
+    /// The messages broadcast to the neighbourhood.
+    type Message: Clone + std::fmt::Debug;
+
+    /// Identity of the node running this instance.
+    fn id(&self) -> NodeId;
+
+    /// "Upon reception of a message msg sent by a node u" — called for every
+    /// delivered message (after loss and collisions are resolved by the
+    /// channel model).
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, now: SimTime);
+
+    /// "Upon Tc timer expiration" — run the local computation.
+    fn on_compute(&mut self, now: SimTime);
+
+    /// "Upon Ts timer expiration" — produce the broadcast for the
+    /// neighbourhood, or `None` to stay silent this period.
+    fn on_send(&mut self, now: SimTime) -> Option<Self::Message>;
+
+    /// Approximate wire size of a message, used for the overhead experiment.
+    /// The default counts one abstract unit per message.
+    fn message_size(msg: &Self::Message) -> usize {
+        let _ = msg;
+        1
+    }
+
+    /// Corrupt the local state with arbitrary values — used by the
+    /// self-stabilization experiments to start from an arbitrary
+    /// configuration. The default does nothing.
+    fn corrupt_state(&mut self, rng: &mut ChaCha8Rng) {
+        let _ = rng;
+    }
+
+    /// Reset the node to its initial (post-boot) state — used to model a
+    /// crash/restart. The default does nothing.
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! A tiny flooding protocol used by the simulator unit tests: every node
+    //! broadcasts the set of identifiers it has heard of; the set grows until
+    //! it covers the connected component.
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[derive(Clone, Debug)]
+    pub struct Flood {
+        pub me: NodeId,
+        pub known: BTreeSet<NodeId>,
+        pub received: usize,
+        pub computes: usize,
+    }
+
+    impl Flood {
+        pub fn new(me: NodeId) -> Self {
+            let mut known = BTreeSet::new();
+            known.insert(me);
+            Flood {
+                me,
+                known,
+                received: 0,
+                computes: 0,
+            }
+        }
+    }
+
+    impl Protocol for Flood {
+        type Message = BTreeSet<NodeId>;
+
+        fn id(&self) -> NodeId {
+            self.me
+        }
+
+        fn on_message(&mut self, _from: NodeId, msg: Self::Message, _now: SimTime) {
+            self.received += 1;
+            self.known.extend(msg);
+        }
+
+        fn on_compute(&mut self, _now: SimTime) {
+            self.computes += 1;
+        }
+
+        fn on_send(&mut self, _now: SimTime) -> Option<Self::Message> {
+            Some(self.known.clone())
+        }
+
+        fn message_size(msg: &Self::Message) -> usize {
+            msg.len() * 8
+        }
+
+        fn corrupt_state(&mut self, rng: &mut ChaCha8Rng) {
+            use rand::Rng;
+            self.known.insert(NodeId(rng.gen_range(1000..2000)));
+        }
+
+        fn reset(&mut self) {
+            let me = self.me;
+            *self = Flood::new(me);
+        }
+    }
+}

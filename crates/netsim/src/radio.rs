@@ -1,0 +1,197 @@
+//! Vicinity (radio) models.
+//!
+//! The paper defines the *vicinity* of a node `v` as the region of space
+//! from which a message can be received by `v`. The radio model turns node
+//! positions into a topology and decides, per transmission, whether a given
+//! neighbour actually receives the message (loss, collisions).
+
+use crate::space::Point;
+use dyngraph::{Graph, NodeId};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// A radio / vicinity model.
+pub trait RadioModel: Send {
+    /// Can a transmission by `sender` be heard at `receiver`'s position?
+    fn in_vicinity(&self, sender: Point, receiver: Point) -> bool;
+
+    /// Per-reception loss decision (fading, collisions). Returns true when
+    /// the message is successfully received. The default never loses.
+    fn receives(&self, _rng: &mut ChaCha8Rng, _sender: Point, _receiver: Point) -> bool {
+        true
+    }
+
+    /// Build the communication topology implied by a set of positions: an
+    /// undirected edge is present when each node is in the other's vicinity
+    /// (the GRP algorithm only exploits symmetric links).
+    fn topology(&self, positions: &BTreeMap<NodeId, Point>) -> Graph {
+        let mut g = Graph::new();
+        for &n in positions.keys() {
+            g.add_node(n);
+        }
+        let nodes: Vec<(NodeId, Point)> = positions.iter().map(|(&n, &p)| (n, p)).collect();
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                let (a, pa) = nodes[i];
+                let (b, pb) = nodes[j];
+                if self.in_vicinity(pa, pb) && self.in_vicinity(pb, pa) {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        g
+    }
+}
+
+/// Ideal unit-disk radio: a node hears every transmitter within `range`.
+#[derive(Clone, Copy, Debug)]
+pub struct UnitDisk {
+    pub range: f64,
+}
+
+impl UnitDisk {
+    pub fn new(range: f64) -> Self {
+        UnitDisk { range }
+    }
+}
+
+impl RadioModel for UnitDisk {
+    fn in_vicinity(&self, sender: Point, receiver: Point) -> bool {
+        sender.distance(&receiver) <= self.range
+    }
+}
+
+/// Unit-disk radio with distance-independent random loss, modelling
+/// collisions and fading under the one-message-channel hypothesis.
+#[derive(Clone, Copy, Debug)]
+pub struct LossyDisk {
+    pub range: f64,
+    /// Probability that an individual reception fails, in `[0, 1]`.
+    pub loss: f64,
+}
+
+impl LossyDisk {
+    pub fn new(range: f64, loss: f64) -> Self {
+        LossyDisk {
+            range,
+            loss: loss.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl RadioModel for LossyDisk {
+    fn in_vicinity(&self, sender: Point, receiver: Point) -> bool {
+        sender.distance(&receiver) <= self.range
+    }
+
+    fn receives(&self, rng: &mut ChaCha8Rng, _sender: Point, _receiver: Point) -> bool {
+        !rng.gen_bool(self.loss)
+    }
+}
+
+/// Unit-disk radio whose loss probability grows linearly from 0 at distance
+/// 0 to `edge_loss` at the edge of the range — a crude path-loss model that
+/// makes long links flakier than short ones, as in a real VANET.
+#[derive(Clone, Copy, Debug)]
+pub struct DistanceLossDisk {
+    pub range: f64,
+    pub edge_loss: f64,
+}
+
+impl DistanceLossDisk {
+    pub fn new(range: f64, edge_loss: f64) -> Self {
+        DistanceLossDisk {
+            range,
+            edge_loss: edge_loss.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl RadioModel for DistanceLossDisk {
+    fn in_vicinity(&self, sender: Point, receiver: Point) -> bool {
+        sender.distance(&receiver) <= self.range
+    }
+
+    fn receives(&self, rng: &mut ChaCha8Rng, sender: Point, receiver: Point) -> bool {
+        let d = sender.distance(&receiver);
+        if d > self.range {
+            return false;
+        }
+        let p_loss = self.edge_loss * (d / self.range);
+        !rng.gen_bool(p_loss.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn positions(pts: &[(u64, f64, f64)]) -> BTreeMap<NodeId, Point> {
+        pts.iter()
+            .map(|&(id, x, y)| (NodeId(id), Point::new(x, y)))
+            .collect()
+    }
+
+    #[test]
+    fn unit_disk_topology_links_nodes_within_range() {
+        let radio = UnitDisk::new(5.0);
+        let pos = positions(&[(1, 0.0, 0.0), (2, 3.0, 0.0), (3, 20.0, 0.0)]);
+        let g = radio.topology(&pos);
+        assert!(g.contains_edge(NodeId(1), NodeId(2)));
+        assert!(!g.contains_edge(NodeId(1), NodeId(3)));
+        assert!(!g.contains_edge(NodeId(2), NodeId(3)));
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn unit_disk_never_loses() {
+        let radio = UnitDisk::new(5.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(radio.receives(&mut rng, Point::ORIGIN, Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn lossy_disk_loses_roughly_at_configured_rate() {
+        let radio = LossyDisk::new(5.0, 0.3);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let trials = 5000;
+        let mut ok = 0;
+        for _ in 0..trials {
+            if radio.receives(&mut rng, Point::ORIGIN, Point::new(1.0, 0.0)) {
+                ok += 1;
+            }
+        }
+        let rate = ok as f64 / trials as f64;
+        assert!((rate - 0.7).abs() < 0.05, "observed success rate {rate}");
+    }
+
+    #[test]
+    fn lossy_disk_clamps_probability() {
+        let radio = LossyDisk::new(5.0, 7.0);
+        assert_eq!(radio.loss, 1.0);
+        let radio = LossyDisk::new(5.0, -3.0);
+        assert_eq!(radio.loss, 0.0);
+    }
+
+    #[test]
+    fn distance_loss_grows_with_distance() {
+        let radio = DistanceLossDisk::new(10.0, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let trials = 4000;
+        let mut near_ok = 0;
+        let mut far_ok = 0;
+        for _ in 0..trials {
+            if radio.receives(&mut rng, Point::ORIGIN, Point::new(1.0, 0.0)) {
+                near_ok += 1;
+            }
+            if radio.receives(&mut rng, Point::ORIGIN, Point::new(9.5, 0.0)) {
+                far_ok += 1;
+            }
+        }
+        assert!(near_ok > far_ok, "near {near_ok} vs far {far_ok}");
+        // out of range is never received
+        assert!(!radio.receives(&mut rng, Point::ORIGIN, Point::new(20.0, 0.0)));
+    }
+}

@@ -1,0 +1,597 @@
+//! The simulation engine.
+//!
+//! [`Simulator`] drives a set of [`Protocol`] instances through a
+//! deterministic discrete-event loop implementing the paper's system model:
+//! per-node send (`Ts = τ2`) and compute (`Tc = τ1`) timers, broadcast
+//! transmissions delivered to every active node whose vicinity contains the
+//! sender, message loss, mobility ticks that recompute the topology, and an
+//! injected fault plan.
+//!
+//! Two topology modes are supported:
+//!
+//! * [`TopologyMode::Explicit`] — the experiment provides (and may mutate)
+//!   the communication graph directly; used by the fixed-topology
+//!   stabilization experiments and the unit tests.
+//! * spatial — node positions come from a [`MobilityModel`] and the topology
+//!   is recomputed by a [`RadioModel`] at every mobility tick; used by the
+//!   VANET-style continuity experiments.
+
+use crate::event::{Event, EventKind};
+use crate::fault::{FaultKind, ScheduledFault};
+use crate::mobility::MobilityModel;
+use crate::node::SimNode;
+use crate::protocol::Protocol;
+use crate::radio::RadioModel;
+use crate::time::SimTime;
+use crate::trace::{MessageStats, Trace};
+use dyngraph::{Graph, NodeId, TopologyEvent};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Where the communication topology comes from.
+pub enum TopologyMode {
+    /// The experiment provides the graph directly.
+    Explicit(Graph),
+    /// The topology is derived from positions via a radio model.
+    Spatial {
+        radio: Box<dyn RadioModel>,
+        mobility: Box<dyn MobilityModel>,
+    },
+}
+
+/// Timer periods and channel parameters (the paper's `τ1`, `τ2`).
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Send timer period `Ts = τ2` (ticks).
+    pub send_period: u64,
+    /// Compute timer period `Tc = τ1` (ticks); the paper requires
+    /// `Ts ≤ Tc` so several transmissions fit in one compute period.
+    pub compute_period: u64,
+    /// How often positions advance and the topology is recomputed
+    /// (spatial mode only).
+    pub mobility_period: u64,
+    /// Propagation + MAC delay applied to every delivery.
+    pub delivery_delay: u64,
+    /// Message loss probability used in explicit mode (spatial mode asks the
+    /// radio model instead).
+    pub loss_probability: f64,
+    /// Seed of the simulation-wide RNG.
+    pub seed: u64,
+    /// Randomize the initial phase of each node's timers (recommended; a
+    /// lockstep start is unrealistically favourable).
+    pub stagger_phases: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            send_period: 250,
+            compute_period: 1000,
+            mobility_period: 1000,
+            delivery_delay: 10,
+            loss_probability: 0.0,
+            seed: 0,
+            stagger_phases: true,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration with both timers equal — one "round" per compute.
+    pub fn rounds(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Simulator<P: Protocol> {
+    config: SimConfig,
+    nodes: BTreeMap<NodeId, SimNode<P>>,
+    mode: TopologyMode,
+    topology: Graph,
+    events: BinaryHeap<Event<P::Message>>,
+    seq: u64,
+    now: SimTime,
+    rng: ChaCha8Rng,
+    stats: MessageStats,
+    trace: Trace,
+    faults: Vec<ScheduledFault>,
+    loss_burst_until: SimTime,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Create a simulator with the given configuration and topology mode.
+    pub fn new(config: SimConfig, mode: TopologyMode) -> Self {
+        let topology = match &mode {
+            TopologyMode::Explicit(g) => g.clone(),
+            TopologyMode::Spatial { radio, mobility } => radio.topology(mobility.positions()),
+        };
+        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut sim = Simulator {
+            config,
+            nodes: BTreeMap::new(),
+            mode,
+            topology,
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            rng,
+            stats: MessageStats::default(),
+            trace: Trace::new(),
+            faults: Vec::new(),
+            loss_burst_until: SimTime::ZERO,
+        };
+        if matches!(sim.mode, TopologyMode::Spatial { .. }) {
+            sim.schedule(sim.config.mobility_period, EventKind::MobilityTick);
+        }
+        sim
+    }
+
+    /// Add a protocol instance. Its identity must be consistent with the
+    /// topology (explicit mode) or have a position (spatial mode).
+    pub fn add_node(&mut self, protocol: P) {
+        let id = protocol.id();
+        let mut node = SimNode::new(protocol);
+        if self.config.stagger_phases {
+            node.send_phase = self.rng.gen_range(0..self.config.send_period.max(1));
+            node.compute_phase = self.rng.gen_range(0..self.config.compute_period.max(1));
+        }
+        if let TopologyMode::Explicit(_) = self.mode {
+            self.topology.add_node(id);
+        }
+        self.schedule(node.send_phase + 1, EventKind::SendTimer(id));
+        self.schedule(
+            node.compute_phase + self.config.send_period + 1,
+            EventKind::ComputeTimer(id),
+        );
+        self.nodes.insert(id, node);
+    }
+
+    /// Add many protocol instances at once.
+    pub fn add_nodes<I: IntoIterator<Item = P>>(&mut self, protocols: I) {
+        for p in protocols {
+            self.add_node(p);
+        }
+    }
+
+    /// Schedule a fault plan (absolute times).
+    pub fn schedule_faults<I: IntoIterator<Item = ScheduledFault>>(&mut self, faults: I) {
+        for fault in faults {
+            let idx = self.faults.len();
+            self.faults.push(fault.clone());
+            let delay = fault.at.ticks().saturating_sub(self.now.ticks());
+            self.schedule(delay, EventKind::Fault(idx));
+        }
+    }
+
+    fn schedule(&mut self, delay: u64, kind: EventKind<P::Message>) {
+        self.seq += 1;
+        self.events.push(Event {
+            time: self.now + delay,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The current communication topology.
+    pub fn topology(&self) -> &Graph {
+        &self.topology
+    }
+
+    /// Immutable access to a protocol instance.
+    pub fn protocol(&self, id: NodeId) -> Option<&P> {
+        self.nodes.get(&id).map(|n| &n.protocol)
+    }
+
+    /// Mutable access to a protocol instance (used by experiments to corrupt
+    /// or inspect state between rounds).
+    pub fn protocol_mut(&mut self, id: NodeId) -> Option<&mut P> {
+        self.nodes.get_mut(&id).map(|n| &mut n.protocol)
+    }
+
+    /// Iterate over `(id, protocol)` pairs in ascending id order.
+    pub fn protocols(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        self.nodes.iter().map(|(&id, n)| (id, &n.protocol))
+    }
+
+    /// Node identifiers known to the simulator.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Is the node currently active?
+    pub fn is_active(&self, id: NodeId) -> bool {
+        self.nodes.get(&id).map(|n| n.active).unwrap_or(false)
+    }
+
+    /// Activate or deactivate a node directly (experiments may prefer the
+    /// fault plan).
+    pub fn set_active(&mut self, id: NodeId, active: bool) {
+        if let Some(n) = self.nodes.get_mut(&id) {
+            n.active = active;
+        }
+    }
+
+    /// Cumulative message statistics.
+    pub fn stats(&self) -> MessageStats {
+        self.stats
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Record a configuration snapshot (topology + cumulative stats) now.
+    pub fn snapshot(&mut self) {
+        self.trace
+            .record(self.now, self.topology.clone(), self.stats);
+    }
+
+    /// Replace the explicit topology (no-op guard in spatial mode: the radio
+    /// model owns the topology there).
+    pub fn set_topology(&mut self, graph: Graph) {
+        if matches!(self.mode, TopologyMode::Explicit(_)) {
+            self.topology = graph;
+        }
+    }
+
+    /// Apply a single topology event in explicit mode.
+    pub fn apply_topology_event(&mut self, event: TopologyEvent) {
+        if !matches!(self.mode, TopologyMode::Explicit(_)) {
+            return;
+        }
+        match event {
+            TopologyEvent::LinkUp(a, b) => self.topology.add_edge(a, b),
+            TopologyEvent::LinkDown(a, b) => {
+                self.topology.remove_edge(a, b);
+            }
+            TopologyEvent::NodeJoin(n) => self.topology.add_node(n),
+            TopologyEvent::NodeLeave(n) => {
+                self.topology.remove_node(n);
+            }
+        }
+    }
+
+    /// Run the simulation until `deadline` (inclusive of events at the
+    /// deadline), then set the clock to the deadline.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(ev) = self.events.peek() {
+            if ev.time > deadline {
+                break;
+            }
+            let ev = self.events.pop().expect("peeked");
+            self.now = ev.time;
+            self.handle(ev);
+        }
+        self.now = deadline;
+    }
+
+    /// Run for `duration` ticks.
+    pub fn run_for(&mut self, duration: u64) {
+        let deadline = self.now + duration;
+        self.run_until(deadline);
+    }
+
+    /// Run for `rounds` compute periods.
+    pub fn run_rounds(&mut self, rounds: u64) {
+        self.run_for(rounds * self.config.compute_period);
+    }
+
+    fn handle(&mut self, ev: Event<P::Message>) {
+        match ev.kind {
+            EventKind::ComputeTimer(id) => {
+                let now = self.now;
+                if let Some(node) = self.nodes.get_mut(&id) {
+                    if node.active {
+                        node.protocol.on_compute(now);
+                        node.last_compute = now;
+                    }
+                }
+                self.schedule(self.config.compute_period, EventKind::ComputeTimer(id));
+            }
+            EventKind::SendTimer(id) => {
+                self.handle_send(id);
+                self.schedule(self.config.send_period, EventKind::SendTimer(id));
+            }
+            EventKind::Delivery { from, to, message } => {
+                let now = self.now;
+                if let Some(node) = self.nodes.get_mut(&to) {
+                    if node.active {
+                        self.stats.delivered += 1;
+                        self.stats.delivered_bytes += P::message_size(&message) as u64;
+                        node.protocol.on_message(from, message, now);
+                    } else {
+                        self.stats.dropped += 1;
+                    }
+                } else {
+                    self.stats.dropped += 1;
+                }
+            }
+            EventKind::MobilityTick => {
+                if let TopologyMode::Spatial { radio, mobility } = &mut self.mode {
+                    mobility.advance(self.config.mobility_period, &mut self.rng);
+                    self.topology = radio.topology(mobility.positions());
+                }
+                self.schedule(self.config.mobility_period, EventKind::MobilityTick);
+            }
+            EventKind::Fault(idx) => {
+                self.apply_fault(idx);
+            }
+        }
+    }
+
+    fn handle_send(&mut self, id: NodeId) {
+        let now = self.now;
+        let message = match self.nodes.get_mut(&id) {
+            Some(node) if node.active => match node.protocol.on_send(now) {
+                Some(m) => m,
+                None => return,
+            },
+            _ => return,
+        };
+        self.stats.broadcasts += 1;
+        let neighbours: Vec<NodeId> = self.topology.neighbors(id).collect();
+        for to in neighbours {
+            if !self.nodes.contains_key(&to) {
+                continue;
+            }
+            self.stats.attempted += 1;
+            if now < self.loss_burst_until {
+                self.stats.dropped += 1;
+                continue;
+            }
+            let received = match &self.mode {
+                TopologyMode::Explicit(_) => {
+                    self.config.loss_probability <= 0.0
+                        || !self.rng.gen_bool(self.config.loss_probability.clamp(0.0, 1.0))
+                }
+                TopologyMode::Spatial { radio, mobility } => {
+                    let positions = mobility.positions();
+                    match (positions.get(&id), positions.get(&to)) {
+                        (Some(&ps), Some(&pr)) => radio.receives(&mut self.rng, ps, pr),
+                        _ => false,
+                    }
+                }
+            };
+            if received {
+                self.schedule(
+                    self.config.delivery_delay,
+                    EventKind::Delivery {
+                        from: id,
+                        to,
+                        message: message.clone(),
+                    },
+                );
+            } else {
+                self.stats.dropped += 1;
+            }
+        }
+    }
+
+    fn apply_fault(&mut self, idx: usize) {
+        let Some(fault) = self.faults.get(idx).cloned() else {
+            return;
+        };
+        match fault.kind {
+            FaultKind::CorruptState(id) => {
+                if let Some(node) = self.nodes.get_mut(&id) {
+                    node.protocol.corrupt_state(&mut self.rng);
+                }
+            }
+            FaultKind::Crash(id) => {
+                if let Some(node) = self.nodes.get_mut(&id) {
+                    node.active = false;
+                }
+            }
+            FaultKind::Restart(id) => {
+                if let Some(node) = self.nodes.get_mut(&id) {
+                    node.protocol.reset();
+                    node.active = true;
+                }
+            }
+            FaultKind::LossBurst { duration } => {
+                self.loss_burst_until = self.now + duration;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::test_support::Flood;
+    use dyngraph::generators::path;
+
+    fn flood_sim(n: usize, seed: u64) -> Simulator<Flood> {
+        let g = path(n);
+        let mut sim = Simulator::new(
+            SimConfig {
+                seed,
+                ..Default::default()
+            },
+            TopologyMode::Explicit(g),
+        );
+        sim.add_nodes((0..n).map(|i| Flood::new(NodeId(i as u64))));
+        sim
+    }
+
+    #[test]
+    fn flood_converges_on_a_path() {
+        let n = 6;
+        let mut sim = flood_sim(n, 1);
+        sim.run_rounds(3 * n as u64);
+        for (_, p) in sim.protocols() {
+            assert_eq!(p.known.len(), n, "every node learns every identity");
+        }
+        assert!(sim.stats().delivered > 0);
+        assert_eq!(sim.stats().dropped, 0);
+    }
+
+    #[test]
+    fn timers_fire_repeatedly() {
+        let mut sim = flood_sim(3, 2);
+        sim.run_rounds(5);
+        for (_, p) in sim.protocols() {
+            assert!(p.computes >= 4, "computes: {}", p.computes);
+            assert!(p.received > 0);
+        }
+    }
+
+    #[test]
+    fn inactive_nodes_neither_send_nor_receive() {
+        let mut sim = flood_sim(3, 3);
+        sim.set_active(NodeId(1), false);
+        sim.run_rounds(10);
+        // node 1 is the middle of the path: 0 and 2 can never learn each other
+        assert!(!sim.protocol(NodeId(0)).unwrap().known.contains(&NodeId(2)));
+        assert_eq!(sim.protocol(NodeId(1)).unwrap().received, 0);
+        assert!(sim.stats().dropped > 0, "deliveries to a crashed node are dropped");
+    }
+
+    #[test]
+    fn loss_probability_one_blocks_all_traffic() {
+        let g = path(3);
+        let mut sim: Simulator<Flood> = Simulator::new(
+            SimConfig {
+                loss_probability: 1.0,
+                seed: 4,
+                ..Default::default()
+            },
+            TopologyMode::Explicit(g),
+        );
+        sim.add_nodes((0..3).map(|i| Flood::new(NodeId(i))));
+        sim.run_rounds(5);
+        assert_eq!(sim.stats().delivered, 0);
+        assert!(sim.stats().dropped > 0);
+        for (_, p) in sim.protocols() {
+            assert_eq!(p.known.len(), 1);
+        }
+    }
+
+    #[test]
+    fn lossy_channel_still_converges_via_fair_channel() {
+        let g = path(4);
+        let mut sim: Simulator<Flood> = Simulator::new(
+            SimConfig {
+                loss_probability: 0.5,
+                seed: 5,
+                ..Default::default()
+            },
+            TopologyMode::Explicit(g),
+        );
+        sim.add_nodes((0..4).map(|i| Flood::new(NodeId(i))));
+        sim.run_rounds(40);
+        for (_, p) in sim.protocols() {
+            assert_eq!(p.known.len(), 4);
+        }
+        assert!(sim.stats().dropped > 0);
+        assert!(sim.stats().delivery_ratio() < 1.0);
+    }
+
+    #[test]
+    fn crash_and_restart_fault_resets_state() {
+        let mut sim = flood_sim(3, 6);
+        sim.schedule_faults(vec![
+            ScheduledFault::new(SimTime(2_000), FaultKind::Crash(NodeId(2))),
+            ScheduledFault::new(SimTime(10_000), FaultKind::Restart(NodeId(2))),
+        ]);
+        sim.run_for(5_000);
+        assert!(!sim.is_active(NodeId(2)));
+        sim.run_for(10_000);
+        assert!(sim.is_active(NodeId(2)));
+        // after the restart, the flood converges again
+        sim.run_rounds(20);
+        assert_eq!(sim.protocol(NodeId(2)).unwrap().known.len(), 3);
+    }
+
+    #[test]
+    fn corrupt_state_fault_invokes_protocol_hook() {
+        let mut sim = flood_sim(2, 7);
+        sim.schedule_faults(vec![ScheduledFault::new(
+            SimTime(500),
+            FaultKind::CorruptState(NodeId(0)),
+        )]);
+        sim.run_for(1_000);
+        let known = &sim.protocol(NodeId(0)).unwrap().known;
+        assert!(known.iter().any(|n| n.raw() >= 1000), "ghost id injected");
+    }
+
+    #[test]
+    fn loss_burst_drops_everything_during_window() {
+        let mut sim = flood_sim(2, 8);
+        sim.schedule_faults(vec![ScheduledFault::new(
+            SimTime(0),
+            FaultKind::LossBurst { duration: 3_000 },
+        )]);
+        sim.run_for(2_900);
+        assert_eq!(sim.stats().delivered, 0);
+        sim.run_for(5_000);
+        assert!(sim.stats().delivered > 0);
+    }
+
+    #[test]
+    fn explicit_topology_can_change_mid_run() {
+        let mut sim = flood_sim(4, 9);
+        sim.apply_topology_event(TopologyEvent::LinkDown(NodeId(1), NodeId(2)));
+        sim.run_rounds(10);
+        assert!(!sim.protocol(NodeId(0)).unwrap().known.contains(&NodeId(3)));
+        sim.apply_topology_event(TopologyEvent::LinkUp(NodeId(1), NodeId(2)));
+        sim.run_rounds(10);
+        assert!(sim.protocol(NodeId(0)).unwrap().known.contains(&NodeId(3)));
+    }
+
+    #[test]
+    fn spatial_mode_builds_topology_from_positions_and_mobility() {
+        use crate::mobility::Stationary;
+        use crate::radio::UnitDisk;
+        let mobility = Stationary::line(4, 10.0);
+        let radio = UnitDisk::new(12.0);
+        let mut sim: Simulator<Flood> = Simulator::new(
+            SimConfig {
+                seed: 10,
+                ..Default::default()
+            },
+            TopologyMode::Spatial {
+                radio: Box::new(radio),
+                mobility: Box::new(mobility),
+            },
+        );
+        sim.add_nodes((0..4).map(|i| Flood::new(NodeId(i))));
+        assert_eq!(sim.topology().edge_count(), 3, "line with unit-disk radius 12/10");
+        sim.run_rounds(15);
+        for (_, p) in sim.protocols() {
+            assert_eq!(p.known.len(), 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut sim = flood_sim(5, seed);
+            sim.run_rounds(10);
+            (sim.stats(), sim.protocol(NodeId(0)).unwrap().known.clone())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn snapshot_records_trace() {
+        let mut sim = flood_sim(3, 11);
+        sim.run_rounds(1);
+        sim.snapshot();
+        sim.run_rounds(1);
+        sim.snapshot();
+        assert_eq!(sim.trace().len(), 2);
+        assert!(sim.trace().last().unwrap().at > SimTime::ZERO);
+    }
+}

@@ -1,0 +1,81 @@
+//! Two-dimensional Euclidean space in which the nodes move.
+
+use serde::{Deserialize, Serialize};
+
+/// A position in the plane (metres, but the unit is arbitrary).
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Move `step` towards `target`, stopping exactly at the target when it
+    /// is closer than `step`.
+    pub fn step_towards(&self, target: &Point, step: f64) -> Point {
+        let d = self.distance(target);
+        if d <= step || d == 0.0 {
+            return *target;
+        }
+        let ratio = step / d;
+        Point {
+            x: self.x + (target.x - self.x) * ratio,
+            y: self.y + (target.y - self.y) * ratio,
+        }
+    }
+
+    /// Clamp the point into the rectangle [0, width] × [0, height].
+    pub fn clamp_to(&self, width: f64, height: f64) -> Point {
+        Point {
+            x: self.x.clamp(0.0, width),
+            y: self.y.clamp(0.0, height),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert!((b.distance(&a) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn step_towards_moves_and_stops_at_target() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let mid = a.step_towards(&b, 4.0);
+        assert!((mid.x - 4.0).abs() < 1e-12);
+        let there = a.step_towards(&b, 50.0);
+        assert_eq!(there, b);
+        // zero distance: stays put
+        assert_eq!(a.step_towards(&a, 1.0), a);
+    }
+
+    #[test]
+    fn clamp_keeps_point_in_bounds() {
+        let p = Point::new(-3.0, 12.0).clamp_to(10.0, 10.0);
+        assert_eq!(p, Point::new(0.0, 10.0));
+    }
+}

@@ -1,0 +1,160 @@
+//! Execution traces and message statistics.
+//!
+//! The predicate checkers of the GRP evaluation work on *configurations*
+//! (Section 2): the trace records, at every snapshot instant, the topology
+//! of the system, so that consecutive snapshots can be compared (ΠT / ΠC are
+//! defined on pairs of successive configurations). Protocol-level outputs
+//! (views) are captured by the experiment harness itself, which has access
+//! to the concrete protocol type.
+
+use crate::time::SimTime;
+use dyngraph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Counters of traffic through the simulated medium.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageStats {
+    /// Broadcast transmissions performed (one per Ts expiration that
+    /// produced a message).
+    pub broadcasts: u64,
+    /// Point-to-point deliveries attempted (one per neighbour per broadcast).
+    pub attempted: u64,
+    /// Deliveries that reached the destination protocol.
+    pub delivered: u64,
+    /// Deliveries dropped by the radio model or a loss burst.
+    pub dropped: u64,
+    /// Sum of message sizes over delivered messages (abstract units).
+    pub delivered_bytes: u64,
+}
+
+impl MessageStats {
+    /// Delivery ratio in [0, 1]; 1.0 when nothing was attempted.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.attempted == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// One recorded configuration snapshot.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    pub at: SimTime,
+    pub topology: Graph,
+    pub stats: MessageStats,
+}
+
+/// The sequence of snapshots recorded during a run.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    snapshots: Vec<Snapshot>,
+}
+
+impl Trace {
+    pub fn new() -> Self {
+        Trace {
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Record a snapshot.
+    pub fn record(&mut self, at: SimTime, topology: Graph, stats: MessageStats) {
+        self.snapshots.push(Snapshot {
+            at,
+            topology,
+            stats,
+        });
+    }
+
+    /// All snapshots, oldest first.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// The latest snapshot, if any.
+    pub fn last(&self) -> Option<&Snapshot> {
+        self.snapshots.last()
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// True when no snapshot has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Message statistics accumulated between two snapshots (difference of
+    /// the cumulative counters).
+    pub fn stats_between(&self, earlier: usize, later: usize) -> Option<MessageStats> {
+        let a = self.snapshots.get(earlier)?;
+        let b = self.snapshots.get(later)?;
+        Some(MessageStats {
+            broadcasts: b.stats.broadcasts - a.stats.broadcasts,
+            attempted: b.stats.attempted - a.stats.attempted,
+            delivered: b.stats.delivered - a.stats.delivered,
+            dropped: b.stats.dropped - a.stats.dropped,
+            delivered_bytes: b.stats.delivered_bytes - a.stats.delivered_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyngraph::NodeId;
+
+    #[test]
+    fn delivery_ratio_handles_zero_attempts() {
+        let stats = MessageStats::default();
+        assert_eq!(stats.delivery_ratio(), 1.0);
+        let stats = MessageStats {
+            attempted: 10,
+            delivered: 7,
+            dropped: 3,
+            ..Default::default()
+        };
+        assert!((stats.delivery_ratio() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_records_and_diffs_snapshots() {
+        let mut trace = Trace::new();
+        assert!(trace.is_empty());
+        let mut g = Graph::new();
+        g.add_edge(NodeId(1), NodeId(2));
+        trace.record(
+            SimTime(10),
+            g.clone(),
+            MessageStats {
+                broadcasts: 5,
+                attempted: 10,
+                delivered: 8,
+                dropped: 2,
+                delivered_bytes: 80,
+            },
+        );
+        trace.record(
+            SimTime(20),
+            g,
+            MessageStats {
+                broadcasts: 9,
+                attempted: 18,
+                delivered: 15,
+                dropped: 3,
+                delivered_bytes: 150,
+            },
+        );
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.last().unwrap().at, SimTime(20));
+        let d = trace.stats_between(0, 1).unwrap();
+        assert_eq!(d.broadcasts, 4);
+        assert_eq!(d.delivered, 7);
+        assert_eq!(d.delivered_bytes, 70);
+        assert!(trace.stats_between(0, 5).is_none());
+    }
+}

@@ -1,0 +1,79 @@
+//! Link quality: the unreliable-channel model of the threaded runtime.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+/// Loss and delay applied to every message handed to a link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkQuality {
+    /// Probability that a message is silently dropped.
+    pub loss: f64,
+    /// Fixed extra delay applied before the message is handed to the
+    /// destination thread (models propagation + MAC time).
+    pub delay: Duration,
+}
+
+impl Default for LinkQuality {
+    fn default() -> Self {
+        LinkQuality {
+            loss: 0.0,
+            delay: Duration::ZERO,
+        }
+    }
+}
+
+impl LinkQuality {
+    /// A perfect link.
+    pub fn perfect() -> Self {
+        LinkQuality::default()
+    }
+
+    /// A lossy link without extra delay.
+    pub fn lossy(loss: f64) -> Self {
+        LinkQuality {
+            loss: loss.clamp(0.0, 1.0),
+            delay: Duration::ZERO,
+        }
+    }
+
+    /// Decide whether one transmission survives.
+    pub fn delivers(&self, rng: &mut ChaCha8Rng) -> bool {
+        self.loss <= 0.0 || !rng.gen_bool(self.loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_link_always_delivers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let link = LinkQuality::perfect();
+        assert!((0..100).all(|_| link.delivers(&mut rng)));
+    }
+
+    #[test]
+    fn fully_lossy_link_never_delivers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let link = LinkQuality::lossy(1.0);
+        assert!((0..100).all(|_| !link.delivers(&mut rng)));
+    }
+
+    #[test]
+    fn loss_probability_is_clamped() {
+        assert_eq!(LinkQuality::lossy(4.0).loss, 1.0);
+        assert_eq!(LinkQuality::lossy(-1.0).loss, 0.0);
+    }
+
+    #[test]
+    fn partial_loss_is_roughly_calibrated() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let link = LinkQuality::lossy(0.25);
+        let delivered = (0..4000).filter(|_| link.delivers(&mut rng)).count();
+        let rate = delivered as f64 / 4000.0;
+        assert!((rate - 0.75).abs() < 0.05, "rate {rate}");
+    }
+}

@@ -1,0 +1,71 @@
+//! VANET convoy: vehicles with different speeds on a two-lane highway.
+//!
+//! Demonstrates the best-effort continuity property in the scenario that
+//! motivated the paper: groups survive as long as their members stay within
+//! `Dmax` hops, and only break when the convoy physically stretches apart.
+//!
+//! ```text
+//! cargo run --example vanet_convoy
+//! ```
+
+use dyngraph::NodeId;
+use grp_core::predicates::{pi_c_violations, pi_t_violations, SystemSnapshot};
+use grp_core::{GrpConfig, GrpNode};
+use netsim::mobility::Highway;
+use netsim::radio::UnitDisk;
+use netsim::{SimConfig, Simulator, TopologyMode};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let dmax = 3;
+    let vehicles = 14;
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+    // speeds between 2 and 8 m per tick-equivalent: the convoy stretches
+    let mobility = Highway::new(vehicles, 2, 1_200.0, 15.0, (0.002, 0.008), &mut rng);
+    let radio = UnitDisk::new(40.0);
+
+    let mut sim = Simulator::new(
+        SimConfig::rounds(7),
+        TopologyMode::Spatial {
+            radio: Box::new(radio),
+            mobility: Box::new(mobility),
+        },
+    );
+    sim.add_nodes((0..vehicles as u64).map(|i| GrpNode::new(NodeId(i), GrpConfig::new(dmax))));
+
+    println!("{vehicles} vehicles, two lanes, Dmax = {dmax}");
+    println!("round | groups | ΠT held | ΠC held | note");
+
+    let mut previous: Option<SystemSnapshot> = None;
+    let mut best_effort_violations = 0;
+    for round in 1..=80u64 {
+        sim.run_rounds(1);
+        let snapshot = SystemSnapshot::from_simulator(&sim);
+        if let Some(prev) = &previous {
+            let t_viol = pi_t_violations(prev, &snapshot, dmax);
+            let c_viol = pi_c_violations(prev, &snapshot);
+            if t_viol == 0 && c_viol > 0 {
+                best_effort_violations += 1;
+            }
+            if round % 10 == 0 {
+                let note = if t_viol > 0 {
+                    "topology stretched beyond Dmax — groups may split"
+                } else {
+                    ""
+                };
+                println!(
+                    "{round:5} | {:6} | {:7} | {:7} | {note}",
+                    snapshot.group_count(),
+                    t_viol == 0,
+                    c_viol == 0
+                );
+            }
+        }
+        previous = Some(snapshot);
+    }
+    println!(
+        "\ntransitions where continuity was lost although the topology allowed it: {best_effort_violations}"
+    );
+    println!("(the paper's Proposition 14 predicts 0 once the system has converged)");
+}
