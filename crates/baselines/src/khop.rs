@@ -181,7 +181,11 @@ mod tests {
     fn head_changes_when_topology_splits() {
         let mut sim = sim(4, 4, 3);
         sim.run_rounds(20);
-        assert_eq!(sim.protocol(NodeId(3)).unwrap().head(), NodeId(1), "k=2 ball");
+        assert_eq!(
+            sim.protocol(NodeId(3)).unwrap().head(),
+            NodeId(1),
+            "k=2 ball"
+        );
         // cut the path between 1 and 2: nodes 2 and 3 must re-elect
         sim.apply_topology_event(dyngraph::TopologyEvent::LinkDown(NodeId(1), NodeId(2)));
         sim.run_rounds(20);

@@ -80,9 +80,7 @@ impl MaxMinDCluster {
             .discovery
             .within(self.d)
             .filter(|&(n, dist)| {
-                n != me
-                    && dist < max_dist
-                    && self.discovery.advertised_heads.get(&n) == Some(&n)
+                n != me && dist < max_dist && self.discovery.advertised_heads.get(&n) == Some(&n)
             })
             .min_by_key(|&(n, dist)| (dist, n));
         self.head = match closer_self_head {
@@ -200,7 +198,10 @@ mod tests {
         sim.run_rounds(25);
         let heads: BTreeSet<NodeId> = sim.protocols().map(|(_, p)| p.head()).collect();
         assert!(heads.contains(&NodeId(4)));
-        assert!(!heads.contains(&NodeId(0)), "node 0 is nobody's head under max-min: {heads:?}");
+        assert!(
+            !heads.contains(&NodeId(0)),
+            "node 0 is nobody's head under max-min: {heads:?}"
+        );
     }
 
     #[test]

@@ -53,7 +53,14 @@ fn bench_merge_and_filters(c: &mut Criterion) {
         bencher.iter(|| black_box(grp_core::good_list(NodeId(1), black_box(&a), 6)))
     });
     group.bench_function("compatible_list_5x6", |bencher| {
-        bencher.iter(|| black_box(grp_core::compatible_list(NodeId(1), black_box(&a), black_box(&b), 6)))
+        bencher.iter(|| {
+            black_box(grp_core::compatible_list(
+                NodeId(1),
+                black_box(&a),
+                black_box(&b),
+                6,
+            ))
+        })
     });
     group.finish();
 }

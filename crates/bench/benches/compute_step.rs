@@ -18,7 +18,10 @@ fn loaded_node(neighbours: usize, peer_degree: usize, dmax: usize) -> GrpNode {
         my_msg.sender = me;
         peer_node.receive(my_msg);
         for f in 0..peer_degree {
-            let fan = GrpNode::new(NodeId(2000 + (p * peer_degree + f) as u64), GrpConfig::new(dmax));
+            let fan = GrpNode::new(
+                NodeId(2000 + (p * peer_degree + f) as u64),
+                GrpConfig::new(dmax),
+            );
             peer_node.receive(fan.build_message());
         }
         peer_node.on_round();

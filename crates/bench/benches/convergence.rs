@@ -12,9 +12,13 @@ fn bench_convergence(c: &mut Criterion) {
         let dmax = 3;
         let topology = sized_rgg(n, 1);
         let rounds = convergence_budget(n, dmax);
-        group.bench_with_input(BenchmarkId::new("nodes", n), &topology, |bencher, topology| {
-            bencher.iter(|| black_box(run_grp(topology, dmax, rounds, 1).convergence_round()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("nodes", n),
+            &topology,
+            |bencher, topology| {
+                bencher.iter(|| black_box(run_grp(topology, dmax, rounds, 1).convergence_round()))
+            },
+        );
     }
     group.finish();
 }

@@ -18,8 +18,8 @@ pub fn bfs_distances(graph: &Graph, source: NodeId) -> BTreeMap<NodeId, usize> {
     while let Some(u) = queue.pop_front() {
         let du = dist[&u];
         for v in graph.neighbors(u) {
-            if !dist.contains_key(&v) {
-                dist.insert(v, du + 1);
+            if let std::collections::btree_map::Entry::Vacant(slot) = dist.entry(v) {
+                slot.insert(du + 1);
                 queue.push_back(v);
             }
         }
@@ -33,15 +33,14 @@ pub fn bfs_order(graph: &Graph, source: NodeId) -> Vec<NodeId> {
     if !graph.contains_node(source) {
         return order;
     }
-    let mut seen = BTreeMap::new();
+    let mut seen = std::collections::BTreeSet::new();
     let mut queue = VecDeque::new();
-    seen.insert(source, ());
+    seen.insert(source);
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
         order.push(u);
         for v in graph.neighbors(u) {
-            if !seen.contains_key(&v) {
-                seen.insert(v, ());
+            if seen.insert(v) {
                 queue.push_back(v);
             }
         }

@@ -104,7 +104,10 @@ mod tests {
         let g = path_with_chord();
         // Full graph: 0-4 distance 1 (chord). Restricted to {0,1,2,3}: chord
         // unusable and 4 not even in the restriction.
-        assert_eq!(subgraph_distance(&g, &set(&[0, 1, 2, 3]), n(0), n(3)), Some(3));
+        assert_eq!(
+            subgraph_distance(&g, &set(&[0, 1, 2, 3]), n(0), n(3)),
+            Some(3)
+        );
         assert_eq!(subgraph_distance(&g, &set(&[0, 1, 2, 3]), n(0), n(4)), None);
     }
 

@@ -31,7 +31,10 @@ pub enum GraphGenerator {
     ErdosRenyi { n: usize, p: f64 },
     /// `clusters` cliques of `cluster_size` nodes, neighbouring cliques
     /// joined by a single bridge edge (a chain of dense pockets).
-    Clustered { clusters: usize, cluster_size: usize },
+    Clustered {
+        clusters: usize,
+        cluster_size: usize,
+    },
 }
 
 impl GraphGenerator {

@@ -109,9 +109,12 @@ impl Graph {
 
     /// Iterator over undirected edges, each reported once with `a < b`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.adjacency
-            .iter()
-            .flat_map(|(&a, nbrs)| nbrs.iter().copied().filter(move |&b| a < b).map(move |b| (a, b)))
+        self.adjacency.iter().flat_map(|(&a, nbrs)| {
+            nbrs.iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| (a, b))
+        })
     }
 
     /// Neighbours of a node (empty iterator if the node is absent).

@@ -10,20 +10,24 @@ use std::collections::BTreeSet;
 
 /// Strategy: a small random graph described by (n, edge list).
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..24, proptest::collection::vec((0u64..24, 0u64..24), 0..120)).prop_map(|(n, edges)| {
-        let mut g = Graph::new();
-        for i in 0..n {
-            g.add_node(NodeId(i as u64));
-        }
-        for (a, b) in edges {
-            let a = a % n as u64;
-            let b = b % n as u64;
-            if a != b {
-                g.add_edge(NodeId(a), NodeId(b));
+    (
+        2usize..24,
+        proptest::collection::vec((0u64..24, 0u64..24), 0..120),
+    )
+        .prop_map(|(n, edges)| {
+            let mut g = Graph::new();
+            for i in 0..n {
+                g.add_node(NodeId(i as u64));
             }
-        }
-        g
-    })
+            for (a, b) in edges {
+                let a = a % n as u64;
+                let b = b % n as u64;
+                if a != b {
+                    g.add_edge(NodeId(a), NodeId(b));
+                }
+            }
+            g
+        })
 }
 
 proptest! {
@@ -40,7 +44,7 @@ proptest! {
                 prop_assert!(du.abs_diff(dv) <= 1);
             } else {
                 // an edge's endpoints are either both reachable or both not
-                prop_assert!(dist.get(&u).is_none() && dist.get(&v).is_none());
+                prop_assert!(!dist.contains_key(&u) && !dist.contains_key(&v));
             }
         }
     }

@@ -34,7 +34,11 @@ fn shortcut_topology(left: usize, tail: usize, overlap: usize) -> Graph {
     }
     for t in 0..tail {
         let id = NodeId(101 + t as u64);
-        let prev = if t == 0 { anchor } else { NodeId(100 + t as u64) };
+        let prev = if t == 0 {
+            anchor
+        } else {
+            NodeId(100 + t as u64)
+        };
         g.add_edge(prev, id);
     }
     g

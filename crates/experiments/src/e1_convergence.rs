@@ -33,7 +33,13 @@ pub fn run(scale: Scale) -> ExperimentOutput {
 
     let mut table = Table::new(
         "Rounds from cold start until the legitimate suffix begins",
-        &["n", "Dmax", "converged runs", "rounds (mean ± std [min, max])", "p95"],
+        &[
+            "n",
+            "Dmax",
+            "converged runs",
+            "rounds (mean ± std [min, max])",
+            "p95",
+        ],
     );
     for &n in &sizes {
         for &dmax in &dmaxes {
@@ -46,10 +52,7 @@ pub fn run(scale: Scale) -> ExperimentOutput {
                     run.convergence_round()
                 })
                 .collect();
-            let converged: Vec<f64> = results
-                .iter()
-                .filter_map(|r| r.map(|v| v as f64))
-                .collect();
+            let converged: Vec<f64> = results.iter().filter_map(|r| r.map(|v| v as f64)).collect();
             let summary = Summary::of(&converged);
             table.push(vec![
                 n.to_string(),

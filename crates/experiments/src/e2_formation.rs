@@ -12,7 +12,13 @@ use dyngraph::generators::{grid, path, ring};
 use dyngraph::Graph;
 use metrics::TimeSeries;
 
-fn formation_series(name: &str, topology: &Graph, dmax: usize, rounds: usize, seed: u64) -> Vec<TimeSeries> {
+fn formation_series(
+    name: &str,
+    topology: &Graph,
+    dmax: usize,
+    rounds: usize,
+    seed: u64,
+) -> Vec<TimeSeries> {
     let mut sim = grp_simulator(topology, dmax, seed);
     let run = run_grp_on(&mut sim, dmax, rounds);
     let mut groups = TimeSeries::new(format!("{name}: group count"));
@@ -44,7 +50,9 @@ pub fn run(scale: Scale) -> ExperimentOutput {
             .series
             .extend(formation_series(name, topology, dmax, rounds, 1));
     }
-    output.notes.push(format!("Dmax = {dmax}; a diameter value of -1 denotes a transiently disconnected group"));
+    output.notes.push(format!(
+        "Dmax = {dmax}; a diameter value of -1 denotes a transiently disconnected group"
+    ));
     output
 }
 

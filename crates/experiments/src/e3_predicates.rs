@@ -98,6 +98,9 @@ mod tests {
         let safety: f64 = cells[3].parse().unwrap();
         let all: f64 = cells[5].parse().unwrap();
         assert_eq!(safety, 1.0, "ΠS must hold on every seed: {first_row}");
-        assert!(all > 0.0, "at least one seed must fully converge: {first_row}");
+        assert!(
+            all > 0.0,
+            "at least one seed must fully converge: {first_row}"
+        );
     }
 }

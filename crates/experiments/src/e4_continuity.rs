@@ -18,18 +18,18 @@ use rayon::prelude::*;
 
 /// One measurement cell: run the convoy at a given speed spread and
 /// accumulate the churn counters after the warm-up.
-fn measure(speed_spread: f64, dmax: usize, n: usize, rounds: usize, warmup: usize, seed: u64) -> ChurnAccumulator {
+fn measure(
+    speed_spread: f64,
+    dmax: usize,
+    n: usize,
+    rounds: usize,
+    warmup: usize,
+    seed: u64,
+) -> ChurnAccumulator {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     // speeds in [base, base + spread] distance units per tick
     let base = 0.002;
-    let mobility = Highway::new(
-        n,
-        2,
-        800.0,
-        12.0,
-        (base, base + speed_spread),
-        &mut rng,
-    );
+    let mobility = Highway::new(n, 2, 800.0, 12.0, (base, base + speed_spread), &mut rng);
     let radio = UnitDisk::new(30.0);
     let ids: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
     let mut sim = grp_spatial_simulator(&ids, dmax, Box::new(radio), Box::new(mobility), seed);
@@ -82,9 +82,9 @@ pub fn run(scale: Scale) -> ExperimentOutput {
             format!("{:.2}", accumulated.removals_per_transition()),
         ]);
     }
-    output.notes.push(
-        "the paper proves ΠT ⇒ ΠC (Prop. 14): the fifth column must stay at 0".into(),
-    );
+    output
+        .notes
+        .push("the paper proves ΠT ⇒ ΠC (Prop. 14): the fifth column must stay at 0".into());
     output.tables.push(table);
     output
 }

@@ -72,7 +72,14 @@ fn churn_of(snapshots: &[SystemSnapshot], warmup: usize, n: usize) -> (f64, f64)
     (churn, mean_view)
 }
 
-fn measure<P, F>(n: usize, speed: f64, rounds: usize, warmup: usize, seed: u64, make: F) -> (f64, f64)
+fn measure<P, F>(
+    n: usize,
+    speed: f64,
+    rounds: usize,
+    warmup: usize,
+    seed: u64,
+    make: F,
+) -> (f64, f64)
 where
     P: Protocol + GroupMembership,
     F: Fn(NodeId) -> P,
@@ -97,7 +104,13 @@ pub fn run(scale: Scale) -> ExperimentOutput {
 
     let mut table = Table::new(
         "Members removed from a view, per node per round (mean view size in parentheses)",
-        &["speed", "GRP", "k-hop min-id", "max-min d-cluster", "neighbourhood ball"],
+        &[
+            "speed",
+            "GRP",
+            "k-hop min-id",
+            "max-min d-cluster",
+            "neighbourhood ball",
+        ],
     );
     for &speed in &speeds {
         let mut cells: Vec<String> = vec![format!("{speed}")];
@@ -107,10 +120,18 @@ pub fn run(scale: Scale) -> ExperimentOutput {
         let mut ball = (0.0, 0.0);
         for &seed in &seeds {
             let config = GrpConfig::new(dmax);
-            let a = measure(n, speed, rounds, warmup, seed, |id| GrpNode::new(id, config.clone()));
-            let b = measure(n, speed, rounds, warmup, seed, |id| KHopClustering::new(id, dmax));
-            let c = measure(n, speed, rounds, warmup, seed, |id| MaxMinDCluster::new(id, dmax));
-            let d = measure(n, speed, rounds, warmup, seed, |id| NeighborhoodBall::new(id, dmax));
+            let a = measure(n, speed, rounds, warmup, seed, |id| {
+                GrpNode::new(id, config.clone())
+            });
+            let b = measure(n, speed, rounds, warmup, seed, |id| {
+                KHopClustering::new(id, dmax)
+            });
+            let c = measure(n, speed, rounds, warmup, seed, |id| {
+                MaxMinDCluster::new(id, dmax)
+            });
+            let d = measure(n, speed, rounds, warmup, seed, |id| {
+                NeighborhoodBall::new(id, dmax)
+            });
             grp = (grp.0 + a.0, grp.1 + a.1);
             khop = (khop.0 + b.0, khop.1 + b.1);
             maxmin = (maxmin.0 + c.0, maxmin.1 + c.1);
@@ -122,9 +143,9 @@ pub fn run(scale: Scale) -> ExperimentOutput {
         }
         table.push_row(cells);
     }
-    output
-        .notes
-        .push(format!("Dmax = {dmax}, n = {n}, arena {ARENA}×{ARENA}, radio range {RANGE}"));
+    output.notes.push(format!(
+        "Dmax = {dmax}, n = {n}, arena {ARENA}×{ARENA}, radio range {RANGE}"
+    ));
     output.tables.push(table);
     output
 }
@@ -136,8 +157,7 @@ mod tests {
     #[test]
     fn static_nodes_have_little_grp_churn() {
         let config = GrpConfig::new(4);
-        let (churn, view) =
-            measure(8, 0.0, 30, 15, 3, |id| GrpNode::new(id, config.clone()));
+        let (churn, view) = measure(8, 0.0, 30, 15, 3, |id| GrpNode::new(id, config.clone()));
         assert!(churn < 0.2, "static network should be quiet, got {churn}");
         assert!(view >= 1.0);
     }

@@ -66,9 +66,15 @@ pub fn run(scale: Scale) -> ExperimentOutput {
             dmax.to_string(),
             format!("{:.1}", topology.mean_degree()),
             format!("{:.2}", per_node_per_round(grp_stats.delivered, n, rounds)),
-            format!("{:.1}", per_node_per_round(grp_stats.delivered_bytes, n, rounds)),
+            format!(
+                "{:.1}",
+                per_node_per_round(grp_stats.delivered_bytes, n, rounds)
+            ),
             format!("{:.2}", per_node_per_round(khop_stats.delivered, n, rounds)),
-            format!("{:.1}", per_node_per_round(khop_stats.delivered_bytes, n, rounds)),
+            format!(
+                "{:.1}",
+                per_node_per_round(khop_stats.delivered_bytes, n, rounds)
+            ),
         ]);
     }
     output.notes.push(format!(
@@ -88,13 +94,7 @@ mod tests {
         let csv = out.tables[0].to_csv();
         let rows: Vec<&str> = csv.lines().skip(1).collect();
         assert_eq!(rows.len(), 2);
-        let bytes = |row: &str| {
-            row.split(',')
-                .nth(3)
-                .unwrap()
-                .parse::<f64>()
-                .unwrap()
-        };
+        let bytes = |row: &str| row.split(',').nth(3).unwrap().parse::<f64>().unwrap();
         assert!(
             bytes(rows[1]) >= bytes(rows[0]),
             "larger Dmax should not shrink the payload: {csv}"

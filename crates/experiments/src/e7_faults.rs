@@ -25,7 +25,9 @@ enum FaultScenario {
 impl FaultScenario {
     fn label(&self) -> String {
         match self {
-            FaultScenario::Corrupt { fraction } => format!("corrupt {:.0}% of nodes", fraction * 100.0),
+            FaultScenario::Corrupt { fraction } => {
+                format!("corrupt {:.0}% of nodes", fraction * 100.0)
+            }
             FaultScenario::CrashRestart { fraction } => {
                 format!("crash+restart {:.0}% of nodes", fraction * 100.0)
             }
@@ -129,9 +131,9 @@ pub fn run(scale: Scale) -> ExperimentOutput {
             summary.display_compact(),
         ]);
     }
-    output
-        .notes
-        .push(format!("n = {n}, Dmax = {dmax}; recovery = 3 consecutive legitimate snapshots"));
+    output.notes.push(format!(
+        "n = {n}, Dmax = {dmax}; recovery = 3 consecutive legitimate snapshots"
+    ));
     output.tables.push(table);
     output
 }
@@ -143,7 +145,10 @@ mod tests {
     #[test]
     fn corruption_of_one_node_recovers() {
         let r = recovery_rounds(FaultScenario::Corrupt { fraction: 0.1 }, 8, 3, 1);
-        assert!(r.is_some(), "system failed to recover from a single corruption");
+        assert!(
+            r.is_some(),
+            "system failed to recover from a single corruption"
+        );
     }
 
     #[test]

@@ -66,7 +66,13 @@ pub fn run(scale: Scale) -> ExperimentOutput {
     // to end form a path of 2*half nodes, diameter 2*half - 1
     let cases: Vec<(usize, usize, bool)> = scale.pick(
         vec![(2, 3, true), (3, 3, false)],
-        vec![(2, 3, true), (3, 5, true), (4, 7, true), (3, 3, false), (4, 5, false)],
+        vec![
+            (2, 3, true),
+            (3, 5, true),
+            (4, 7, true),
+            (3, 3, false),
+            (4, 5, false),
+        ],
     );
 
     let mut table = Table::new(
@@ -89,8 +95,7 @@ pub fn run(scale: Scale) -> ExperimentOutput {
             .iter()
             .filter_map(|(r, _)| r.map(|v| v as f64))
             .collect();
-        let final_counts =
-            Summary::of(&results.iter().map(|(_, c)| *c as f64).collect::<Vec<_>>());
+        let final_counts = Summary::of(&results.iter().map(|(_, c)| *c as f64).collect::<Vec<_>>());
         table.push(vec![
             half.to_string(),
             dmax.to_string(),
@@ -115,7 +120,10 @@ mod tests {
     #[test]
     fn allowed_merge_happens() {
         let (merged, final_count) = merge_latency(2, 3, 1);
-        assert!(merged.is_some(), "two 2-node groups must merge under Dmax=3");
+        assert!(
+            merged.is_some(),
+            "two 2-node groups must merge under Dmax=3"
+        );
         assert_eq!(final_count, 1);
     }
 

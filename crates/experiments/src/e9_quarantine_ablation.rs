@@ -19,7 +19,14 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
-fn measure(config: GrpConfig, n: usize, speed: f64, rounds: usize, warmup: usize, seed: u64) -> ChurnAccumulator {
+fn measure(
+    config: GrpConfig,
+    n: usize,
+    speed: f64,
+    rounds: usize,
+    warmup: usize,
+    seed: u64,
+) -> ChurnAccumulator {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mobility = RandomWaypoint::new(n, 100.0, 100.0, (speed, speed), &mut rng);
     let radio = UnitDisk::new(35.0);
@@ -69,7 +76,10 @@ pub fn run(scale: Scale) -> ExperimentOutput {
     for &speed in &speeds {
         for (label, config) in [
             ("with quarantine", GrpConfig::new(dmax)),
-            ("without quarantine", GrpConfig::new(dmax).without_quarantine()),
+            (
+                "without quarantine",
+                GrpConfig::new(dmax).without_quarantine(),
+            ),
         ] {
             let acc: ChurnAccumulator = seeds
                 .par_iter()
@@ -88,7 +98,8 @@ pub fn run(scale: Scale) -> ExperimentOutput {
         }
     }
     output.notes.push(
-        "the faithful variant must report 0 best-effort violations; the ablated variant may not".into(),
+        "the faithful variant must report 0 best-effort violations; the ablated variant may not"
+            .into(),
     );
     output.tables.push(table);
     output

@@ -15,6 +15,7 @@
 //! evaluation (`cargo run -p experiments --release -- all`), the quick
 //! smoke-check used by integration tests, and the Criterion benches.
 
+pub mod e10_compat_ablation;
 pub mod e1_convergence;
 pub mod e2_formation;
 pub mod e3_predicates;
@@ -24,7 +25,6 @@ pub mod e6_overhead;
 pub mod e7_faults;
 pub mod e8_merge;
 pub mod e9_quarantine_ablation;
-pub mod e10_compat_ablation;
 pub mod report;
 pub mod runner;
 
@@ -32,6 +32,4 @@ pub use report::{run_experiment, ExperimentOutput};
 pub use runner::{GrpRun, Scale};
 
 /// The identifiers of every experiment, in presentation order.
-pub const ALL_EXPERIMENTS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-];
+pub const ALL_EXPERIMENTS: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];

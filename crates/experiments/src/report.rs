@@ -41,7 +41,11 @@ impl ExperimentOutput {
             out.push('\n');
         }
         for series in &self.series {
-            out.push_str(&format!("### series: {}\n\n```csv\n{}```\n\n", series.name, series.to_csv()));
+            out.push_str(&format!(
+                "### series: {}\n\n```csv\n{}```\n\n",
+                series.name,
+                series.to_csv()
+            ));
         }
         out
     }
@@ -67,7 +71,10 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<ExperimentOutput> {
 
 /// Write every output as a markdown file under `dir` and return the list of
 /// written paths.
-pub fn write_results(outputs: &[ExperimentOutput], dir: &Path) -> io::Result<Vec<std::path::PathBuf>> {
+pub fn write_results(
+    outputs: &[ExperimentOutput],
+    dir: &Path,
+) -> io::Result<Vec<std::path::PathBuf>> {
     fs::create_dir_all(dir)?;
     let mut written = Vec::new();
     for output in outputs {

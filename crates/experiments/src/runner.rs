@@ -149,6 +149,45 @@ pub fn convergence_budget(n: usize, dmax: usize) -> usize {
     4 * dmax + 3 * n + 20
 }
 
+/// Run a declarative scenario manifest through the experiment harness and
+/// collect the standard [`GrpRun`] history. This is the bridge between the
+/// `scenarios` crate's manifest format and the hand-rolled experiment
+/// configs: an experiment can consume a 20-line TOML file instead of
+/// constructing topologies, fault plans and simulator configs in code.
+///
+/// The manifest's churn schedule is honoured between rounds, exactly as the
+/// conformance runner applies it.
+pub fn run_manifest(manifest: &scenarios::ScenarioManifest, seed: u64) -> GrpRun {
+    let dmax = manifest.protocol.dmax;
+    let grp_config = scenarios::grp_config_of(manifest);
+    let mut sim = scenarios::build_simulator(manifest, seed);
+    let mut detector = ConvergenceDetector::new(dmax);
+    let rounds = manifest.sim.rounds as usize;
+    let mut snapshots = Vec::with_capacity(rounds);
+    let mut churn = manifest.churn.iter().peekable();
+    for round in 0..rounds {
+        while let Some(c) = churn.peek() {
+            if c.at_round > round as u64 {
+                break;
+            }
+            scenarios::apply_churn_action(&mut sim, &c.action, &grp_config);
+            churn.next();
+        }
+        sim.run_rounds(1);
+        // active-only snapshots, exactly as the conformance runner records
+        // them: a crashed or departed node has no view
+        let snapshot = scenarios::snapshot_active(&sim);
+        detector.record(&snapshot);
+        snapshots.push(snapshot);
+    }
+    GrpRun {
+        nodes: sim.node_ids().len(),
+        stats: sim.stats(),
+        snapshots,
+        detector,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +217,38 @@ mod tests {
         let run = run_grp(&topology, 2, 10, 1);
         assert_eq!(run.snapshots.len(), 10);
         assert_eq!(run.detector.len(), 10);
+    }
+
+    #[test]
+    fn manifests_drive_the_experiment_runner() {
+        let manifest = scenarios::ScenarioManifest::parse(
+            r#"
+name = "exp-bridge"
+[protocol]
+dmax = 3
+[sim]
+rounds = 50
+[topology]
+kind = "path"
+n = 4
+[[churn]]
+at_round = 30
+action = "link_down"
+a = 1
+b = 2
+"#,
+        )
+        .expect("manifest parses");
+        let run = run_manifest(&manifest, 7);
+        assert_eq!(run.snapshots.len(), 50);
+        assert_eq!(run.nodes, 4);
+        // before the churn the line converges to one group…
+        assert_eq!(run.snapshots[25].group_count(), 1);
+        // …and after the link-down it must split
+        assert!(
+            run.last().group_count() >= 2,
+            "groups: {:?}",
+            run.last().groups()
+        );
     }
 }

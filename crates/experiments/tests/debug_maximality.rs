@@ -11,13 +11,30 @@ fn trace_path9_dmax2() {
     let dmax = 2;
     let mut sim = grp_simulator(&topology, dmax, 1);
     let run = run_grp_on(&mut sim, dmax, convergence_budget(9, dmax));
-    for (r, snap) in run.snapshots.iter().enumerate().skip(run.snapshots.len() - 5) {
-        println!("round {r}: groups={:?} A={} S={} M={}",
-            snap.groups().iter().map(|g| g.iter().map(|n| n.raw()).collect::<Vec<_>>()).collect::<Vec<_>>(),
-            snap.agreement(), snap.safety(dmax), snap.maximality(dmax));
+    for (r, snap) in run
+        .snapshots
+        .iter()
+        .enumerate()
+        .skip(run.snapshots.len() - 5)
+    {
+        println!(
+            "round {r}: groups={:?} A={} S={} M={}",
+            snap.groups()
+                .iter()
+                .map(|g| g.iter().map(|n| n.raw()).collect::<Vec<_>>())
+                .collect::<Vec<_>>(),
+            snap.agreement(),
+            snap.safety(dmax),
+            snap.maximality(dmax)
+        );
     }
     for (id, node) in sim.protocols() {
-        println!("{id}: view={:?} pr={} list={}", node.view().iter().map(|n| n.raw()).collect::<Vec<_>>(), node.priority(), node.list());
+        println!(
+            "{id}: view={:?} pr={} list={}",
+            node.view().iter().map(|n| n.raw()).collect::<Vec<_>>(),
+            node.priority(),
+            node.list()
+        );
     }
 }
 
@@ -31,9 +48,14 @@ fn trace_path9_seed2_long() {
         sim.run_rounds(1);
         if r % 20 == 19 || r >= 195 {
             let snap = SystemSnapshot::from_simulator(&sim);
-            println!("round {r}: groups={:?} M={}",
-                snap.groups().iter().map(|g| g.iter().map(|n| n.raw()).collect::<Vec<_>>()).collect::<Vec<_>>(),
-                snap.maximality(dmax));
+            println!(
+                "round {r}: groups={:?} M={}",
+                snap.groups()
+                    .iter()
+                    .map(|g| g.iter().map(|n| n.raw()).collect::<Vec<_>>())
+                    .collect::<Vec<_>>(),
+                snap.maximality(dmax)
+            );
         }
     }
 }
@@ -101,12 +123,24 @@ fn trace_shortcut_merge() {
         sim.run_rounds(1);
         if r % 10 == 9 {
             let snap = SystemSnapshot::from_simulator(&sim);
-            println!("round {r}: groups={:?} A={} M={}",
-                snap.groups().iter().map(|gr| gr.iter().map(|n| n.raw()).collect::<Vec<_>>()).collect::<Vec<_>>(),
-                snap.agreement(), snap.maximality(dmax));
+            println!(
+                "round {r}: groups={:?} A={} M={}",
+                snap.groups()
+                    .iter()
+                    .map(|gr| gr.iter().map(|n| n.raw()).collect::<Vec<_>>())
+                    .collect::<Vec<_>>(),
+                snap.agreement(),
+                snap.maximality(dmax)
+            );
         }
     }
     for (id, node) in sim.protocols() {
-        println!("{id}: view={:?} pr={} gpr={} list={}", node.view().iter().map(|n| n.raw()).collect::<Vec<_>>(), node.priority(), node.group_priority(), node.list());
+        println!(
+            "{id}: view={:?} pr={} gpr={} list={}",
+            node.view().iter().map(|n| n.raw()).collect::<Vec<_>>(),
+            node.priority(),
+            node.group_priority(),
+            node.list()
+        );
     }
 }

@@ -343,11 +343,18 @@ mod tests {
     fn remove_marked_except_keeps_pending_self_but_not_double_mark() {
         let mut l = AncestorList::from_levels(vec![
             vec![(n(1), Mark::Clear)],
-            vec![(n(2), Mark::Pending), (n(3), Mark::Clear), (n(4), Mark::Incompatible)],
+            vec![
+                (n(2), Mark::Pending),
+                (n(3), Mark::Clear),
+                (n(4), Mark::Incompatible),
+            ],
         ]);
         let mut pending_self = l.clone();
         pending_self.remove_marked_except(n(2));
-        assert!(pending_self.contains(n(2)), "a pending mark on ourselves survives");
+        assert!(
+            pending_self.contains(n(2)),
+            "a pending mark on ourselves survives"
+        );
         assert!(!pending_self.contains(n(4)), "double marks always go");
         l.remove_marked_except(n(4));
         assert!(!l.contains(n(2)));
@@ -360,10 +367,8 @@ mod tests {
 
     #[test]
     fn remove_marked_trims_trailing_levels() {
-        let mut l = AncestorList::from_levels(vec![
-            vec![(n(1), Mark::Clear)],
-            vec![(n(2), Mark::Pending)],
-        ]);
+        let mut l =
+            AncestorList::from_levels(vec![vec![(n(1), Mark::Clear)], vec![(n(2), Mark::Pending)]]);
         l.remove_marked_except(n(1));
         assert_eq!(l.len(), 1);
     }
@@ -404,7 +409,11 @@ mod tests {
 
     #[test]
     fn empty_level_detection() {
-        let l = AncestorList::from_levels(vec![vec![(n(1), Mark::Clear)], vec![], vec![(n(2), Mark::Clear)]]);
+        let l = AncestorList::from_levels(vec![
+            vec![(n(1), Mark::Clear)],
+            vec![],
+            vec![(n(2), Mark::Clear)],
+        ]);
         assert!(l.has_empty_level());
         let ok = clear_levels(&[&[1], &[2]]);
         assert!(!ok.has_empty_level());

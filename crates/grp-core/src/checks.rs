@@ -181,10 +181,8 @@ mod tests {
     fn good_list_accepts_marked_self() {
         // "v or v̄ in list.1": the sender may quote us with a mark
         let dmax = 3;
-        let list = AncestorList::from_levels(vec![
-            vec![(n(2), Mark::Clear)],
-            vec![(n(1), Mark::Pending)],
-        ]);
+        let list =
+            AncestorList::from_levels(vec![vec![(n(2), Mark::Clear)], vec![(n(1), Mark::Pending)]]);
         assert!(good_list(n(1), &list, dmax));
     }
 
@@ -209,14 +207,10 @@ mod tests {
         // After the first exchange, node 1's list is ({1},{2 pending}) and
         // node 2 sends ({2},{1 pending}); the group cores are just {1} and
         // {2}, so the pair fits in a group of diameter 1.
-        let ours = AncestorList::from_levels(vec![
-            vec![(n(1), Mark::Clear)],
-            vec![(n(2), Mark::Pending)],
-        ]);
-        let theirs = AncestorList::from_levels(vec![
-            vec![(n(2), Mark::Clear)],
-            vec![(n(1), Mark::Pending)],
-        ]);
+        let ours =
+            AncestorList::from_levels(vec![vec![(n(1), Mark::Clear)], vec![(n(2), Mark::Pending)]]);
+        let theirs =
+            AncestorList::from_levels(vec![vec![(n(2), Mark::Clear)], vec![(n(1), Mark::Pending)]]);
         assert!(compatible_list(n(1), &ours, &theirs, 1));
         assert!(compatible_list(n(1), &ours, &theirs, 2));
         assert!(naive_compatible_list(n(1), &ours, &theirs, 1));

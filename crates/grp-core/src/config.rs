@@ -87,7 +87,9 @@ mod tests {
 
     #[test]
     fn ablations_toggle_behaviour() {
-        let c = GrpConfig::new(2).with_naive_compatibility().without_quarantine();
+        let c = GrpConfig::new(2)
+            .with_naive_compatibility()
+            .without_quarantine();
         assert!(c.naive_compatibility);
         assert!(c.disable_quarantine);
         assert_eq!(c.quarantine_rounds(), 0);

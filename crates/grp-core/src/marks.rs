@@ -60,7 +60,10 @@ mod tests {
     fn combine_prefers_stronger_mark() {
         assert_eq!(Mark::Clear.combine(Mark::Pending), Mark::Pending);
         assert_eq!(Mark::Pending.combine(Mark::Clear), Mark::Pending);
-        assert_eq!(Mark::Pending.combine(Mark::Incompatible), Mark::Incompatible);
+        assert_eq!(
+            Mark::Pending.combine(Mark::Incompatible),
+            Mark::Incompatible
+        );
         assert_eq!(Mark::Clear.combine(Mark::Clear), Mark::Clear);
     }
 }

@@ -215,9 +215,7 @@ impl GrpNode {
                     // last place of their list) are ignored and double-marked
                     let providers: Vec<NodeId> = checked
                         .iter()
-                        .filter(|(_, lu)| {
-                            lu.level(dmax).map_or(false, |lvl| lvl.contains_key(&w))
-                        })
+                        .filter(|(_, lu)| lu.level(dmax).is_some_and(|lvl| lvl.contains_key(&w)))
                         .map(|(&u, _)| u)
                         .collect();
                     for u in providers {
@@ -479,7 +477,11 @@ mod tests {
         for _ in 0..3 {
             round(&mut nodes, &[(1, 2)]);
         }
-        assert_eq!(nodes[&n(1)].priority().value, frozen, "priority frozen in a group");
+        assert_eq!(
+            nodes[&n(1)].priority().value,
+            frozen,
+            "priority frozen in a group"
+        );
         // break the link: both nodes end up alone and their clock advances,
         // so they will lose future arbitrations against established members
         for _ in 0..6 {
@@ -550,7 +552,10 @@ mod tests {
             }
         }
         assert!(fast_rounds > 0 && slow_rounds > 0);
-        assert!(fast_rounds < slow_rounds, "fast {fast_rounds} vs slow {slow_rounds}");
+        assert!(
+            fast_rounds < slow_rounds,
+            "fast {fast_rounds} vs slow {slow_rounds}"
+        );
     }
 
     #[test]
@@ -618,10 +623,7 @@ mod tests {
         let all: BTreeSet<NodeId> = (0..3).map(n).collect();
         assert_eq!(nodes[&n(0)].view(), &all);
         // corrupt node 1 with ghost members
-        nodes
-            .get_mut(&n(1))
-            .unwrap()
-            .corrupt(&[n(77), n(88)], 123);
+        nodes.get_mut(&n(1)).unwrap().corrupt(&[n(77), n(88)], 123);
         assert!(nodes[&n(1)].view().contains(&n(77)));
         // the ghosts are never heard from, so they vanish and the views
         // re-converge (self-stabilization)
@@ -653,7 +655,10 @@ mod tests {
         }
         let msg = nodes[&n(2)].build_message();
         for node in msg.list.all_nodes() {
-            assert!(msg.priorities.contains_key(&node), "missing priority for {node}");
+            assert!(
+                msg.priorities.contains_key(&node),
+                "missing priority for {node}"
+            );
         }
         assert_eq!(msg.sender, n(2));
     }
@@ -683,13 +688,28 @@ mod tests {
         }
         let v0 = nodes[&n(0)].view().clone();
         let v10 = nodes[&n(10)].view().clone();
-        assert!(v0.contains(&n(1)) && v0.contains(&n(2)), "triangle A intact: {v0:?}");
-        assert!(v10.contains(&n(11)) && v10.contains(&n(12)), "triangle B intact: {v10:?}");
-        assert!(v0.is_disjoint(&v10), "far groups must stay distinct: {v0:?} vs {v10:?}");
+        assert!(
+            v0.contains(&n(1)) && v0.contains(&n(2)),
+            "triangle A intact: {v0:?}"
+        );
+        assert!(
+            v10.contains(&n(11)) && v10.contains(&n(12)),
+            "triangle B intact: {v10:?}"
+        );
+        assert!(
+            v0.is_disjoint(&v10),
+            "far groups must stay distinct: {v0:?} vs {v10:?}"
+        );
         // whatever partition was chosen, every view agrees with its members
         for node in nodes.values() {
             for member in node.view() {
-                assert_eq!(nodes[member].view(), node.view(), "{} vs {}", node.node_id(), member);
+                assert_eq!(
+                    nodes[member].view(),
+                    node.view(),
+                    "{} vs {}",
+                    node.node_id(),
+                    member
+                );
             }
         }
     }

@@ -313,10 +313,7 @@ mod tests {
 
     #[test]
     fn agreement_fails_on_disagreeing_views() {
-        let s = snap(
-            path(3),
-            &[(0, &[0, 1]), (1, &[1]), (2, &[2])],
-        );
+        let s = snap(path(3), &[(0, &[0, 1]), (1, &[1]), (2, &[2])]);
         assert!(!s.agreement());
         // the omega of 0 falls back to a singleton
         assert_eq!(s.omega(n(0)), [n(0)].into_iter().collect());

@@ -77,7 +77,10 @@ mod tests {
 
     #[test]
     fn group_priority_is_minimum_member() {
-        assert_eq!(group_priority(vec![p(5, 1), p(2, 7), p(9, 0)]), Some(p(2, 7)));
+        assert_eq!(
+            group_priority(vec![p(5, 1), p(2, 7), p(9, 0)]),
+            Some(p(2, 7))
+        );
         assert_eq!(group_priority(Vec::new()), None);
     }
 

@@ -1,6 +1,6 @@
 //! Temporary diagnostic trace (converted into a real assertion once fixed).
-use grp_core::{GrpConfig, GrpMessage, GrpNode};
 use dyngraph::NodeId;
+use grp_core::{GrpConfig, GrpMessage, GrpNode};
 use std::collections::BTreeMap;
 
 fn n(i: u64) -> NodeId {

@@ -1,0 +1,153 @@
+//! Property tests for the `AncestorList` ordering/dedup invariants and the
+//! relationship between the full `compatibleList` test, `goodList`, and the
+//! naive E10-ablation test, on random inputs.
+
+use dyngraph::NodeId;
+use grp_core::ancestor_list::AncestorList;
+use grp_core::checks::{compatible_list, good_list, naive_compatible_list};
+use grp_core::marks::Mark;
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary raw ancestor list over ids 0..20 (up to 5 levels,
+/// random marks), canonicalised into the algebra's domain by merging with
+/// the neutral element.
+fn arb_list() -> impl Strategy<Value = AncestorList> {
+    proptest::collection::vec(proptest::collection::vec((0u64..20, 0u8..3), 0..4), 1..5).prop_map(
+        |levels| {
+            let raw = AncestorList::from_levels(
+                levels
+                    .into_iter()
+                    .map(|lvl| {
+                        lvl.into_iter()
+                            .map(|(id, mark)| {
+                                let mark = match mark {
+                                    0 => Mark::Clear,
+                                    1 => Mark::Pending,
+                                    _ => Mark::Incompatible,
+                                };
+                                (NodeId(id), mark)
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            );
+            raw.merge(&AncestorList::empty())
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Canonical lists never end in an empty level, and `entries()` walks
+    /// them in (level, ascending id) order — the deterministic iteration
+    /// order every digest and message encoding relies on.
+    #[test]
+    fn canonical_lists_are_trimmed_and_ordered(x in arb_list()) {
+        if !x.is_empty() {
+            let last = x.level(x.len() - 1).expect("last level exists");
+            prop_assert!(!last.is_empty(), "trailing empty level survived canonicalisation");
+        }
+        let entries: Vec<(NodeId, usize, Mark)> = x.entries().collect();
+        for pair in entries.windows(2) {
+            let (n1, l1, _) = pair[0];
+            let (n2, l2, _) = pair[1];
+            prop_assert!(l1 < l2 || (l1 == l2 && n1 < n2), "entries out of order");
+        }
+        prop_assert_eq!(entries.len(), x.entry_count());
+    }
+
+    /// Dedup invariant: every node appears exactly once, `position_of`
+    /// agrees with `entries()`, and `all_nodes` is their union.
+    #[test]
+    fn every_node_has_exactly_one_position(x in arb_list()) {
+        let mut seen = std::collections::BTreeSet::new();
+        for (node, level, _) in x.entries() {
+            prop_assert!(seen.insert(node), "{} appears twice", node);
+            prop_assert_eq!(x.position_of(node), Some(level));
+            prop_assert!(x.level_nodes(level).contains(&node));
+        }
+        prop_assert_eq!(x.all_nodes(), seen);
+    }
+
+    /// `shifted` (the r-operator) moves every node exactly one level deeper
+    /// and never reorders or drops entries.
+    #[test]
+    fn shift_pushes_every_position_by_one(x in arb_list()) {
+        let shifted = x.shifted();
+        prop_assert_eq!(shifted.len(), x.len() + 1, "r prepends one (possibly empty) level");
+        for (node, level, mark) in x.entries() {
+            prop_assert_eq!(shifted.position_of(node), Some(level + 1));
+            prop_assert_eq!(shifted.mark_of(node), Some(mark));
+        }
+        prop_assert_eq!(shifted.entry_count(), x.entry_count());
+    }
+
+    /// `truncate` caps the length and keeps shallower levels untouched.
+    #[test]
+    fn truncate_is_a_prefix(x in arb_list(), cap in 0usize..6) {
+        let mut t = x.clone();
+        t.truncate(cap);
+        prop_assert!(t.len() <= cap);
+        for (node, level, mark) in t.entries() {
+            prop_assert!(level < cap);
+            prop_assert_eq!(x.position_of(node), Some(level));
+            prop_assert_eq!(x.mark_of(node), Some(mark));
+        }
+    }
+
+    /// The naive (E10 ablation) test only has the concatenation bound, so
+    /// whatever it accepts the full `compatibleList` must accept too: the
+    /// shortcut can only *add* accepted merges, never remove them.
+    #[test]
+    fn naive_acceptance_implies_full_acceptance(
+        own in arb_list(),
+        recv in arb_list(),
+        dmax in 1usize..6,
+        me in 0u64..20,
+    ) {
+        let me = NodeId(me);
+        if naive_compatible_list(me, &own, &recv, dmax) {
+            prop_assert!(
+                compatible_list(me, &own, &recv, dmax),
+                "full test refused a merge the naive test accepts"
+            );
+        }
+    }
+
+    /// When the received list has no distance-1 entries the shortcut cannot
+    /// fire, and the two tests agree exactly.
+    #[test]
+    fn tests_agree_without_sender_neighbours(
+        own in arb_list(),
+        recv in arb_list(),
+        dmax in 1usize..6,
+        me in 0u64..20,
+    ) {
+        let me = NodeId(me);
+        if recv.level_nodes(1).is_empty() {
+            prop_assert_eq!(
+                compatible_list(me, &own, &recv, dmax),
+                naive_compatible_list(me, &own, &recv, dmax)
+            );
+        }
+    }
+
+    /// `goodList` acceptance certifies exactly its three documented
+    /// conditions: the sender quotes us at distance 1, the list fits in
+    /// Dmax + 1 levels, and no internal level is empty.
+    #[test]
+    fn good_list_acceptance_certifies_its_conditions(
+        list in arb_list(),
+        dmax in 1usize..6,
+        me in 0u64..20,
+    ) {
+        let me = NodeId(me);
+        if good_list(me, &list, dmax) {
+            let quoted = list.level(1).map(|l| l.contains_key(&me)).unwrap_or(false);
+            prop_assert!(quoted, "accepted list does not quote us at distance 1");
+            prop_assert!(list.len() <= dmax + 1);
+            prop_assert!(!list.has_empty_level());
+        }
+    }
+}

@@ -13,30 +13,28 @@ use std::collections::BTreeMap;
 /// node appears at most once, no trailing empty level) by merging with the
 /// neutral element.
 fn arb_list() -> impl Strategy<Value = AncestorList> {
-    proptest::collection::vec(
-        proptest::collection::vec((0u64..20, 0u8..3), 0..4),
-        1..5,
+    proptest::collection::vec(proptest::collection::vec((0u64..20, 0u8..3), 0..4), 1..5).prop_map(
+        |levels| {
+            let raw = AncestorList::from_levels(
+                levels
+                    .into_iter()
+                    .map(|lvl| {
+                        lvl.into_iter()
+                            .map(|(id, mark)| {
+                                let mark = match mark {
+                                    0 => Mark::Clear,
+                                    1 => Mark::Pending,
+                                    _ => Mark::Incompatible,
+                                };
+                                (NodeId(id), mark)
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            );
+            raw.merge(&AncestorList::empty())
+        },
     )
-    .prop_map(|levels| {
-        let raw = AncestorList::from_levels(
-            levels
-                .into_iter()
-                .map(|lvl| {
-                    lvl.into_iter()
-                        .map(|(id, mark)| {
-                            let mark = match mark {
-                                0 => Mark::Clear,
-                                1 => Mark::Pending,
-                                _ => Mark::Incompatible,
-                            };
-                            (NodeId(id), mark)
-                        })
-                        .collect()
-                })
-                .collect(),
-        );
-        raw.merge(&AncestorList::empty())
-    })
 }
 
 proptest! {

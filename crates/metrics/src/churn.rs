@@ -109,7 +109,10 @@ mod tests {
 
     #[test]
     fn stable_transition_counts_as_continuous() {
-        let s = snap(path(3), &[(0, &[0, 1, 2]), (1, &[0, 1, 2]), (2, &[0, 1, 2])]);
+        let s = snap(
+            path(3),
+            &[(0, &[0, 1, 2]), (1, &[0, 1, 2]), (2, &[0, 1, 2])],
+        );
         let mut acc = ChurnAccumulator::new();
         acc.record(&s, &s.clone(), 2);
         assert_eq!(acc.transitions, 1);
@@ -121,18 +124,21 @@ mod tests {
 
     #[test]
     fn link_loss_breaks_pi_t_and_allows_pi_c_violation() {
-        let before = snap(path(3), &[(0, &[0, 1, 2]), (1, &[0, 1, 2]), (2, &[0, 1, 2])]);
+        let before = snap(
+            path(3),
+            &[(0, &[0, 1, 2]), (1, &[0, 1, 2]), (2, &[0, 1, 2])],
+        );
         let mut broken = path(3);
         broken.remove_edge(NodeId(1), NodeId(2));
-        let after = SystemSnapshot::new(
-            broken,
-            views(&[(0, &[0, 1]), (1, &[0, 1]), (2, &[2])]),
-        );
+        let after = SystemSnapshot::new(broken, views(&[(0, &[0, 1]), (1, &[0, 1]), (2, &[2])]));
         let mut acc = ChurnAccumulator::new();
         acc.record(&before, &after, 2);
         assert_eq!(acc.pi_t_held, 0);
         assert_eq!(acc.pi_c_held, 0);
-        assert_eq!(acc.best_effort_violations, 0, "ΠT broken, so no best-effort violation");
+        assert_eq!(
+            acc.best_effort_violations, 0,
+            "ΠT broken, so no best-effort violation"
+        );
         assert!(acc.total_view_removals > 0);
     }
 
@@ -140,7 +146,10 @@ mod tests {
     fn best_effort_violation_is_detected() {
         // the topology does not change, but a node vanishes from the views:
         // that is precisely what Proposition 14 forbids
-        let before = snap(path(3), &[(0, &[0, 1, 2]), (1, &[0, 1, 2]), (2, &[0, 1, 2])]);
+        let before = snap(
+            path(3),
+            &[(0, &[0, 1, 2]), (1, &[0, 1, 2]), (2, &[0, 1, 2])],
+        );
         let after = snap(path(3), &[(0, &[0, 1]), (1, &[0, 1]), (2, &[2])]);
         let mut acc = ChurnAccumulator::new();
         acc.record(&before, &after, 2);

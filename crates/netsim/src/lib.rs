@@ -25,6 +25,7 @@
 //! ordered by (time, sequence number) and all randomness flows from a single
 //! `ChaCha8Rng`.
 
+pub mod digest;
 pub mod event;
 pub mod fault;
 pub mod mobility;
@@ -36,6 +37,7 @@ pub mod space;
 pub mod time;
 pub mod trace;
 
+pub use digest::{CanonicalHasher, TraceDigest};
 pub use event::{Event, EventKind};
 pub use fault::{FaultKind, ScheduledFault};
 pub use mobility::MobilityModel;

@@ -147,7 +147,8 @@ mod tests {
     #[test]
     fn vehicles_advance_and_wrap() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let mut m = Highway::new(2, 1, 100.0, 10.0, (1.0, 1.0), &mut rng).with_lane_change_prob(0.0);
+        let mut m =
+            Highway::new(2, 1, 100.0, 10.0, (1.0, 1.0), &mut rng).with_lane_change_prob(0.0);
         m.advance(95, &mut rng);
         // vehicle 0 started at 0, speed 1.0/tick, after 95 ticks → 95
         assert!((m.positions()[&NodeId(0)].x - 95.0).abs() < 1e-9);

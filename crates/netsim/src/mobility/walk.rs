@@ -63,7 +63,8 @@ impl MobilityModel for RandomWalk {
     }
 
     fn insert(&mut self, node: NodeId, at: Point) {
-        self.positions.insert(node, at.clamp_to(self.width, self.height));
+        self.positions
+            .insert(node, at.clamp_to(self.width, self.height));
     }
 
     fn remove(&mut self, node: NodeId) {

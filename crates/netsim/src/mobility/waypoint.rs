@@ -52,7 +52,8 @@ impl RandomWaypoint {
         let (lo, hi) = self.speed_range;
         let speed = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
         self.positions.insert(node, at);
-        self.targets.insert(node, random_point(rng, self.width, self.height));
+        self.targets
+            .insert(node, random_point(rng, self.width, self.height));
         self.speeds.insert(node, speed);
     }
 }

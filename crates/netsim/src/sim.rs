@@ -353,7 +353,9 @@ impl<P: Protocol> Simulator<P> {
             let received = match &self.mode {
                 TopologyMode::Explicit(_) => {
                     self.config.loss_probability <= 0.0
-                        || !self.rng.gen_bool(self.config.loss_probability.clamp(0.0, 1.0))
+                        || !self
+                            .rng
+                            .gen_bool(self.config.loss_probability.clamp(0.0, 1.0))
                 }
                 TopologyMode::Spatial { radio, mobility } => {
                     let positions = mobility.positions();
@@ -455,7 +457,10 @@ mod tests {
         // node 1 is the middle of the path: 0 and 2 can never learn each other
         assert!(!sim.protocol(NodeId(0)).unwrap().known.contains(&NodeId(2)));
         assert_eq!(sim.protocol(NodeId(1)).unwrap().received, 0);
-        assert!(sim.stats().dropped > 0, "deliveries to a crashed node are dropped");
+        assert!(
+            sim.stats().dropped > 0,
+            "deliveries to a crashed node are dropped"
+        );
     }
 
     #[test]
@@ -567,7 +572,11 @@ mod tests {
             },
         );
         sim.add_nodes((0..4).map(|i| Flood::new(NodeId(i))));
-        assert_eq!(sim.topology().edge_count(), 3, "line with unit-disk radius 12/10");
+        assert_eq!(
+            sim.topology().edge_count(),
+            3,
+            "line with unit-disk radius 12/10"
+        );
         sim.run_rounds(15);
         for (_, p) in sim.protocols() {
             assert_eq!(p.known.len(), 4);

@@ -7,6 +7,7 @@
 //! (views) are captured by the experiment harness itself, which has access
 //! to the concrete protocol type.
 
+use crate::digest::{CanonicalHasher, TraceDigest};
 use crate::time::SimTime;
 use dyngraph::Graph;
 use serde::{Deserialize, Serialize};
@@ -86,6 +87,31 @@ impl Trace {
     /// True when no snapshot has been recorded yet.
     pub fn is_empty(&self) -> bool {
         self.snapshots.is_empty()
+    }
+
+    /// Fold every snapshot into a hasher using the canonical encoding:
+    /// `(time, topology, cumulative stats)` per snapshot, list-bracketed.
+    /// Two traces feed identically iff they recorded the same sequence of
+    /// configurations.
+    pub fn feed_digest(&self, hasher: &mut CanonicalHasher) {
+        hasher.begin_list("trace");
+        hasher.feed_u64(self.snapshots.len() as u64);
+        for snapshot in &self.snapshots {
+            hasher.feed_time(snapshot.at);
+            hasher.feed_graph(&snapshot.topology);
+            hasher.feed_stats(&snapshot.stats);
+        }
+        hasher.end_list();
+    }
+
+    /// The canonical digest of this trace alone. Runs of the same scenario
+    /// manifest under the same seed produce byte-identical digests; the
+    /// `scenarios` crate combines this with protocol-level views for its
+    /// golden-trace tests.
+    pub fn digest(&self) -> TraceDigest {
+        let mut hasher = CanonicalHasher::new();
+        self.feed_digest(&mut hasher);
+        hasher.finalize()
     }
 
     /// Message statistics accumulated between two snapshots (difference of

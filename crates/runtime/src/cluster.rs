@@ -240,8 +240,23 @@ mod tests {
         let mut config = quick_config(3);
         config.link = LinkQuality::lossy(0.3);
         let cluster = Cluster::start(path(3), config);
-        assert!(cluster.wait_for_rounds(60, Duration::from_secs(15)));
-        let snapshot = cluster.snapshot();
+        // Wall-clock convergence under 30% loss depends on thread
+        // scheduling: poll for a converged snapshot with a deadline
+        // instead of asserting after a fixed round count.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let snapshot = loop {
+            assert!(cluster.wait_for_rounds(20, Duration::from_secs(10)));
+            let snapshot = cluster.snapshot();
+            if snapshot.agreement() && snapshot.group_count() == 1 {
+                break snapshot;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "no convergence within the deadline; views: {:?}",
+                snapshot.views
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        };
         cluster.shutdown();
         assert!(snapshot.agreement(), "views: {:?}", snapshot.views);
         assert_eq!(snapshot.group_count(), 1);

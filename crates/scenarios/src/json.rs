@@ -1,0 +1,230 @@
+//! A minimal JSON document builder for `result.json` artifacts.
+//!
+//! Emission only (the harness never reads JSON back), with stable key order
+//! (insertion order) so the artifacts diff cleanly in CI.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    /// Non-finite floats serialise as `null` (JSON has no NaN/∞).
+    Float(f64),
+    Str(String),
+    Array(Vec<Json>),
+    /// Insertion-ordered object.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Insert (or append) a key — builder style.
+    pub fn with(mut self, key: &str, value: impl Into<Json>) -> Json {
+        if let Json::Object(entries) = &mut self {
+            entries.push((key.to_string(), value.into()));
+        } else {
+            panic!("with() on a non-object Json value");
+        }
+        self
+    }
+
+    /// Serialise with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // ensure a decimal point so the value reads back as float
+                    let s = format!("{f}");
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pretty())
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(i: u64) -> Json {
+        Json::Int(i as i64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(i: usize) -> Json {
+        Json::Int(i as i64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(f: f64) -> Json {
+        Json::Float(f)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(items: Vec<T>) -> Json {
+        Json::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(opt: Option<T>) -> Json {
+        match opt {
+            Some(v) => v.into(),
+            None => Json::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_documents() {
+        let doc = Json::object()
+            .with("name", "line \"quoted\"")
+            .with("count", 3u64)
+            .with("ratio", 0.5)
+            .with("whole", Json::Float(2.0))
+            .with("missing", Json::Null)
+            .with("flags", vec![true, false])
+            .with("inner", Json::object().with("k", "v"));
+        let text = doc.pretty();
+        assert!(text.contains("\"name\": \"line \\\"quoted\\\"\""));
+        assert!(text.contains("\"count\": 3"));
+        assert!(text.contains("\"ratio\": 0.5"));
+        assert!(
+            text.contains("\"whole\": 2.0"),
+            "floats keep a decimal point: {text}"
+        );
+        assert!(text.contains("\"missing\": null"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Float(f64::NAN).pretty().trim(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).pretty().trim(), "null");
+    }
+
+    #[test]
+    fn empty_collections_are_compact() {
+        let doc = Json::object()
+            .with("a", Json::Array(vec![]))
+            .with("o", Json::object());
+        assert!(doc.pretty().contains("\"a\": []"));
+        assert!(doc.pretty().contains("\"o\": {}"));
+    }
+}

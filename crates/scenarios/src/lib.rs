@@ -1,0 +1,121 @@
+//! # scenarios — declarative scenario-conformance harness
+//!
+//! This crate turns the GRP reproduction into a conformance-testable
+//! system: a scenario is a 20-line TOML manifest instead of a new Rust
+//! module. A manifest declares
+//!
+//! * the workload — an explicit topology generator, or a mobility model
+//!   plus a radio model (spatial mode);
+//! * the protocol parameters (`Dmax`, ablation switches) and simulator
+//!   timing (`τ1`/`τ2`, loss, delays, seeds);
+//! * an optional transient-fault plan and a churn schedule (topology
+//!   mutations between compute rounds);
+//! * the predicates the run must satisfy: convergence deadlines, final
+//!   legitimacy (ΠA/ΠS/ΠM), the best-effort continuity conformance ratio
+//!   (ΠT ⇒ ΠC), group-count bounds, delivery-ratio floors;
+//! * pinned golden trace digests — same manifest + same seed must
+//!   reproduce byte-identical observable behaviour forever.
+//!
+//! The headless [`runner`] executes manifests and emits a machine-readable
+//! [`result`]`.json` artifact per scenario; the `scenario-runner` binary
+//! wraps this for CI. See `docs/SCENARIOS.md` for the manifest and result
+//! schemas, and `tests/scenarios/` at the workspace root for the curated
+//! suite.
+
+pub mod json;
+pub mod manifest;
+pub mod result;
+pub mod runner;
+pub mod toml;
+
+pub use manifest::{ScenarioManifest, SCHEMA_VERSION};
+pub use result::{to_json, write_result, RESULT_SCHEMA_VERSION};
+pub use runner::{
+    apply_churn_action, build_simulator, build_topology, grp_config_of, run_scenario, run_seed,
+    snapshot_active, ScenarioOutcome,
+};
+
+use std::path::{Path, PathBuf};
+
+/// Locate every `*.toml` manifest under a directory (sorted by file name,
+/// so suite order is stable across platforms).
+pub fn discover_manifests(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok())
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "toml"))
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+/// Load, execute and report one manifest: prints a PASS/FAIL line per
+/// (scenario, seed) with failed-assertion details, writes the `result.json`
+/// artifact, and returns the outcome. Returns `None` (after printing the
+/// error) when the manifest cannot be loaded or the artifact cannot be
+/// written. Shared by the `scenario-runner` binary and the
+/// `grp-experiments scenario` mode so the two CLIs cannot drift.
+pub fn execute_and_report(path: &Path, out_dir: &Path) -> Option<ScenarioOutcome> {
+    let manifest = match ScenarioManifest::load(path) {
+        Ok(m) => m,
+        Err(err) => {
+            eprintln!("{err}");
+            return None;
+        }
+    };
+    let outcome = runner::run_scenario(&manifest);
+    for run in &outcome.runs {
+        let verdict = if run.pass { "PASS" } else { "FAIL" };
+        println!(
+            "{verdict} {name} seed={seed} rounds={rounds} groups={groups} converged={conv} digest={digest}",
+            name = manifest.name,
+            seed = run.seed,
+            rounds = run.rounds,
+            groups = run.final_snapshot.group_count(),
+            conv = run
+                .converged_round
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "never".into()),
+            digest = &run.digest.to_hex()[..16],
+        );
+        for a in run.assertions.iter().filter(|a| !a.pass) {
+            println!(
+                "     ✗ {}: expected {}, observed {}",
+                a.name, a.expected, a.observed
+            );
+        }
+    }
+    match write_result(&outcome, out_dir) {
+        Ok(artifact) => {
+            println!("     wrote {}", artifact.display());
+            Some(outcome)
+        }
+        Err(err) => {
+            eprintln!("cannot write result for {}: {err}", manifest.name);
+            None
+        }
+    }
+}
+
+/// Did every assertion *except* the golden-digest pin pass? This is the
+/// pass criterion while re-pinning digests with `--update-golden`: the old
+/// pinned digest is expected to mismatch, but a failing behavioural
+/// assertion must never be silently pinned over.
+pub fn passes_ignoring_golden(outcome: &ScenarioOutcome) -> bool {
+    outcome.runs.iter().all(|run| {
+        run.assertions
+            .iter()
+            .filter(|a| a.name != "golden_digest")
+            .all(|a| a.pass)
+    })
+}
+
+/// The workspace-relative directory holding the curated scenario suite.
+/// Resolved from the crate's manifest directory so tests work regardless of
+/// the process working directory.
+pub fn suite_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/scenarios")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("tests/scenarios"))
+}

@@ -1,0 +1,137 @@
+//! `scenario-runner` — execute scenario manifests headlessly.
+//!
+//! ```text
+//! scenario-runner [--out DIR] [--update-golden] MANIFEST.toml...
+//! scenario-runner --suite [DIR]     # run every manifest in DIR (default tests/scenarios)
+//! ```
+//!
+//! Each scenario writes `<out>/<name>.result.json` (default
+//! `results/scenarios/`) and prints a one-line verdict per run. Exit code 0
+//! iff every assertion of every scenario passed.
+//!
+//! `--update-golden` re-pins the golden digests: the `[golden]` section of
+//! each manifest is rewritten in place with the digests of this execution.
+//! The section must be the last one in the file (the curated manifests keep
+//! it there). Stale-digest mismatches are expected while re-pinning, but a
+//! failing *behavioural* assertion still fails the process — a broken run
+//! is never silently pinned over.
+
+use scenarios::{discover_manifests, execute_and_report, passes_ignoring_golden, suite_dir};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = PathBuf::from("results/scenarios");
+    let mut update_golden = false;
+    let mut use_suite = false;
+    let mut manifests: Vec<PathBuf> = Vec::new();
+
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => {
+                let Some(dir) = iter.next() else {
+                    eprintln!("--out requires a directory argument");
+                    return ExitCode::from(2);
+                };
+                out_dir = PathBuf::from(dir);
+            }
+            "--update-golden" => update_golden = true,
+            "--suite" => use_suite = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: scenario-runner [--out DIR] [--update-golden] [--suite [DIR] | MANIFEST.toml...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => manifests.push(PathBuf::from(other)),
+        }
+    }
+
+    if use_suite {
+        let dir = manifests.pop().unwrap_or_else(suite_dir);
+        match discover_manifests(&dir) {
+            Ok(found) if !found.is_empty() => manifests = found,
+            Ok(_) => {
+                eprintln!("no manifests found under {}", dir.display());
+                return ExitCode::from(2);
+            }
+            Err(err) => {
+                eprintln!("cannot list {}: {err}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if manifests.is_empty() {
+        eprintln!("no manifests given (try --suite)");
+        return ExitCode::from(2);
+    }
+
+    let mut all_pass = true;
+    for path in &manifests {
+        let Some(outcome) = execute_and_report(path, &out_dir) else {
+            all_pass = false;
+            continue;
+        };
+        if update_golden {
+            // the old pinned digest is allowed to mismatch while re-pinning,
+            // but behavioural assertion failures must not be pinned over
+            if !passes_ignoring_golden(&outcome) {
+                eprintln!(
+                    "refusing exit 0: {} has failing behavioural assertions",
+                    outcome.manifest.name
+                );
+                all_pass = false;
+            }
+            if let Err(err) = rewrite_golden(path, &outcome) {
+                eprintln!("cannot update golden digests in {}: {err}", path.display());
+                all_pass = false;
+            } else {
+                println!("     pinned {} golden digest(s)", outcome.runs.len());
+            }
+        } else if !outcome.pass {
+            all_pass = false;
+        }
+    }
+
+    if all_pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Replace (or append) the manifest's trailing `[golden]` section with the
+/// digests of this execution. The section is located by a line-anchored
+/// header match, so `[golden]` appearing in a comment or a string earlier
+/// in the file is never mistaken for it.
+fn rewrite_golden(path: &PathBuf, outcome: &scenarios::ScenarioOutcome) -> std::io::Result<()> {
+    let original = std::fs::read_to_string(path)?;
+    let header_offset = {
+        let mut offset = 0usize;
+        let mut found = None;
+        for line in original.split_inclusive('\n') {
+            if line.trim() == "[golden]" {
+                found = Some(offset);
+                break;
+            }
+            offset += line.len();
+        }
+        found
+    };
+    let body = match header_offset {
+        Some(idx) => original[..idx].trim_end().to_string(),
+        None => original.trim_end().to_string(),
+    };
+    let digests: Vec<String> = outcome
+        .runs
+        .iter()
+        .map(|r| format!("\"{}\"", r.digest.to_hex()))
+        .collect();
+    let updated = format!(
+        "{body}\n\n[golden]\ndigests = [\n    {}\n]\n",
+        digests.join(",\n    ")
+    );
+    std::fs::write(path, updated)
+}

@@ -1,0 +1,984 @@
+//! The scenario manifest schema (v1) and its TOML loader.
+//!
+//! A manifest declares *one* workload for the GRP conformance harness: how
+//! the topology comes to be (generator or mobility + radio), the protocol
+//! and simulator parameters, an optional fault plan and churn schedule, the
+//! predicates the run must satisfy, and the golden trace digests pinned by
+//! the regression suite. See `docs/SCENARIOS.md` for the narrative
+//! documentation of every field.
+
+use crate::toml::{self, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Manifest schema version understood by this crate.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// Errors produced while loading a manifest.
+#[derive(Debug)]
+pub struct ManifestError(pub String);
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "manifest error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+fn bad<T>(msg: impl Into<String>) -> Result<T, ManifestError> {
+    Err(ManifestError(msg.into()))
+}
+
+/// How the communication topology is produced.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologySpec {
+    /// Explicit-mode generator from `dyngraph::generators`.
+    Path {
+        n: usize,
+    },
+    Ring {
+        n: usize,
+    },
+    Grid {
+        rows: usize,
+        cols: usize,
+    },
+    Complete {
+        n: usize,
+    },
+    Star {
+        n: usize,
+    },
+    Clustered {
+        clusters: usize,
+        cluster_size: usize,
+    },
+    ErdosRenyi {
+        n: usize,
+        p: f64,
+    },
+    RandomGeometric {
+        n: usize,
+        side: f64,
+        radius: f64,
+    },
+}
+
+impl TopologySpec {
+    /// Number of nodes the generated topology will contain.
+    pub fn node_count(&self) -> usize {
+        match *self {
+            TopologySpec::Path { n }
+            | TopologySpec::Ring { n }
+            | TopologySpec::Complete { n }
+            | TopologySpec::Star { n }
+            | TopologySpec::ErdosRenyi { n, .. }
+            | TopologySpec::RandomGeometric { n, .. } => n,
+            TopologySpec::Grid { rows, cols } => rows * cols,
+            TopologySpec::Clustered {
+                clusters,
+                cluster_size,
+            } => clusters * cluster_size,
+        }
+    }
+}
+
+/// Mobility models for spatial mode.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MobilitySpec {
+    StationaryLine {
+        n: usize,
+        spacing: f64,
+    },
+    StationaryUniform {
+        n: usize,
+        width: f64,
+        height: f64,
+    },
+    RandomWalk {
+        n: usize,
+        width: f64,
+        height: f64,
+        max_step: f64,
+    },
+    Waypoint {
+        n: usize,
+        width: f64,
+        height: f64,
+        speed_min: f64,
+        speed_max: f64,
+    },
+    Highway {
+        n: usize,
+        lanes: usize,
+        road_length: f64,
+        initial_gap: f64,
+        speed_min: f64,
+        speed_max: f64,
+    },
+}
+
+impl MobilitySpec {
+    pub fn node_count(&self) -> usize {
+        match *self {
+            MobilitySpec::StationaryLine { n, .. }
+            | MobilitySpec::StationaryUniform { n, .. }
+            | MobilitySpec::RandomWalk { n, .. }
+            | MobilitySpec::Waypoint { n, .. }
+            | MobilitySpec::Highway { n, .. } => n,
+        }
+    }
+}
+
+/// Radio (vicinity) models for spatial mode.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RadioSpec {
+    UnitDisk { range: f64 },
+    LossyDisk { range: f64, loss: f64 },
+    DistanceLoss { range: f64, edge_loss: f64 },
+}
+
+/// Either an explicit generator or a mobility + radio pair.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadSpec {
+    Explicit(TopologySpec),
+    Spatial {
+        mobility: MobilitySpec,
+        radio: RadioSpec,
+    },
+}
+
+impl WorkloadSpec {
+    pub fn node_count(&self) -> usize {
+        match self {
+            WorkloadSpec::Explicit(t) => t.node_count(),
+            WorkloadSpec::Spatial { mobility, .. } => mobility.node_count(),
+        }
+    }
+}
+
+/// One scheduled transient fault (absolute simulation time, in ticks).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSpec {
+    pub at: u64,
+    pub kind: FaultKindSpec,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKindSpec {
+    Crash { node: u64 },
+    Restart { node: u64 },
+    Corrupt { node: u64 },
+    LossBurst { duration: u64 },
+}
+
+/// One topology mutation applied *before* the given compute round
+/// (explicit mode only).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChurnSpec {
+    pub at_round: u64,
+    pub action: ChurnAction,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChurnAction {
+    LinkUp {
+        a: u64,
+        b: u64,
+    },
+    LinkDown {
+        a: u64,
+        b: u64,
+    },
+    /// A fresh node joins with the listed links.
+    NodeJoin {
+        node: u64,
+        links: Vec<u64>,
+    },
+    /// A node leaves the system (removed from the topology, deactivated).
+    NodeLeave {
+        node: u64,
+    },
+}
+
+/// Simulator timing/channel parameters. Defaults mirror
+/// `netsim::SimConfig::default()`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimSpec {
+    pub seeds: Vec<u64>,
+    pub rounds: u64,
+    pub send_period: u64,
+    pub compute_period: u64,
+    pub mobility_period: u64,
+    pub delivery_delay: u64,
+    pub loss: f64,
+    pub stagger_phases: bool,
+}
+
+impl Default for SimSpec {
+    fn default() -> Self {
+        SimSpec {
+            seeds: vec![1],
+            rounds: 60,
+            send_period: 250,
+            compute_period: 1000,
+            mobility_period: 1000,
+            delivery_delay: 10,
+            loss: 0.0,
+            stagger_phases: true,
+        }
+    }
+}
+
+/// Protocol parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProtocolSpec {
+    pub dmax: usize,
+    pub naive_compatibility: bool,
+    pub disable_quarantine: bool,
+}
+
+impl Default for ProtocolSpec {
+    fn default() -> Self {
+        ProtocolSpec {
+            dmax: 3,
+            naive_compatibility: false,
+            disable_quarantine: false,
+        }
+    }
+}
+
+/// Pass/fail predicates evaluated on the completed run. All fields are
+/// optional; absent fields assert nothing.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AssertionSpec {
+    /// The run must reach its closed legitimate suffix by this round
+    /// (0-based snapshot index).
+    pub converged_by: Option<u64>,
+    /// Upper bound on the number of rounds the manifest may configure —
+    /// a conformance budget guard, checked against `sim.rounds`.
+    pub max_rounds: Option<u64>,
+    /// ΠT ⇒ ΠC conformance: among snapshot transitions whose topology
+    /// change satisfied ΠT, at least this fraction must satisfy ΠC.
+    pub view_continuity: Option<f64>,
+    /// Final-snapshot predicates.
+    pub agreement: Option<bool>,
+    pub safety: Option<bool>,
+    pub maximality: Option<bool>,
+    pub legitimate: Option<bool>,
+    /// Bounds on the number of groups in the final snapshot.
+    pub min_groups: Option<u64>,
+    pub max_groups: Option<u64>,
+    /// Lower bound on the delivery ratio over the whole run.
+    pub min_delivery_ratio: Option<f64>,
+}
+
+/// Golden digests, one per seed (aligned with `sim.seeds`). Empty when the
+/// manifest has not been pinned yet.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GoldenSpec {
+    pub digests: Vec<String>,
+}
+
+/// A fully parsed scenario manifest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioManifest {
+    pub name: String,
+    pub description: String,
+    pub workload: WorkloadSpec,
+    pub protocol: ProtocolSpec,
+    pub sim: SimSpec,
+    pub faults: Vec<FaultSpec>,
+    pub churn: Vec<ChurnSpec>,
+    pub assertions: AssertionSpec,
+    pub golden: GoldenSpec,
+}
+
+impl ScenarioManifest {
+    /// Load from a TOML string.
+    pub fn parse(input: &str) -> Result<Self, ManifestError> {
+        let root = toml::parse(input).map_err(|e| ManifestError(e.to_string()))?;
+        Self::from_root(&root)
+    }
+
+    /// Load from a file.
+    pub fn load(path: &Path) -> Result<Self, ManifestError> {
+        let input = std::fs::read_to_string(path)
+            .map_err(|e| ManifestError(format!("cannot read {}: {e}", path.display())))?;
+        Self::parse(&input).map_err(|e| ManifestError(format!("{}: {}", path.display(), e.0)))
+    }
+
+    fn from_root(root: &BTreeMap<String, Value>) -> Result<Self, ManifestError> {
+        let schema = get_int(root, "schema")?.unwrap_or(SCHEMA_VERSION);
+        if schema != SCHEMA_VERSION {
+            return bad(format!(
+                "unsupported schema version {schema} (this runner understands {SCHEMA_VERSION})"
+            ));
+        }
+        let Some(name) = root.get("name").and_then(Value::as_str) else {
+            return bad("missing required `name`");
+        };
+        let description = root
+            .get("description")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+
+        let workload = parse_workload(root)?;
+        let protocol = parse_protocol(root.get("protocol"))?;
+        let sim = parse_sim(root.get("sim"))?;
+        let faults = parse_faults(root.get("faults"))?;
+        let churn = parse_churn(root.get("churn"))?;
+        if !churn.is_empty() && matches!(workload, WorkloadSpec::Spatial { .. }) {
+            return bad("churn schedules require an explicit [topology]; spatial topologies are owned by the radio model");
+        }
+        let assertions = parse_assertions(root.get("assertions"))?;
+        let golden = parse_golden(root.get("golden"))?;
+        if !golden.digests.is_empty() && golden.digests.len() != sim.seeds.len() {
+            return bad(format!(
+                "golden.digests has {} entries but sim.seeds has {} — they must align",
+                golden.digests.len(),
+                sim.seeds.len()
+            ));
+        }
+
+        Ok(ScenarioManifest {
+            name: name.to_string(),
+            description,
+            workload,
+            protocol,
+            sim,
+            faults,
+            churn,
+            assertions,
+            golden,
+        })
+    }
+}
+
+// ---- field helpers -------------------------------------------------------
+
+fn get_int(table: &BTreeMap<String, Value>, key: &str) -> Result<Option<i64>, ManifestError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(v) => match v.as_int() {
+            Some(i) => Ok(Some(i)),
+            None => bad(format!("`{key}` must be an integer")),
+        },
+    }
+}
+
+fn req_usize(
+    table: &BTreeMap<String, Value>,
+    key: &str,
+    ctx: &str,
+) -> Result<usize, ManifestError> {
+    match table.get(key).and_then(Value::as_int) {
+        Some(i) if i >= 0 => Ok(i as usize),
+        _ => bad(format!(
+            "{ctx}: missing or invalid `{key}` (non-negative integer)"
+        )),
+    }
+}
+
+fn req_u64(table: &BTreeMap<String, Value>, key: &str, ctx: &str) -> Result<u64, ManifestError> {
+    match table.get(key).and_then(Value::as_int) {
+        Some(i) if i >= 0 => Ok(i as u64),
+        _ => bad(format!(
+            "{ctx}: missing or invalid `{key}` (non-negative integer)"
+        )),
+    }
+}
+
+fn req_f64(table: &BTreeMap<String, Value>, key: &str, ctx: &str) -> Result<f64, ManifestError> {
+    match table.get(key).and_then(Value::as_float) {
+        Some(f) => Ok(f),
+        None => bad(format!("{ctx}: missing or invalid `{key}` (number)")),
+    }
+}
+
+fn opt_f64(table: &BTreeMap<String, Value>, key: &str, default: f64) -> Result<f64, ManifestError> {
+    match table.get(key) {
+        None => Ok(default),
+        Some(v) => match v.as_float() {
+            Some(f) => Ok(f),
+            None => bad(format!("`{key}` must be a number")),
+        },
+    }
+}
+
+fn opt_u64(table: &BTreeMap<String, Value>, key: &str, default: u64) -> Result<u64, ManifestError> {
+    match table.get(key) {
+        None => Ok(default),
+        Some(v) => match v.as_int() {
+            Some(i) if i >= 0 => Ok(i as u64),
+            _ => bad(format!("`{key}` must be a non-negative integer")),
+        },
+    }
+}
+
+fn opt_bool(
+    table: &BTreeMap<String, Value>,
+    key: &str,
+    default: bool,
+) -> Result<bool, ManifestError> {
+    match table.get(key) {
+        None => Ok(default),
+        Some(v) => match v.as_bool() {
+            Some(b) => Ok(b),
+            None => bad(format!("`{key}` must be a boolean")),
+        },
+    }
+}
+
+fn parse_workload(root: &BTreeMap<String, Value>) -> Result<WorkloadSpec, ManifestError> {
+    let topology = root.get("topology");
+    let mobility = root.get("mobility");
+    let radio = root.get("radio");
+    match (topology, mobility, radio) {
+        (Some(t), None, None) => {
+            let t = t
+                .as_table()
+                .ok_or_else(|| ManifestError("[topology] must be a table".into()))?;
+            Ok(WorkloadSpec::Explicit(parse_topology(t)?))
+        }
+        (None, Some(m), Some(r)) => {
+            let m = m
+                .as_table()
+                .ok_or_else(|| ManifestError("[mobility] must be a table".into()))?;
+            let r = r
+                .as_table()
+                .ok_or_else(|| ManifestError("[radio] must be a table".into()))?;
+            Ok(WorkloadSpec::Spatial {
+                mobility: parse_mobility(m)?,
+                radio: parse_radio(r)?,
+            })
+        }
+        (None, Some(_), None) | (None, None, Some(_)) => {
+            bad("spatial scenarios need both [mobility] and [radio]")
+        }
+        (Some(_), _, _) => bad("[topology] is mutually exclusive with [mobility]/[radio]"),
+        (None, None, None) => bad("missing workload: provide [topology] or [mobility]+[radio]"),
+    }
+}
+
+fn parse_topology(t: &BTreeMap<String, Value>) -> Result<TopologySpec, ManifestError> {
+    let kind = t
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ManifestError("[topology]: missing `kind`".into()))?;
+    let ctx = "[topology]";
+    match kind {
+        "path" => Ok(TopologySpec::Path {
+            n: req_usize(t, "n", ctx)?,
+        }),
+        "ring" => Ok(TopologySpec::Ring {
+            n: req_usize(t, "n", ctx)?,
+        }),
+        "grid" => Ok(TopologySpec::Grid {
+            rows: req_usize(t, "rows", ctx)?,
+            cols: req_usize(t, "cols", ctx)?,
+        }),
+        "complete" => Ok(TopologySpec::Complete {
+            n: req_usize(t, "n", ctx)?,
+        }),
+        "star" => Ok(TopologySpec::Star {
+            n: req_usize(t, "n", ctx)?,
+        }),
+        "clustered" => Ok(TopologySpec::Clustered {
+            clusters: req_usize(t, "clusters", ctx)?,
+            cluster_size: req_usize(t, "cluster_size", ctx)?,
+        }),
+        "erdos_renyi" => Ok(TopologySpec::ErdosRenyi {
+            n: req_usize(t, "n", ctx)?,
+            p: req_f64(t, "p", ctx)?,
+        }),
+        "random_geometric" => Ok(TopologySpec::RandomGeometric {
+            n: req_usize(t, "n", ctx)?,
+            side: req_f64(t, "side", ctx)?,
+            radius: req_f64(t, "radius", ctx)?,
+        }),
+        other => bad(format!("[topology]: unknown kind `{other}`")),
+    }
+}
+
+fn parse_mobility(m: &BTreeMap<String, Value>) -> Result<MobilitySpec, ManifestError> {
+    let kind = m
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ManifestError("[mobility]: missing `kind`".into()))?;
+    let ctx = "[mobility]";
+    let n = req_usize(m, "n", ctx)?;
+    match kind {
+        "stationary_line" => Ok(MobilitySpec::StationaryLine {
+            n,
+            spacing: req_f64(m, "spacing", ctx)?,
+        }),
+        "stationary_uniform" => Ok(MobilitySpec::StationaryUniform {
+            n,
+            width: req_f64(m, "width", ctx)?,
+            height: req_f64(m, "height", ctx)?,
+        }),
+        "random_walk" => Ok(MobilitySpec::RandomWalk {
+            n,
+            width: req_f64(m, "width", ctx)?,
+            height: req_f64(m, "height", ctx)?,
+            max_step: req_f64(m, "max_step", ctx)?,
+        }),
+        "waypoint" => Ok(MobilitySpec::Waypoint {
+            n,
+            width: req_f64(m, "width", ctx)?,
+            height: req_f64(m, "height", ctx)?,
+            speed_min: req_f64(m, "speed_min", ctx)?,
+            speed_max: req_f64(m, "speed_max", ctx)?,
+        }),
+        "highway" => Ok(MobilitySpec::Highway {
+            n,
+            lanes: req_usize(m, "lanes", ctx)?,
+            road_length: req_f64(m, "road_length", ctx)?,
+            initial_gap: req_f64(m, "initial_gap", ctx)?,
+            speed_min: req_f64(m, "speed_min", ctx)?,
+            speed_max: req_f64(m, "speed_max", ctx)?,
+        }),
+        other => bad(format!("[mobility]: unknown kind `{other}`")),
+    }
+}
+
+fn parse_radio(r: &BTreeMap<String, Value>) -> Result<RadioSpec, ManifestError> {
+    let kind = r
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ManifestError("[radio]: missing `kind`".into()))?;
+    let ctx = "[radio]";
+    match kind {
+        "unit_disk" => Ok(RadioSpec::UnitDisk {
+            range: req_f64(r, "range", ctx)?,
+        }),
+        "lossy_disk" => Ok(RadioSpec::LossyDisk {
+            range: req_f64(r, "range", ctx)?,
+            loss: req_f64(r, "loss", ctx)?,
+        }),
+        "distance_loss" => Ok(RadioSpec::DistanceLoss {
+            range: req_f64(r, "range", ctx)?,
+            edge_loss: req_f64(r, "edge_loss", ctx)?,
+        }),
+        other => bad(format!("[radio]: unknown kind `{other}`")),
+    }
+}
+
+fn parse_protocol(value: Option<&Value>) -> Result<ProtocolSpec, ManifestError> {
+    let Some(value) = value else {
+        return Ok(ProtocolSpec::default());
+    };
+    let t = value
+        .as_table()
+        .ok_or_else(|| ManifestError("[protocol] must be a table".into()))?;
+    Ok(ProtocolSpec {
+        dmax: req_usize(t, "dmax", "[protocol]")?,
+        naive_compatibility: opt_bool(t, "naive_compatibility", false)?,
+        disable_quarantine: opt_bool(t, "disable_quarantine", false)?,
+    })
+}
+
+fn parse_sim(value: Option<&Value>) -> Result<SimSpec, ManifestError> {
+    let default = SimSpec::default();
+    let Some(value) = value else {
+        return Ok(default);
+    };
+    let t = value
+        .as_table()
+        .ok_or_else(|| ManifestError("[sim] must be a table".into()))?;
+    let seeds = match t.get("seeds") {
+        None => vec![opt_u64(t, "seed", 1)?],
+        Some(v) => {
+            let items = v
+                .as_array()
+                .ok_or_else(|| ManifestError("`seeds` must be an array".into()))?;
+            let mut seeds = Vec::new();
+            for item in items {
+                match item.as_int() {
+                    Some(i) if i >= 0 => seeds.push(i as u64),
+                    _ => return bad("`seeds` entries must be non-negative integers"),
+                }
+            }
+            if seeds.is_empty() {
+                return bad("`seeds` must not be empty");
+            }
+            seeds
+        }
+    };
+    Ok(SimSpec {
+        seeds,
+        rounds: opt_u64(t, "rounds", default.rounds)?,
+        send_period: opt_u64(t, "send_period", default.send_period)?,
+        compute_period: opt_u64(t, "compute_period", default.compute_period)?,
+        mobility_period: opt_u64(t, "mobility_period", default.mobility_period)?,
+        delivery_delay: opt_u64(t, "delivery_delay", default.delivery_delay)?,
+        loss: opt_f64(t, "loss", default.loss)?,
+        stagger_phases: opt_bool(t, "stagger_phases", default.stagger_phases)?,
+    })
+}
+
+fn parse_faults(value: Option<&Value>) -> Result<Vec<FaultSpec>, ManifestError> {
+    let Some(value) = value else {
+        return Ok(Vec::new());
+    };
+    let items = value
+        .as_array()
+        .ok_or_else(|| ManifestError("[[faults]] must be an array of tables".into()))?;
+    let mut faults = Vec::new();
+    for item in items {
+        let t = item
+            .as_table()
+            .ok_or_else(|| ManifestError("each fault must be a table".into()))?;
+        let at = req_u64(t, "at", "[[faults]]")?;
+        let kind = t
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ManifestError("[[faults]]: missing `kind`".into()))?;
+        let kind = match kind {
+            "crash" => FaultKindSpec::Crash {
+                node: req_u64(t, "node", "[[faults]]")?,
+            },
+            "restart" => FaultKindSpec::Restart {
+                node: req_u64(t, "node", "[[faults]]")?,
+            },
+            "corrupt" => FaultKindSpec::Corrupt {
+                node: req_u64(t, "node", "[[faults]]")?,
+            },
+            "loss_burst" => FaultKindSpec::LossBurst {
+                duration: req_u64(t, "duration", "[[faults]]")?,
+            },
+            other => return bad(format!("[[faults]]: unknown kind `{other}`")),
+        };
+        faults.push(FaultSpec { at, kind });
+    }
+    Ok(faults)
+}
+
+fn parse_churn(value: Option<&Value>) -> Result<Vec<ChurnSpec>, ManifestError> {
+    let Some(value) = value else {
+        return Ok(Vec::new());
+    };
+    let items = value
+        .as_array()
+        .ok_or_else(|| ManifestError("[[churn]] must be an array of tables".into()))?;
+    let mut churn = Vec::new();
+    for item in items {
+        let t = item
+            .as_table()
+            .ok_or_else(|| ManifestError("each churn entry must be a table".into()))?;
+        let at_round = req_u64(t, "at_round", "[[churn]]")?;
+        let action = t
+            .get("action")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ManifestError("[[churn]]: missing `action`".into()))?;
+        let action = match action {
+            "link_up" => ChurnAction::LinkUp {
+                a: req_u64(t, "a", "[[churn]]")?,
+                b: req_u64(t, "b", "[[churn]]")?,
+            },
+            "link_down" => ChurnAction::LinkDown {
+                a: req_u64(t, "a", "[[churn]]")?,
+                b: req_u64(t, "b", "[[churn]]")?,
+            },
+            "node_join" => {
+                let links = match t.get("links") {
+                    None => Vec::new(),
+                    Some(v) => {
+                        let arr = v
+                            .as_array()
+                            .ok_or_else(|| ManifestError("`links` must be an array".into()))?;
+                        let mut links = Vec::new();
+                        for l in arr {
+                            match l.as_int() {
+                                Some(i) if i >= 0 => links.push(i as u64),
+                                _ => return bad("`links` entries must be node ids"),
+                            }
+                        }
+                        links
+                    }
+                };
+                ChurnAction::NodeJoin {
+                    node: req_u64(t, "node", "[[churn]]")?,
+                    links,
+                }
+            }
+            "node_leave" => ChurnAction::NodeLeave {
+                node: req_u64(t, "node", "[[churn]]")?,
+            },
+            other => return bad(format!("[[churn]]: unknown action `{other}`")),
+        };
+        churn.push(ChurnSpec { at_round, action });
+    }
+    churn.sort_by_key(|c| c.at_round);
+    Ok(churn)
+}
+
+fn parse_assertions(value: Option<&Value>) -> Result<AssertionSpec, ManifestError> {
+    let Some(value) = value else {
+        return Ok(AssertionSpec::default());
+    };
+    let t = value
+        .as_table()
+        .ok_or_else(|| ManifestError("[assertions] must be a table".into()))?;
+    let opt_bool_field = |key: &str| -> Result<Option<bool>, ManifestError> {
+        match t.get(key) {
+            None => Ok(None),
+            Some(v) => match v.as_bool() {
+                Some(b) => Ok(Some(b)),
+                None => bad(format!("[assertions]: `{key}` must be a boolean")),
+            },
+        }
+    };
+    let opt_u64_field = |key: &str| -> Result<Option<u64>, ManifestError> {
+        match t.get(key) {
+            None => Ok(None),
+            Some(v) => match v.as_int() {
+                Some(i) if i >= 0 => Ok(Some(i as u64)),
+                _ => bad(format!(
+                    "[assertions]: `{key}` must be a non-negative integer"
+                )),
+            },
+        }
+    };
+    let opt_f64_field = |key: &str| -> Result<Option<f64>, ManifestError> {
+        match t.get(key) {
+            None => Ok(None),
+            Some(v) => match v.as_float() {
+                Some(f) => Ok(Some(f)),
+                None => bad(format!("[assertions]: `{key}` must be a number")),
+            },
+        }
+    };
+    Ok(AssertionSpec {
+        converged_by: opt_u64_field("converged_by")?,
+        max_rounds: opt_u64_field("max_rounds")?,
+        view_continuity: opt_f64_field("view_continuity")?,
+        agreement: opt_bool_field("agreement")?,
+        safety: opt_bool_field("safety")?,
+        maximality: opt_bool_field("maximality")?,
+        legitimate: opt_bool_field("legitimate")?,
+        min_groups: opt_u64_field("min_groups")?,
+        max_groups: opt_u64_field("max_groups")?,
+        min_delivery_ratio: opt_f64_field("min_delivery_ratio")?,
+    })
+}
+
+fn parse_golden(value: Option<&Value>) -> Result<GoldenSpec, ManifestError> {
+    let Some(value) = value else {
+        return Ok(GoldenSpec::default());
+    };
+    let t = value
+        .as_table()
+        .ok_or_else(|| ManifestError("[golden] must be a table".into()))?;
+    let digests = match t.get("digests") {
+        None => Vec::new(),
+        Some(v) => {
+            let arr = v
+                .as_array()
+                .ok_or_else(|| ManifestError("`digests` must be an array of strings".into()))?;
+            let mut out = Vec::new();
+            for d in arr {
+                match d.as_str() {
+                    Some(s) => out.push(s.to_string()),
+                    None => return bad("`digests` entries must be strings"),
+                }
+            }
+            out
+        }
+    };
+    Ok(GoldenSpec { digests })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"
+schema = 1
+name = "minimal"
+
+[topology]
+kind = "path"
+n = 4
+"#;
+
+    #[test]
+    fn minimal_manifest_uses_defaults() {
+        let m = ScenarioManifest::parse(MINIMAL).expect("parses");
+        assert_eq!(m.name, "minimal");
+        assert_eq!(m.protocol.dmax, 3);
+        assert_eq!(m.sim.seeds, vec![1]);
+        assert_eq!(m.sim.rounds, 60);
+        assert_eq!(m.workload.node_count(), 4);
+        assert!(m.faults.is_empty() && m.churn.is_empty());
+        assert_eq!(m.assertions, AssertionSpec::default());
+    }
+
+    #[test]
+    fn full_manifest_round_trips_every_section() {
+        let m = ScenarioManifest::parse(
+            r#"
+schema = 1
+name = "full"
+description = "everything at once"
+
+[protocol]
+dmax = 2
+naive_compatibility = true
+disable_quarantine = true
+
+[sim]
+seeds = [3, 5]
+rounds = 40
+send_period = 100
+compute_period = 400
+loss = 0.25
+stagger_phases = false
+
+[topology]
+kind = "grid"
+rows = 2
+cols = 3
+
+[[faults]]
+at = 5000
+kind = "crash"
+node = 1
+
+[[faults]]
+at = 9000
+kind = "loss_burst"
+duration = 2000
+
+[[churn]]
+at_round = 20
+action = "link_down"
+a = 0
+b = 1
+
+[[churn]]
+at_round = 10
+action = "node_join"
+node = 9
+links = [0, 3]
+
+[assertions]
+converged_by = 30
+view_continuity = 0.9
+agreement = true
+min_groups = 1
+max_groups = 4
+min_delivery_ratio = 0.5
+
+[golden]
+digests = ["aa", "bb"]
+"#,
+        )
+        .expect("parses");
+        assert_eq!(m.protocol.dmax, 2);
+        assert!(m.protocol.naive_compatibility && m.protocol.disable_quarantine);
+        assert_eq!(m.sim.seeds, vec![3, 5]);
+        assert!((m.sim.loss - 0.25).abs() < 1e-12);
+        assert!(!m.sim.stagger_phases);
+        assert_eq!(m.workload.node_count(), 6);
+        assert_eq!(m.faults.len(), 2);
+        assert!(matches!(
+            m.faults[1].kind,
+            FaultKindSpec::LossBurst { duration: 2000 }
+        ));
+        // churn is sorted by round
+        assert_eq!(m.churn[0].at_round, 10);
+        assert!(
+            matches!(&m.churn[0].action, ChurnAction::NodeJoin { node: 9, links } if links == &[0, 3])
+        );
+        assert_eq!(m.assertions.converged_by, Some(30));
+        assert_eq!(m.golden.digests.len(), 2);
+    }
+
+    #[test]
+    fn spatial_manifest_parses() {
+        let m = ScenarioManifest::parse(
+            r#"
+name = "spatial"
+
+[mobility]
+kind = "highway"
+n = 12
+lanes = 2
+road_length = 1000.0
+initial_gap = 20.0
+speed_min = 0.01
+speed_max = 0.03
+
+[radio]
+kind = "lossy_disk"
+range = 50.0
+loss = 0.1
+"#,
+        )
+        .expect("parses");
+        assert!(matches!(
+            m.workload,
+            WorkloadSpec::Spatial {
+                mobility: MobilitySpec::Highway {
+                    n: 12,
+                    lanes: 2,
+                    ..
+                },
+                radio: RadioSpec::LossyDisk { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_manifests() {
+        assert!(
+            ScenarioManifest::parse("name = \"x\"").is_err(),
+            "no workload"
+        );
+        assert!(ScenarioManifest::parse(
+            "schema = 99\nname = \"x\"\n[topology]\nkind = \"path\"\nn = 2"
+        )
+        .is_err());
+        assert!(
+            ScenarioManifest::parse("name = \"x\"\n[topology]\nkind = \"blob\"\nn = 2").is_err()
+        );
+        assert!(
+            ScenarioManifest::parse("name = \"x\"\n[mobility]\nkind = \"random_walk\"\nn = 2\nwidth = 1.0\nheight = 1.0\nmax_step = 0.1").is_err(),
+            "mobility without radio"
+        );
+        // churn on a spatial workload is rejected
+        let spatial_churn = r#"
+name = "x"
+[mobility]
+kind = "stationary_line"
+n = 3
+spacing = 10.0
+[radio]
+kind = "unit_disk"
+range = 15.0
+[[churn]]
+at_round = 1
+action = "link_down"
+a = 0
+b = 1
+"#;
+        assert!(ScenarioManifest::parse(spatial_churn).is_err());
+        // golden misaligned with seeds
+        let misaligned = r#"
+name = "x"
+[topology]
+kind = "path"
+n = 2
+[sim]
+seeds = [1, 2]
+[golden]
+digests = ["only-one"]
+"#;
+        assert!(ScenarioManifest::parse(misaligned).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! The `result.json` artifact (schema v1).
+//!
+//! One document per scenario, covering every seed the manifest declares.
+//! The layout is stable and insertion-ordered so CI artifacts diff cleanly;
+//! see `docs/SCENARIOS.md` for the field-by-field contract.
+
+use crate::json::Json;
+use crate::runner::{RunOutcome, ScenarioOutcome};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Result document schema version.
+pub const RESULT_SCHEMA_VERSION: i64 = 1;
+
+fn run_to_json(run: &RunOutcome, golden: Option<&String>) -> Json {
+    let last = &run.final_snapshot;
+    let dmax_groups: Vec<Json> = last
+        .groups()
+        .iter()
+        .map(|g| Json::Array(g.iter().map(|n| Json::Int(n.raw() as i64)).collect()))
+        .collect();
+    Json::object()
+        .with("seed", run.seed)
+        .with("rounds", run.rounds)
+        .with("nodes", run.nodes)
+        .with("digest", run.digest.to_hex())
+        .with("golden_digest", golden.cloned())
+        .with("digest_match", golden.map(|g| g == &run.digest.to_hex()))
+        .with("converged_round", run.converged_round)
+        .with(
+            "final",
+            Json::object()
+                .with("agreement", last.agreement())
+                .with("groups", last.group_count())
+                .with("mean_group_size", last.mean_group_size())
+                .with("group_members", Json::Array(dmax_groups)),
+        )
+        .with(
+            "continuity",
+            Json::object()
+                .with("transitions", run.continuity.transitions)
+                .with("pi_t_held", run.continuity.pi_t_held)
+                .with("pi_c_held_given_pi_t", run.continuity.pi_c_held_given_pi_t)
+                .with("view_continuity", run.continuity.view_continuity()),
+        )
+        .with(
+            "stats",
+            Json::object()
+                .with("broadcasts", run.stats.broadcasts)
+                .with("attempted", run.stats.attempted)
+                .with("delivered", run.stats.delivered)
+                .with("dropped", run.stats.dropped)
+                .with("delivered_bytes", run.stats.delivered_bytes)
+                .with("delivery_ratio", run.stats.delivery_ratio()),
+        )
+        .with(
+            "assertions",
+            Json::Array(
+                run.assertions
+                    .iter()
+                    .map(|a| {
+                        Json::object()
+                            .with("name", a.name.as_str())
+                            .with("expected", a.expected.as_str())
+                            .with("observed", a.observed.as_str())
+                            .with("pass", a.pass)
+                    })
+                    .collect(),
+            ),
+        )
+        .with("pass", run.pass)
+}
+
+/// Render the scenario outcome as the result.json document.
+pub fn to_json(outcome: &ScenarioOutcome) -> Json {
+    let manifest = &outcome.manifest;
+    Json::object()
+        .with("schema", RESULT_SCHEMA_VERSION)
+        .with("scenario", manifest.name.as_str())
+        .with("description", manifest.description.as_str())
+        .with("dmax", manifest.protocol.dmax)
+        .with(
+            "runs",
+            Json::Array(
+                outcome
+                    .runs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, run)| run_to_json(run, manifest.golden.digests.get(i)))
+                    .collect(),
+            ),
+        )
+        .with("pass", outcome.pass)
+}
+
+/// Write `<out_dir>/<scenario-name>.result.json`, creating the directory.
+pub fn write_result(outcome: &ScenarioOutcome, out_dir: &Path) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join(format!("{}.result.json", outcome.manifest.name));
+    std::fs::write(&path, to_json(outcome).pretty())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::ScenarioManifest;
+    use crate::runner::run_scenario;
+
+    #[test]
+    fn result_document_has_the_contract_fields() {
+        let manifest = ScenarioManifest::parse(
+            r#"
+name = "result-demo"
+[sim]
+rounds = 20
+seeds = [1, 2]
+[topology]
+kind = "path"
+n = 3
+[assertions]
+agreement = true
+"#,
+        )
+        .unwrap();
+        let outcome = run_scenario(&manifest);
+        let text = to_json(&outcome).pretty();
+        for field in [
+            "\"schema\": 1",
+            "\"scenario\": \"result-demo\"",
+            "\"runs\":",
+            "\"digest\":",
+            "\"converged_round\":",
+            "\"view_continuity\":",
+            "\"delivery_ratio\":",
+            "\"assertions\":",
+            "\"pass\":",
+        ] {
+            assert!(text.contains(field), "missing {field} in:\n{text}");
+        }
+        // two seeds ⇒ two runs
+        assert_eq!(outcome.runs.len(), 2);
+    }
+
+    #[test]
+    fn write_result_creates_the_artifact() {
+        let manifest = ScenarioManifest::parse(
+            r#"
+name = "result-write"
+[sim]
+rounds = 10
+[topology]
+kind = "path"
+n = 2
+"#,
+        )
+        .unwrap();
+        let outcome = run_scenario(&manifest);
+        let dir = std::env::temp_dir().join("scenarios-result-test");
+        let path = write_result(&outcome, &dir).expect("writes");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"scenario\": \"result-write\""));
+        std::fs::remove_file(path).ok();
+    }
+}

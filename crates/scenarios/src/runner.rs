@@ -1,0 +1,658 @@
+//! The headless scenario runner.
+//!
+//! [`run_scenario`] turns a [`ScenarioManifest`] into simulator executions —
+//! one per seed — evaluating the manifest's assertions on each and folding
+//! the full observable behaviour (per-round topologies, message statistics
+//! and every node's view) into a canonical [`TraceDigest`]. Same manifest +
+//! same seed ⇒ byte-identical digest; that is the contract the golden-trace
+//! regression tests pin.
+
+use crate::manifest::{
+    AssertionSpec, ChurnAction, FaultKindSpec, MobilitySpec, RadioSpec, ScenarioManifest,
+    TopologySpec, WorkloadSpec,
+};
+use dyngraph::{generators, Graph, NodeId, TopologyEvent};
+use grp_core::predicates::{pi_c, pi_t, SystemSnapshot};
+use grp_core::{ConvergenceDetector, GrpConfig, GrpNode};
+use netsim::mobility::{Highway, RandomWalk, RandomWaypoint, Stationary};
+use netsim::radio::{DistanceLossDisk, LossyDisk, UnitDisk};
+use netsim::{
+    CanonicalHasher, FaultKind, MessageStats, ScheduledFault, SimConfig, SimTime, Simulator,
+    TopologyMode, TraceDigest,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The outcome of one assertion on one run.
+#[derive(Clone, Debug)]
+pub struct AssertionResult {
+    pub name: String,
+    pub expected: String,
+    pub observed: String,
+    pub pass: bool,
+}
+
+impl AssertionResult {
+    fn new(name: &str, expected: impl ToString, observed: impl ToString, pass: bool) -> Self {
+        AssertionResult {
+            name: name.to_string(),
+            expected: expected.to_string(),
+            observed: observed.to_string(),
+            pass,
+        }
+    }
+}
+
+/// Continuity bookkeeping over the run's snapshot transitions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ContinuityStats {
+    /// Number of consecutive-snapshot transitions examined.
+    pub transitions: u64,
+    /// Transitions whose topology change satisfied ΠT.
+    pub pi_t_held: u64,
+    /// Of those, how many also satisfied ΠC (the best-effort promise).
+    pub pi_c_held_given_pi_t: u64,
+}
+
+impl ContinuityStats {
+    /// The conformance ratio for the `view_continuity` assertion: ΠC-rate
+    /// among ΠT-transitions (1.0 when ΠT never held — nothing was promised).
+    pub fn view_continuity(&self) -> f64 {
+        if self.pi_t_held == 0 {
+            1.0
+        } else {
+            self.pi_c_held_given_pi_t as f64 / self.pi_t_held as f64
+        }
+    }
+}
+
+/// Everything observed while executing one (manifest, seed) pair.
+pub struct RunOutcome {
+    pub seed: u64,
+    pub rounds: u64,
+    pub nodes: usize,
+    pub digest: TraceDigest,
+    /// Index of the first snapshot of the closed legitimate suffix.
+    pub converged_round: Option<usize>,
+    pub final_snapshot: SystemSnapshot,
+    pub stats: MessageStats,
+    pub continuity: ContinuityStats,
+    pub assertions: Vec<AssertionResult>,
+    pub pass: bool,
+}
+
+/// A full scenario outcome: one run per seed.
+pub struct ScenarioOutcome {
+    pub manifest: ScenarioManifest,
+    pub runs: Vec<RunOutcome>,
+    pub pass: bool,
+}
+
+/// Execute every seed of a manifest.
+pub fn run_scenario(manifest: &ScenarioManifest) -> ScenarioOutcome {
+    let runs: Vec<RunOutcome> = manifest
+        .sim
+        .seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &seed)| run_seed(manifest, seed, manifest.golden.digests.get(i)))
+        .collect();
+    let pass = runs.iter().all(|r| r.pass);
+    ScenarioOutcome {
+        manifest: manifest.clone(),
+        runs,
+        pass,
+    }
+}
+
+/// Build the explicit topology for a generator spec. Seeded generators fold
+/// the run seed in so different seeds explore different graphs.
+pub fn build_topology(spec: &TopologySpec, seed: u64) -> Graph {
+    match *spec {
+        TopologySpec::Path { n } => generators::path(n),
+        TopologySpec::Ring { n } => generators::ring(n),
+        TopologySpec::Grid { rows, cols } => generators::grid(rows, cols),
+        TopologySpec::Complete { n } => generators::complete(n),
+        TopologySpec::Star { n } => generators::star(n),
+        TopologySpec::Clustered {
+            clusters,
+            cluster_size,
+        } => generators::clustered(clusters, cluster_size),
+        TopologySpec::ErdosRenyi { n, p } => generators::erdos_renyi(n, p, seed),
+        TopologySpec::RandomGeometric { n, side, radius } => {
+            generators::random_geometric(n, side, radius, seed)
+        }
+    }
+}
+
+fn build_mode(workload: &WorkloadSpec, seed: u64) -> TopologyMode {
+    match workload {
+        WorkloadSpec::Explicit(spec) => TopologyMode::Explicit(build_topology(spec, seed)),
+        WorkloadSpec::Spatial { mobility, radio } => {
+            // placement randomness is separated from the simulator's channel
+            // randomness so both streams stay reproducible
+            let mut placement_rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5ce0_a71e_5eed);
+            let mobility: Box<dyn netsim::MobilityModel> = match *mobility {
+                MobilitySpec::StationaryLine { n, spacing } => {
+                    Box::new(Stationary::line(n, spacing))
+                }
+                MobilitySpec::StationaryUniform { n, width, height } => {
+                    Box::new(Stationary::uniform(n, width, height, &mut placement_rng))
+                }
+                MobilitySpec::RandomWalk {
+                    n,
+                    width,
+                    height,
+                    max_step,
+                } => Box::new(RandomWalk::new(
+                    n,
+                    width,
+                    height,
+                    max_step,
+                    &mut placement_rng,
+                )),
+                MobilitySpec::Waypoint {
+                    n,
+                    width,
+                    height,
+                    speed_min,
+                    speed_max,
+                } => Box::new(RandomWaypoint::new(
+                    n,
+                    width,
+                    height,
+                    (speed_min, speed_max),
+                    &mut placement_rng,
+                )),
+                MobilitySpec::Highway {
+                    n,
+                    lanes,
+                    road_length,
+                    initial_gap,
+                    speed_min,
+                    speed_max,
+                } => Box::new(Highway::new(
+                    n,
+                    lanes,
+                    road_length,
+                    initial_gap,
+                    (speed_min, speed_max),
+                    &mut placement_rng,
+                )),
+            };
+            let radio: Box<dyn netsim::RadioModel> = match *radio {
+                RadioSpec::UnitDisk { range } => Box::new(UnitDisk::new(range)),
+                RadioSpec::LossyDisk { range, loss } => Box::new(LossyDisk::new(range, loss)),
+                RadioSpec::DistanceLoss { range, edge_loss } => {
+                    Box::new(DistanceLossDisk::new(range, edge_loss))
+                }
+            };
+            TopologyMode::Spatial { radio, mobility }
+        }
+    }
+}
+
+/// Build a ready-to-run simulator for one (manifest, seed) pair: topology or
+/// mobility+radio, GRP nodes, and the scheduled fault plan. Exposed so the
+/// `experiments` crate can drive manifest-defined workloads through its own
+/// measurement loops.
+pub fn build_simulator(manifest: &ScenarioManifest, seed: u64) -> Simulator<GrpNode> {
+    let sim_spec = &manifest.sim;
+    let config = SimConfig {
+        send_period: sim_spec.send_period,
+        compute_period: sim_spec.compute_period,
+        mobility_period: sim_spec.mobility_period,
+        delivery_delay: sim_spec.delivery_delay,
+        loss_probability: sim_spec.loss,
+        seed,
+        stagger_phases: sim_spec.stagger_phases,
+    };
+    let mode = build_mode(&manifest.workload, seed);
+    let node_ids: Vec<NodeId> = match &mode {
+        TopologyMode::Explicit(g) => g.node_vec(),
+        TopologyMode::Spatial { .. } => (0..manifest.workload.node_count() as u64)
+            .map(NodeId)
+            .collect(),
+    };
+    let grp_config = grp_config_of(manifest);
+    let mut sim = Simulator::new(config, mode);
+    sim.add_nodes(
+        node_ids
+            .iter()
+            .map(|&id| GrpNode::new(id, grp_config.clone())),
+    );
+    sim.schedule_faults(manifest.faults.iter().map(|f| {
+        let kind = match f.kind {
+            FaultKindSpec::Crash { node } => FaultKind::Crash(NodeId(node)),
+            FaultKindSpec::Restart { node } => FaultKind::Restart(NodeId(node)),
+            FaultKindSpec::Corrupt { node } => FaultKind::CorruptState(NodeId(node)),
+            FaultKindSpec::LossBurst { duration } => FaultKind::LossBurst { duration },
+        };
+        ScheduledFault::new(SimTime(f.at), kind)
+    }));
+    sim
+}
+
+/// The `GrpConfig` a manifest's `[protocol]` section describes (public so
+/// the `experiments` bridge uses the same mapping, ablations included).
+pub fn grp_config_of(manifest: &ScenarioManifest) -> GrpConfig {
+    let mut config = GrpConfig::new(manifest.protocol.dmax);
+    if manifest.protocol.naive_compatibility {
+        config = config.with_naive_compatibility();
+    }
+    if manifest.protocol.disable_quarantine {
+        config = config.without_quarantine();
+    }
+    config
+}
+
+/// Apply one churn action to a running simulator (public so the
+/// `experiments` crate can replay manifest churn schedules through its own
+/// measurement loops).
+pub fn apply_churn_action(
+    sim: &mut Simulator<GrpNode>,
+    action: &ChurnAction,
+    grp_config: &GrpConfig,
+) {
+    match action {
+        ChurnAction::LinkUp { a, b } => {
+            sim.apply_topology_event(TopologyEvent::LinkUp(NodeId(*a), NodeId(*b)));
+        }
+        ChurnAction::LinkDown { a, b } => {
+            sim.apply_topology_event(TopologyEvent::LinkDown(NodeId(*a), NodeId(*b)));
+        }
+        ChurnAction::NodeJoin { node, links } => {
+            let id = NodeId(*node);
+            if sim.protocol(id).is_none() {
+                sim.add_node(GrpNode::new(id, grp_config.clone()));
+            } else {
+                // a re-joining node comes back with a fresh state
+                if let Some(p) = sim.protocol_mut(id) {
+                    p.reboot();
+                }
+                sim.set_active(id, true);
+            }
+            sim.apply_topology_event(TopologyEvent::NodeJoin(id));
+            for &peer in links {
+                sim.apply_topology_event(TopologyEvent::LinkUp(id, NodeId(peer)));
+            }
+        }
+        ChurnAction::NodeLeave { node } => {
+            let id = NodeId(*node);
+            sim.apply_topology_event(TopologyEvent::NodeLeave(id));
+            sim.set_active(id, false);
+        }
+    }
+}
+
+/// Capture a configuration snapshot covering the *active* nodes only: a
+/// crashed or departed node has no view in the paper's model, so its frozen
+/// protocol state must not enter the predicate checks.
+pub fn snapshot_active(sim: &Simulator<GrpNode>) -> SystemSnapshot {
+    let views = sim
+        .protocols()
+        .filter(|&(id, _)| sim.is_active(id))
+        .map(|(id, p)| (id, p.view().clone()))
+        .collect();
+    SystemSnapshot::new(sim.topology().clone(), views)
+}
+
+/// Execute one seed. `golden` is the pinned digest for this seed, if any.
+pub fn run_seed(manifest: &ScenarioManifest, seed: u64, golden: Option<&String>) -> RunOutcome {
+    let grp_config = grp_config_of(manifest);
+    let mut sim = build_simulator(manifest, seed);
+    let dmax = manifest.protocol.dmax;
+    let rounds = manifest.sim.rounds;
+
+    let mut detector = ConvergenceDetector::new(dmax);
+    let mut snapshots: Vec<SystemSnapshot> = Vec::with_capacity(rounds as usize);
+    let mut churn_iter = manifest.churn.iter().peekable();
+
+    for round in 0..rounds {
+        while let Some(c) = churn_iter.peek() {
+            if c.at_round > round {
+                break;
+            }
+            apply_churn_action(&mut sim, &c.action, &grp_config);
+            churn_iter.next();
+        }
+        sim.run_rounds(1);
+        sim.snapshot();
+        let snapshot = snapshot_active(&sim);
+        detector.record(&snapshot);
+        snapshots.push(snapshot);
+    }
+
+    // continuity accounting over consecutive snapshots
+    let mut continuity = ContinuityStats::default();
+    for pair in snapshots.windows(2) {
+        continuity.transitions += 1;
+        if pi_t(&pair[0], &pair[1], dmax) {
+            continuity.pi_t_held += 1;
+            if pi_c(&pair[0], &pair[1]) {
+                continuity.pi_c_held_given_pi_t += 1;
+            }
+        }
+    }
+
+    // canonical digest: scenario identity, seed, the netsim trace
+    // (topologies + stats) and every node's view at every round
+    let mut hasher = CanonicalHasher::new();
+    hasher.feed_str(&manifest.name);
+    hasher.feed_u64(seed);
+    hasher.feed_u64(dmax as u64);
+    sim.trace().feed_digest(&mut hasher);
+    hasher.begin_list("views");
+    hasher.feed_u64(snapshots.len() as u64);
+    for (round, snapshot) in snapshots.iter().enumerate() {
+        hasher.feed_u64(round as u64);
+        for (&node, view) in &snapshot.views {
+            hasher.feed_u64(node.raw());
+            hasher.feed_node_set(view.iter().copied());
+        }
+    }
+    hasher.end_list();
+    let digest = hasher.finalize();
+
+    let final_snapshot = snapshots
+        .last()
+        .cloned()
+        .unwrap_or_else(|| snapshot_active(&sim));
+    let stats = sim.stats();
+    let converged_round = detector.convergence_round();
+
+    let assertions = evaluate_assertions(
+        &manifest.assertions,
+        manifest,
+        converged_round,
+        &final_snapshot,
+        &continuity,
+        &stats,
+        &digest,
+        golden,
+    );
+    let pass = assertions.iter().all(|a| a.pass);
+
+    RunOutcome {
+        seed,
+        rounds,
+        nodes: sim.node_ids().len(),
+        digest,
+        converged_round,
+        final_snapshot,
+        stats,
+        continuity,
+        assertions,
+        pass,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn evaluate_assertions(
+    spec: &AssertionSpec,
+    manifest: &ScenarioManifest,
+    converged_round: Option<usize>,
+    last: &SystemSnapshot,
+    continuity: &ContinuityStats,
+    stats: &MessageStats,
+    digest: &TraceDigest,
+    golden: Option<&String>,
+) -> Vec<AssertionResult> {
+    let dmax = manifest.protocol.dmax;
+    let mut results = Vec::new();
+
+    if let Some(bound) = spec.converged_by {
+        let observed = match converged_round {
+            Some(r) => r.to_string(),
+            None => "never".to_string(),
+        };
+        let pass = converged_round.is_some_and(|r| r as u64 <= bound);
+        results.push(AssertionResult::new(
+            "converged_by",
+            format!("<= {bound}"),
+            observed,
+            pass,
+        ));
+    }
+    if let Some(bound) = spec.max_rounds {
+        results.push(AssertionResult::new(
+            "max_rounds",
+            format!("<= {bound}"),
+            manifest.sim.rounds,
+            manifest.sim.rounds <= bound,
+        ));
+    }
+    if let Some(threshold) = spec.view_continuity {
+        let observed = continuity.view_continuity();
+        results.push(AssertionResult::new(
+            "view_continuity",
+            format!(">= {threshold}"),
+            format!("{observed:.4}"),
+            observed >= threshold,
+        ));
+    }
+    if let Some(expected) = spec.agreement {
+        let observed = last.agreement();
+        results.push(AssertionResult::new(
+            "agreement",
+            expected,
+            observed,
+            observed == expected,
+        ));
+    }
+    if let Some(expected) = spec.safety {
+        let observed = last.safety(dmax);
+        results.push(AssertionResult::new(
+            "safety",
+            expected,
+            observed,
+            observed == expected,
+        ));
+    }
+    if let Some(expected) = spec.maximality {
+        let observed = last.maximality(dmax);
+        results.push(AssertionResult::new(
+            "maximality",
+            expected,
+            observed,
+            observed == expected,
+        ));
+    }
+    if let Some(expected) = spec.legitimate {
+        let observed = last.legitimate(dmax);
+        results.push(AssertionResult::new(
+            "legitimate",
+            expected,
+            observed,
+            observed == expected,
+        ));
+    }
+    let groups = last.group_count() as u64;
+    if let Some(bound) = spec.min_groups {
+        results.push(AssertionResult::new(
+            "min_groups",
+            format!(">= {bound}"),
+            groups,
+            groups >= bound,
+        ));
+    }
+    if let Some(bound) = spec.max_groups {
+        results.push(AssertionResult::new(
+            "max_groups",
+            format!("<= {bound}"),
+            groups,
+            groups <= bound,
+        ));
+    }
+    if let Some(threshold) = spec.min_delivery_ratio {
+        let observed = stats.delivery_ratio();
+        results.push(AssertionResult::new(
+            "min_delivery_ratio",
+            format!(">= {threshold}"),
+            format!("{observed:.4}"),
+            observed >= threshold,
+        ));
+    }
+    if let Some(golden) = golden {
+        let observed = digest.to_hex();
+        results.push(AssertionResult::new(
+            "golden_digest",
+            golden,
+            &observed,
+            &observed == golden,
+        ));
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(text: &str) -> ScenarioManifest {
+        ScenarioManifest::parse(text).expect("manifest parses")
+    }
+
+    const LINE: &str = r#"
+name = "unit-line"
+[protocol]
+dmax = 3
+[sim]
+seed = 7
+rounds = 40
+[topology]
+kind = "path"
+n = 4
+[assertions]
+legitimate = true
+min_groups = 1
+max_groups = 1
+converged_by = 39
+min_delivery_ratio = 0.9
+"#;
+
+    #[test]
+    fn line_scenario_converges_and_passes() {
+        let outcome = run_scenario(&manifest(LINE));
+        assert_eq!(outcome.runs.len(), 1);
+        let run = &outcome.runs[0];
+        assert!(
+            run.pass,
+            "assertions: {:?}",
+            run.assertions
+                .iter()
+                .map(|a| (&a.name, a.pass))
+                .collect::<Vec<_>>()
+        );
+        assert!(run.converged_round.is_some());
+        assert_eq!(run.nodes, 4);
+        assert!(outcome.pass);
+    }
+
+    #[test]
+    fn same_seed_same_digest_different_seed_different_digest() {
+        let m = manifest(LINE);
+        let a = run_seed(&m, 7, None);
+        let b = run_seed(&m, 7, None);
+        let c = run_seed(&m, 8, None);
+        assert_eq!(
+            a.digest, b.digest,
+            "same manifest + seed ⇒ identical digest"
+        );
+        assert_ne!(a.digest, c.digest, "different seeds ⇒ different digests");
+    }
+
+    #[test]
+    fn golden_digest_assertion_pins_behaviour() {
+        let m = manifest(LINE);
+        let first = run_seed(&m, 7, None);
+        let hex = first.digest.to_hex();
+        let pinned = run_seed(&m, 7, Some(&hex));
+        assert!(pinned
+            .assertions
+            .iter()
+            .any(|a| a.name == "golden_digest" && a.pass));
+        let wrong = "0".repeat(64);
+        let broken = run_seed(&m, 7, Some(&wrong));
+        assert!(broken
+            .assertions
+            .iter()
+            .any(|a| a.name == "golden_digest" && !a.pass));
+        assert!(!broken.pass);
+    }
+
+    #[test]
+    fn failing_assertion_fails_the_run() {
+        let m = manifest(
+            r#"
+name = "will-fail"
+[protocol]
+dmax = 2
+[sim]
+rounds = 30
+[topology]
+kind = "path"
+n = 8
+[assertions]
+max_groups = 1
+"#,
+        );
+        // Dmax=2 over an 8-path cannot form one group
+        let outcome = run_scenario(&m);
+        assert!(!outcome.pass);
+    }
+
+    #[test]
+    fn churn_schedule_mutates_topology() {
+        let m = manifest(
+            r#"
+name = "churn-split"
+[protocol]
+dmax = 3
+[sim]
+rounds = 60
+[topology]
+kind = "path"
+n = 4
+[[churn]]
+at_round = 30
+action = "link_down"
+a = 1
+b = 2
+[assertions]
+min_groups = 2
+"#,
+        );
+        let outcome = run_scenario(&m);
+        assert!(outcome.pass, "the severed line must split into ≥ 2 groups");
+    }
+
+    #[test]
+    fn spatial_scenario_runs() {
+        let m = manifest(
+            r#"
+name = "unit-spatial"
+[protocol]
+dmax = 3
+[sim]
+rounds = 30
+[mobility]
+kind = "stationary_line"
+n = 4
+spacing = 10.0
+[radio]
+kind = "unit_disk"
+range = 12.0
+[assertions]
+legitimate = true
+min_groups = 1
+max_groups = 1
+"#,
+        );
+        let outcome = run_scenario(&m);
+        assert!(
+            outcome.pass,
+            "stationary line under unit disk behaves like a path"
+        );
+    }
+}

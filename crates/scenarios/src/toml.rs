@@ -1,0 +1,569 @@
+//! A small TOML-subset parser for scenario manifests.
+//!
+//! The build environment cannot fetch the `toml` crate, and the manifest
+//! format is deliberately simple, so this module implements the slice of
+//! TOML v1.0 the manifests use:
+//!
+//! * bare and quoted keys, `key = value` pairs;
+//! * `[table]` and `[nested.table]` headers;
+//! * `[[array-of-tables]]` headers;
+//! * values: basic strings (with the common escapes), integers (decimal,
+//!   optionally signed/underscored), floats, booleans, arrays, and inline
+//!   tables `{ k = v, ... }`;
+//! * `#` comments and arbitrary whitespace.
+//!
+//! Unsupported TOML (dates, multi-line/literal strings, dotted keys in
+//! assignments) is rejected with a line-numbered error rather than
+//! mis-parsed.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed TOML value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Array(Vec<Value>),
+    Table(BTreeMap<String, Value>),
+}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Floats accept integer literals too (`loss = 0` means `0.0`).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_table(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Look up a key in a table value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_table()?.get(key)
+    }
+}
+
+/// A parse failure with a 1-based line number.
+#[derive(Debug)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TOML parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Join physical lines into logical lines: a `key = value` whose brackets
+/// (outside strings) are unbalanced continues on the next line, so
+/// multi-line arrays and inline tables parse. Returns `(line_no, text)`
+/// pairs where `line_no` is the first physical line.
+fn logical_lines(input: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String, i32)> = None;
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let stripped = strip_comment(raw_line);
+        let depth_delta = bracket_depth_delta(stripped);
+        match pending.take() {
+            None => {
+                let trimmed = stripped.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                if depth_delta > 0 {
+                    pending = Some((line_no, stripped.to_string(), depth_delta));
+                } else {
+                    out.push((line_no, trimmed.to_string()));
+                }
+            }
+            Some((start, mut acc, depth)) => {
+                acc.push(' ');
+                acc.push_str(stripped);
+                let depth = depth + depth_delta;
+                if depth > 0 {
+                    pending = Some((start, acc, depth));
+                } else {
+                    out.push((start, acc.trim().to_string()));
+                }
+            }
+        }
+    }
+    if let Some((start, acc, _)) = pending {
+        // unbalanced at EOF: surface it to the parser for a proper error
+        out.push((start, acc.trim().to_string()));
+    }
+    out
+}
+
+/// Net `[`/`{` depth change of a comment-stripped line, ignoring brackets
+/// inside strings (escape-aware, so `\"` does not end a string). `[table]`
+/// headers are self-balancing, so this is only ever positive for continued
+/// values.
+fn bracket_depth_delta(line: &str) -> i32 {
+    let mut depth = 0i32;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in line.chars() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '[' | '{' => depth += 1,
+            ']' | '}' => depth -= 1,
+            _ => {}
+        }
+    }
+    depth
+}
+
+/// Parse a complete document into its root table.
+pub fn parse(input: &str) -> Result<BTreeMap<String, Value>, ParseError> {
+    let mut root: BTreeMap<String, Value> = BTreeMap::new();
+    // Path of the table currently being filled ([] = root) and whether it
+    // is an array-of-tables element.
+    let mut current_path: Vec<String> = Vec::new();
+
+    for (line_no, line) in logical_lines(input) {
+        let line = line.as_str();
+        if let Some(rest) = line.strip_prefix("[[") {
+            let Some(path_str) = rest.strip_suffix("]]") else {
+                return err(line_no, "unterminated [[table]] header");
+            };
+            let path = parse_path(path_str, line_no)?;
+            if path.is_empty() {
+                return err(line_no, "empty [[table]] header");
+            }
+            push_array_table(&mut root, &path, line_no)?;
+            current_path = path;
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let Some(path_str) = rest.strip_suffix(']') else {
+                return err(line_no, "unterminated [table] header");
+            };
+            let path = parse_path(path_str, line_no)?;
+            if path.is_empty() {
+                return err(line_no, "empty [table] header");
+            }
+            ensure_table(&mut root, &path, line_no)?;
+            current_path = path;
+        } else {
+            let Some(eq) = find_top_level_eq(line) else {
+                return err(line_no, format!("expected `key = value`, got `{line}`"));
+            };
+            let key = parse_key(line[..eq].trim(), line_no)?;
+            let mut rest = line[eq + 1..].trim();
+            let value = parse_value(&mut rest, line_no)?;
+            if !rest.trim().is_empty() {
+                return err(line_no, format!("trailing content `{}`", rest.trim()));
+            }
+            let table = navigate(&mut root, &current_path, line_no)?;
+            if table.insert(key.clone(), value).is_some() {
+                return err(line_no, format!("duplicate key `{key}`"));
+            }
+        }
+    }
+    Ok(root)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string => {
+                escaped = !escaped;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn find_top_level_eq(line: &str) -> Option<usize> {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '=' => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_key(raw: &str, line_no: usize) -> Result<String, ParseError> {
+    let raw = raw.trim();
+    if let Some(inner) = raw.strip_prefix('"').and_then(|r| r.strip_suffix('"')) {
+        return Ok(inner.to_string());
+    }
+    if raw.is_empty()
+        || !raw
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return err(line_no, format!("invalid key `{raw}`"));
+    }
+    Ok(raw.to_string())
+}
+
+fn parse_path(raw: &str, line_no: usize) -> Result<Vec<String>, ParseError> {
+    raw.split('.')
+        .map(|part| parse_key(part, line_no))
+        .collect()
+}
+
+/// Walk (and auto-create) intermediate tables; the last element of an
+/// array-of-tables is entered, matching TOML semantics.
+fn navigate<'a>(
+    root: &'a mut BTreeMap<String, Value>,
+    path: &[String],
+    line_no: usize,
+) -> Result<&'a mut BTreeMap<String, Value>, ParseError> {
+    let mut current = root;
+    for part in path {
+        let entry = current
+            .entry(part.clone())
+            .or_insert_with(|| Value::Table(BTreeMap::new()));
+        current = match entry {
+            Value::Table(t) => t,
+            Value::Array(items) => match items.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => return err(line_no, format!("`{part}` is not a table")),
+            },
+            _ => return err(line_no, format!("`{part}` is not a table")),
+        };
+    }
+    Ok(current)
+}
+
+fn ensure_table(
+    root: &mut BTreeMap<String, Value>,
+    path: &[String],
+    line_no: usize,
+) -> Result<(), ParseError> {
+    navigate(root, path, line_no).map(|_| ())
+}
+
+fn push_array_table(
+    root: &mut BTreeMap<String, Value>,
+    path: &[String],
+    line_no: usize,
+) -> Result<(), ParseError> {
+    let (last, parents) = path.split_last().expect("checked non-empty");
+    let parent = navigate(root, parents, line_no)?;
+    let entry = parent
+        .entry(last.clone())
+        .or_insert_with(|| Value::Array(Vec::new()));
+    match entry {
+        Value::Array(items) => {
+            items.push(Value::Table(BTreeMap::new()));
+            Ok(())
+        }
+        _ => err(line_no, format!("`{last}` is not an array of tables")),
+    }
+}
+
+/// Parse one value from the front of `rest`, consuming it.
+fn parse_value(rest: &mut &str, line_no: usize) -> Result<Value, ParseError> {
+    *rest = rest.trim_start();
+    let Some(first) = rest.chars().next() else {
+        return err(line_no, "missing value");
+    };
+    match first {
+        '"' => parse_string(rest, line_no),
+        '[' => parse_array(rest, line_no),
+        '{' => parse_inline_table(rest, line_no),
+        't' | 'f' => {
+            if let Some(r) = rest.strip_prefix("true") {
+                *rest = r;
+                Ok(Value::Bool(true))
+            } else if let Some(r) = rest.strip_prefix("false") {
+                *rest = r;
+                Ok(Value::Bool(false))
+            } else {
+                err(line_no, format!("unrecognised value `{rest}`"))
+            }
+        }
+        c if c == '+' || c == '-' || c.is_ascii_digit() => parse_number(rest, line_no),
+        _ => err(line_no, format!("unrecognised value `{rest}`")),
+    }
+}
+
+fn parse_string(rest: &mut &str, line_no: usize) -> Result<Value, ParseError> {
+    debug_assert!(rest.starts_with('"'));
+    let mut out = String::new();
+    let mut chars = rest[1..].char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => {
+                *rest = &rest[1 + i + 1..];
+                return Ok(Value::Str(out));
+            }
+            '\\' => match chars.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, other)) => return err(line_no, format!("unsupported escape `\\{other}`")),
+                None => return err(line_no, "dangling escape"),
+            },
+            other => out.push(other),
+        }
+    }
+    err(line_no, "unterminated string")
+}
+
+fn parse_number(rest: &mut &str, line_no: usize) -> Result<Value, ParseError> {
+    let end = rest
+        .char_indices()
+        .find(|&(_, c)| !matches!(c, '0'..='9' | '+' | '-' | '.' | 'e' | 'E' | '_'))
+        .map(|(i, _)| i)
+        .unwrap_or(rest.len());
+    let raw: String = rest[..end].chars().filter(|&c| c != '_').collect();
+    *rest = &rest[end..];
+    if raw.contains(['.', 'e', 'E']) {
+        match raw.parse::<f64>() {
+            Ok(f) => Ok(Value::Float(f)),
+            Err(_) => err(line_no, format!("invalid float `{raw}`")),
+        }
+    } else {
+        match raw.parse::<i64>() {
+            Ok(i) => Ok(Value::Int(i)),
+            Err(_) => err(line_no, format!("invalid integer `{raw}`")),
+        }
+    }
+}
+
+fn parse_array(rest: &mut &str, line_no: usize) -> Result<Value, ParseError> {
+    debug_assert!(rest.starts_with('['));
+    *rest = &rest[1..];
+    let mut items = Vec::new();
+    loop {
+        *rest = rest.trim_start();
+        if let Some(r) = rest.strip_prefix(']') {
+            *rest = r;
+            return Ok(Value::Array(items));
+        }
+        items.push(parse_value(rest, line_no)?);
+        *rest = rest.trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            *rest = r;
+        } else if !rest.starts_with(']') {
+            return err(line_no, "expected `,` or `]` in array");
+        }
+    }
+}
+
+fn parse_inline_table(rest: &mut &str, line_no: usize) -> Result<Value, ParseError> {
+    debug_assert!(rest.starts_with('{'));
+    *rest = &rest[1..];
+    let mut table = BTreeMap::new();
+    loop {
+        *rest = rest.trim_start();
+        if let Some(r) = rest.strip_prefix('}') {
+            *rest = r;
+            return Ok(Value::Table(table));
+        }
+        let Some(eq) = find_top_level_eq(rest) else {
+            return err(line_no, "expected `key = value` in inline table");
+        };
+        let key = parse_key(&rest[..eq], line_no)?;
+        *rest = &rest[eq + 1..];
+        let value = parse_value(rest, line_no)?;
+        if table.insert(key.clone(), value).is_some() {
+            return err(line_no, format!("duplicate key `{key}` in inline table"));
+        }
+        *rest = rest.trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            *rest = r;
+        } else if !rest.starts_with('}') {
+            return err(line_no, "expected `,` or `}` in inline table");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_tables_and_arrays() {
+        let doc = r#"
+# a manifest-shaped document
+schema = 1
+name = "demo"           # trailing comment
+ratio = 0.75
+big = 1_000
+neg = -3
+ok = true
+
+[sim]
+seed = 42
+loss = 0.1
+
+[nested.deep]
+key = "value"
+
+[[faults]]
+at = 100
+kind = "crash"
+
+[[faults]]
+at = 200
+kind = "restart"
+
+[assertions]
+range = [1, 2, 3]
+mixed = { a = 1, b = "two" }
+"#;
+        let root = parse(doc).expect("parses");
+        assert_eq!(root["schema"].as_int(), Some(1));
+        assert_eq!(root["name"].as_str(), Some("demo"));
+        assert_eq!(root["ratio"].as_float(), Some(0.75));
+        assert_eq!(root["big"].as_int(), Some(1000));
+        assert_eq!(root["neg"].as_int(), Some(-3));
+        assert_eq!(root["ok"].as_bool(), Some(true));
+        assert_eq!(root["sim"].get("seed").and_then(Value::as_int), Some(42));
+        assert_eq!(
+            root["nested"]
+                .get("deep")
+                .and_then(|d| d.get("key"))
+                .and_then(Value::as_str),
+            Some("value")
+        );
+        let faults = root["faults"].as_array().expect("array of tables");
+        assert_eq!(faults.len(), 2);
+        assert_eq!(
+            faults[1].get("kind").and_then(Value::as_str),
+            Some("restart")
+        );
+        let range = root["assertions"].get("range").unwrap().as_array().unwrap();
+        assert_eq!(range.len(), 3);
+        assert_eq!(
+            root["assertions"]
+                .get("mixed")
+                .and_then(|m| m.get("b"))
+                .and_then(Value::as_str),
+            Some("two")
+        );
+    }
+
+    #[test]
+    fn string_escapes_and_hash_inside_strings() {
+        let root = parse(r#"s = "a # not comment \n\"q\"""#).unwrap();
+        assert_eq!(root["s"].as_str(), Some("a # not comment \n\"q\""));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("ok = true\nbroken").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse("x = ").is_err());
+        assert!(parse("[unclosed").is_err());
+        assert!(parse("a = 1\na = 2").is_err());
+        assert!(parse("d = 1979-05-27").is_err(), "dates are unsupported");
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_confuse_brackets_or_assignment() {
+        // an escaped quote must not end the string: the `[x]` and `=` inside
+        // stay inside, and the next line is NOT glued onto this one
+        let root = parse("description = \"say \\\"hi\\\" [x] a=b\"\nafter = 2\n").unwrap();
+        assert_eq!(root["description"].as_str(), Some("say \"hi\" [x] a=b"));
+        assert_eq!(root["after"].as_int(), Some(2));
+    }
+
+    #[test]
+    fn multi_line_arrays_join_into_logical_lines() {
+        let root =
+            parse("digests = [\n    \"aa\", # per-seed\n    \"bb\"\n]\nafter = 1\n").unwrap();
+        let digests = root["digests"].as_array().unwrap();
+        assert_eq!(digests.len(), 2);
+        assert_eq!(digests[1].as_str(), Some("bb"));
+        assert_eq!(root["after"].as_int(), Some(1));
+        // unbalanced bracket at EOF is an error, not a hang
+        assert!(parse("x = [1, 2").is_err());
+    }
+
+    #[test]
+    fn int_float_coercion_is_one_way() {
+        let root = parse("i = 3\nf = 3.0").unwrap();
+        assert_eq!(root["i"].as_float(), Some(3.0));
+        assert_eq!(root["f"].as_int(), None);
+    }
+}

@@ -1,0 +1,121 @@
+//! Golden-trace regression suite: every manifest under `tests/scenarios/`
+//! (workspace root) runs headlessly; its assertions must pass and its
+//! digest must match the pinned golden value for every seed.
+//!
+//! To re-pin after an intentional behaviour change:
+//!
+//! ```text
+//! cargo run --release -p scenarios --bin scenario-runner -- \
+//!     --suite tests/scenarios --update-golden
+//! ```
+
+use scenarios::manifest::ScenarioManifest;
+use scenarios::{discover_manifests, run_scenario, run_seed, suite_dir, write_result};
+use std::path::Path;
+
+fn load_suite() -> Vec<(std::path::PathBuf, ScenarioManifest)> {
+    let dir = suite_dir();
+    let paths =
+        discover_manifests(&dir).unwrap_or_else(|e| panic!("cannot list {}: {e}", dir.display()));
+    assert!(
+        paths.len() >= 10,
+        "the curated suite must hold at least 10 scenarios, found {} in {}",
+        paths.len(),
+        dir.display()
+    );
+    paths
+        .into_iter()
+        .map(|p| {
+            let m = ScenarioManifest::load(&p).unwrap_or_else(|e| panic!("{e}"));
+            (p, m)
+        })
+        .collect()
+}
+
+#[test]
+fn every_scenario_is_pinned_and_passes() {
+    let out_dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("scenario-results");
+    let mut failures = Vec::new();
+    for (path, manifest) in load_suite() {
+        assert!(
+            !manifest.golden.digests.is_empty(),
+            "{}: no [golden] digests pinned — run the scenario-runner with --update-golden",
+            path.display()
+        );
+        let outcome = run_scenario(&manifest);
+        let artifact = write_result(&outcome, &out_dir).expect("write result.json");
+        assert!(artifact.exists());
+        for run in &outcome.runs {
+            for a in run.assertions.iter().filter(|a| !a.pass) {
+                failures.push(format!(
+                    "{} seed={}: {} expected {} observed {}",
+                    manifest.name, run.seed, a.name, a.expected, a.observed
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "scenario failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn suite_covers_the_advertised_workload_families() {
+    let suite = load_suite();
+    let text: String = suite
+        .iter()
+        .map(|(p, _)| std::fs::read_to_string(p).unwrap())
+        .collect();
+    for family in [
+        "kind = \"path\"",
+        "kind = \"grid\"",
+        "kind = \"random_walk\"",
+        "kind = \"highway\"",
+        "action = \"link_down\"",
+        "action = \"node_join\"",
+        "kind = \"crash\"",
+        "kind = \"loss_burst\"",
+    ] {
+        assert!(text.contains(family), "suite lost its `{family}` coverage");
+    }
+}
+
+#[test]
+fn determinism_same_seed_identical_digest_and_snapshot() {
+    let path = suite_dir().join("s01_stationary_line.toml");
+    let manifest = ScenarioManifest::load(&path).expect("s01 loads");
+    let seed = manifest.sim.seeds[0];
+
+    let first = run_seed(&manifest, seed, None);
+    let second = run_seed(&manifest, seed, None);
+    assert_eq!(
+        first.digest, second.digest,
+        "same manifest + same seed must give byte-identical digests"
+    );
+    assert_eq!(
+        first.final_snapshot, second.final_snapshot,
+        "same manifest + same seed must give identical final SystemSnapshots"
+    );
+    assert_eq!(first.converged_round, second.converged_round);
+    assert_eq!(first.stats, second.stats);
+
+    let other = run_seed(&manifest, seed + 1, None);
+    assert_ne!(
+        first.digest, other.digest,
+        "a different seed must perturb the observable trace"
+    );
+}
+
+#[test]
+fn determinism_holds_for_a_spatial_scenario_too() {
+    let path = suite_dir().join("s11_highway.toml");
+    let manifest = ScenarioManifest::load(&path).expect("s11 loads");
+    let seed = manifest.sim.seeds[0];
+    let a = run_seed(&manifest, seed, None);
+    let b = run_seed(&manifest, seed, None);
+    assert_eq!(a.digest, b.digest);
+    assert_eq!(a.final_snapshot, b.final_snapshot);
+    assert_ne!(a.digest, run_seed(&manifest, seed + 99, None).digest);
+}

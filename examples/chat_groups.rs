@@ -21,7 +21,10 @@ fn main() {
     // three dense pockets of 4 nodes chained by bridges — typical "groups of
     // vehicles at a junction"
     let topology = clustered(3, 4);
-    let mut sim = Simulator::new(SimConfig::rounds(5), TopologyMode::Explicit(topology.clone()));
+    let mut sim = Simulator::new(
+        SimConfig::rounds(5),
+        TopologyMode::Explicit(topology.clone()),
+    );
     sim.add_nodes(
         topology
             .nodes()
@@ -53,9 +56,9 @@ fn main() {
         }
         if round % 10 == 0 {
             println!(
-                "round {round:3}: {} chat groups, {} members on average",
+                "round {round:3}: {} chat groups, {:.1} members on average",
                 snapshot.group_count(),
-                format!("{:.1}", snapshot.mean_group_size()),
+                snapshot.mean_group_size(),
             );
         }
     }
@@ -67,5 +70,9 @@ fn main() {
     );
 
     let ids: Vec<NodeId> = sim.node_ids();
-    println!("\nfinal group of node {}: {:?}", ids[0], sim.protocol(ids[0]).unwrap().view());
+    println!(
+        "\nfinal group of node {}: {:?}",
+        ids[0],
+        sim.protocol(ids[0]).unwrap().view()
+    );
 }

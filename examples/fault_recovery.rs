@@ -13,7 +13,10 @@ use netsim::{FaultKind, ScheduledFault, SimConfig, Simulator, TopologyMode};
 fn main() {
     let dmax = 3;
     let topology = grid(3, 4);
-    let mut sim = Simulator::new(SimConfig::rounds(13), TopologyMode::Explicit(topology.clone()));
+    let mut sim = Simulator::new(
+        SimConfig::rounds(13),
+        TopologyMode::Explicit(topology.clone()),
+    );
     sim.add_nodes(
         topology
             .nodes()
@@ -54,11 +57,14 @@ fn main() {
         let snapshot = SystemSnapshot::from_simulator(&sim);
         if snapshot.legitimate(dmax) {
             println!("system legitimate again after {round} rounds");
-            println!("final groups: {:?}", snapshot
-                .groups()
-                .iter()
-                .map(|g| g.iter().map(|n| n.raw()).collect::<Vec<_>>())
-                .collect::<Vec<_>>());
+            println!(
+                "final groups: {:?}",
+                snapshot
+                    .groups()
+                    .iter()
+                    .map(|g| g.iter().map(|n| n.raw()).collect::<Vec<_>>())
+                    .collect::<Vec<_>>()
+            );
             return;
         }
     }

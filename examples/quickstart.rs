@@ -14,7 +14,10 @@ fn main() {
     // Six nodes on a line; the application tolerates groups of diameter 2.
     let dmax = 2;
     let topology = path(6);
-    let mut sim = Simulator::new(SimConfig::rounds(42), TopologyMode::Explicit(topology.clone()));
+    let mut sim = Simulator::new(
+        SimConfig::rounds(42),
+        TopologyMode::Explicit(topology.clone()),
+    );
     sim.add_nodes((0..6).map(|i| GrpNode::new(NodeId(i), GrpConfig::new(dmax))));
 
     println!("topology: a line of 6 nodes, Dmax = {dmax}");

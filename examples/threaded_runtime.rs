@@ -30,7 +30,10 @@ fn main() {
         snapshot.agreement()
     );
     for (id, view) in cluster.views() {
-        println!("  node {id}: {:?}", view.iter().map(|n| n.raw()).collect::<Vec<_>>());
+        println!(
+            "  node {id}: {:?}",
+            view.iter().map(|n| n.raw()).collect::<Vec<_>>()
+        );
     }
 
     println!("\ncutting the link between node 1 and node 2 …");
@@ -46,7 +49,10 @@ fn main() {
         snapshot.safety(3)
     );
     for (id, view) in cluster.views() {
-        println!("  node {id}: {:?}", view.iter().map(|n| n.raw()).collect::<Vec<_>>());
+        println!(
+            "  node {id}: {:?}",
+            view.iter().map(|n| n.raw()).collect::<Vec<_>>()
+        );
     }
     cluster.shutdown();
 }

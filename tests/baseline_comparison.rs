@@ -33,7 +33,10 @@ fn grp_satisfies_agreement_where_the_ball_baseline_cannot() {
     let (_, grp) = run_and_snapshot(6, 60, |id| GrpNode::new(id, GrpConfig::new(dmax)));
     let (_, ball) = run_and_snapshot(6, 60, |id| NeighborhoodBall::new(id, dmax));
     assert!(grp.agreement(), "GRP views: {:?}", grp.views);
-    assert!(!ball.agreement(), "the ball baseline has no agreement by construction");
+    assert!(
+        !ball.agreement(),
+        "the ball baseline has no agreement by construction"
+    );
 }
 
 #[test]

@@ -75,7 +75,10 @@ fn benign_link_addition_preserves_the_group_after_the_handshake() {
     let healed = SystemSnapshot::from_simulator(&sim);
     assert!(healed.agreement());
     assert_eq!(healed.group_count(), 1, "views: {:?}", healed.views);
-    assert!(pi_c(&healed, &healed), "a stable snapshot trivially preserves continuity");
+    assert!(
+        pi_c(&healed, &healed),
+        "a stable snapshot trivially preserves continuity"
+    );
 }
 
 #[test]
@@ -111,7 +114,10 @@ fn message_loss_delays_but_does_not_prevent_convergence() {
     let snapshot = SystemSnapshot::from_simulator(&sim);
     assert!(snapshot.agreement(), "views: {:?}", snapshot.views);
     assert_eq!(snapshot.group_count(), 1);
-    assert!(sim.stats().dropped > 0, "the channel must actually have lost messages");
+    assert!(
+        sim.stats().dropped > 0,
+        "the channel must actually have lost messages"
+    );
 }
 
 #[test]

@@ -1,0 +1,90 @@
+//! Offline shim of `crossbeam-channel` backed by `std::sync::mpsc`.
+//!
+//! Provides `unbounded()` channels with cloneable senders *and* receivers
+//! (the std receiver is wrapped in a mutex to get crossbeam's cloneable
+//! receiver semantics: concurrent receivers steal from one queue), plus the
+//! `recv_timeout` API the threaded runtime uses.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+pub use std::sync::mpsc::RecvTimeoutError;
+pub use std::sync::mpsc::SendError;
+pub use std::sync::mpsc::TryRecvError;
+
+/// The sending half of an unbounded channel.
+pub struct Sender<T>(mpsc::Sender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.send(value)
+    }
+}
+
+/// The receiving half of an unbounded channel (cloneable; clones share the
+/// same queue, as in crossbeam).
+pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Receiver<T> {
+    pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).recv()
+    }
+
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .recv_timeout(timeout)
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).try_recv()
+    }
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive() {
+        let (tx, rx) = unbounded();
+        tx.send(41).unwrap();
+        tx.clone().send(42).unwrap();
+        assert_eq!(rx.recv().unwrap(), 41);
+        assert_eq!(rx.clone().recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn timeout_fires_on_empty_channel() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

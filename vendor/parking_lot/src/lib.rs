@@ -1,0 +1,105 @@
+//! Offline shim of `parking_lot` backed by `std::sync`.
+//!
+//! Exposes the `parking_lot` API shape the workspace uses — `Mutex::lock` /
+//! `RwLock::read` / `RwLock::write` returning guards directly (no
+//! `Result`) — on top of the standard library primitives. Poisoned locks
+//! propagate the inner value like parking_lot would (which never poisons).
+
+use std::sync::{self, LockResult};
+
+/// Unwrap a std lock result, ignoring poison like parking_lot does.
+fn ignore_poison<G>(result: LockResult<G>) -> G {
+    match result {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Mutual exclusion primitive (parking_lot-shaped).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        ignore_poison(self.0.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        ignore_poison(self.0.lock())
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        self.0.try_lock().ok()
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        ignore_poison(self.0.get_mut())
+    }
+}
+
+/// Reader-writer lock (parking_lot-shaped).
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        ignore_poison(self.0.read())
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        ignore_poison(self.0.write())
+    }
+
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        self.0.try_read().ok()
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        self.0.try_write().ok()
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        ignore_poison(self.0.get_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_guards_exclusive_access() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_allows_many_readers() {
+        let l = RwLock::new(5);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 10);
+        drop((a, b));
+        *l.write() = 7;
+        assert_eq!(*l.read(), 7);
+    }
+}

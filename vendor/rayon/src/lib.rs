@@ -1,0 +1,161 @@
+//! Offline shim of `rayon`: the parallel-iterator API surface the
+//! experiments use, executed sequentially.
+//!
+//! `par_iter()` / `into_par_iter()` return a [`ParIter`] wrapper whose
+//! inherent methods mirror rayon's `ParallelIterator` combinators (`map`,
+//! `filter`, `filter_map`, `reduce(identity, op)`, `collect`, …) but drive a
+//! plain sequential iterator underneath. Sequential execution is also
+//! exactly what the deterministic conformance harness wants: replication
+//! order never depends on thread scheduling.
+
+/// Sequential stand-in for rayon's parallel iterators.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    pub fn filter_map<U, F: FnMut(I::Item) -> Option<U>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    pub fn flat_map<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// rayon-style reduce: fold from `identity()` with `op`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+}
+
+pub mod prelude {
+    use super::ParIter;
+
+    /// `par_iter()` for slice-like containers — sequential underneath.
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item: 'data;
+
+        fn par_iter(&'data self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+
+        fn par_iter(&'data self) -> ParIter<Self::Iter> {
+            ParIter(self.iter())
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+
+        fn par_iter(&'data self) -> ParIter<Self::Iter> {
+            ParIter(self.iter())
+        }
+    }
+
+    /// `into_par_iter()` for owned containers and ranges.
+    pub trait IntoParallelIterator {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item;
+
+        fn into_par_iter(self) -> ParIter<Self::Iter>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        type Item = T;
+
+        fn into_par_iter(self) -> ParIter<Self::Iter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+        type Item = usize;
+
+        fn into_par_iter(self) -> ParIter<Self::Iter> {
+            ParIter(self)
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u64> {
+        type Iter = std::ops::Range<u64>;
+        type Item = u64;
+
+        fn into_par_iter(self) -> ParIter<Self::Iter> {
+            ParIter(self)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn combinators_match_sequential_semantics() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+
+        let evens = v.par_iter().filter(|x| **x % 2 == 0).count();
+        assert_eq!(evens, 2);
+
+        let total = v.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 10);
+
+        let s: usize = (0..5usize).into_par_iter().sum();
+        assert_eq!(s, 10);
+    }
+}

@@ -1,0 +1,17 @@
+//! Inert `Serialize` / `Deserialize` derives for the offline serde stub.
+//!
+//! Both macros accept (and discard) `#[serde(...)]` helper attributes and
+//! expand to nothing, so annotated types compile without a serialization
+//! framework being present.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
