@@ -1,0 +1,74 @@
+//! `bench-runner` — execute the fixed perf workload matrix and emit the
+//! repo's `BENCH_<date>.json` baseline.
+//!
+//! ```text
+//! bench-runner [--quick] [--out DIR]
+//! ```
+//!
+//! * `--quick` drops the 10k row and halves the rounds (the CI profile);
+//! * `--out DIR` chooses where `BENCH_<date>.json` lands (default `.`).
+//!
+//! Every workload runs the engine twice up to the brute-force ceiling —
+//! spatial grid and all-pairs scan — asserting the two trace digests are
+//! identical, then prints an events/sec summary table and writes the JSON
+//! artifact. Exit code 0 iff every workload completed (and every digest
+//! pair agreed).
+
+use bench::perf::{report_json, run_workload, summary_table, workload_matrix};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_dir = PathBuf::from(".");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                let Some(dir) = iter.next() else {
+                    eprintln!("--out requires a directory argument");
+                    return ExitCode::from(2);
+                };
+                out_dir = PathBuf::from(dir);
+            }
+            "--help" | "-h" => {
+                println!("usage: bench-runner [--quick] [--out DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let matrix = workload_matrix(quick);
+    let mut results = Vec::with_capacity(matrix.len());
+    for w in &matrix {
+        eprintln!("running {} ({} rounds)...", w.label(), w.rounds);
+        results.push(run_workload(w));
+    }
+
+    print!("{}", summary_table(&results));
+
+    let unix_secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let doc = report_json(&results, quick, unix_secs);
+    let (y, m, d) = bench::perf::civil_date(unix_secs);
+    let path = out_dir.join(format!("BENCH_{y:04}-{m:02}-{d:02}.json"));
+    if let Err(err) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {err}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(err) = std::fs::write(&path, doc.pretty()) {
+        eprintln!("cannot write {}: {err}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}

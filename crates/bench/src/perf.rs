@@ -1,0 +1,483 @@
+//! The `bench-runner` workload matrix: wall-clock benchmarks of the full
+//! simulation engine at scale, emitting the repo's machine-readable
+//! `BENCH_<date>.json` perf baseline (schema documented in
+//! `docs/PERFORMANCE.md`).
+//!
+//! Each workload runs the identical simulation twice — once with the
+//! spatial-grid index and once with the historical all-pairs neighbour scan
+//! — and cross-checks that both produce the same trace digest, so every
+//! bench run doubles as an engine-equivalence test. The largest sizes skip
+//! the brute-force twin (it is exactly the configuration the index was
+//! built to escape).
+
+use grp_core::{GrpConfig, GrpNode};
+use netsim::mobility::{Highway, RandomWalk, Stationary};
+use netsim::protocol::Beacon;
+use netsim::radio::UnitDisk;
+use netsim::{CanonicalHasher, MobilityModel, Protocol, SimConfig, Simulator, TopologyMode};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use scenarios::json::Json;
+use std::time::{Duration, Instant};
+
+/// Radio range shared by all bench workloads (metres).
+pub const RADIO_RANGE: f64 = 45.0;
+/// Target mean node degree; the arena is scaled so density stays constant
+/// as `n` grows.
+pub const TARGET_DEGREE: f64 = 8.0;
+
+/// Mobility family of a bench workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MobilityKind {
+    Stationary,
+    RandomWalk,
+    Highway,
+}
+
+impl MobilityKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            MobilityKind::Stationary => "stationary",
+            MobilityKind::RandomWalk => "random_walk",
+            MobilityKind::Highway => "highway",
+        }
+    }
+}
+
+/// What runs on the simulated nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// No protocol traffic at all: the run is pure mobility advancement
+    /// plus neighbour discovery, isolating exactly the path the spatial
+    /// index replaced. These rows carry the headline speedup claim.
+    Discovery,
+    /// O(1) handlers: engine throughput with traffic (event queue, radio,
+    /// spatial index, mobility).
+    Beacon,
+    /// The full group-service protocol: end-to-end system throughput.
+    Grp,
+}
+
+impl Payload {
+    pub fn name(self) -> &'static str {
+        match self {
+            Payload::Discovery => "discovery",
+            Payload::Beacon => "beacon",
+            Payload::Grp => "grp",
+        }
+    }
+
+    /// Largest node count for which the all-pairs twin still runs. The GRP
+    /// rows keep the twin only at the smallest size (protocol work dwarfs
+    /// the neighbour scan there, so the twin serves as an equivalence check
+    /// rather than a meaningful speedup measurement).
+    pub fn brute_force_ceiling(self) -> usize {
+        match self {
+            Payload::Discovery => 1_000,
+            Payload::Beacon => 1_000,
+            Payload::Grp => 100,
+        }
+    }
+}
+
+/// One cell of the workload matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    pub payload: Payload,
+    pub mobility: MobilityKind,
+    pub nodes: usize,
+    pub rounds: u64,
+    pub seed: u64,
+}
+
+impl Workload {
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.payload.name(),
+            self.mobility.name(),
+            self.nodes
+        )
+    }
+}
+
+/// The fixed matrix: payload ∈ {beacon, grp} × n ∈ {100, 1k, 10k} ×
+/// {stationary, random-walk, highway}. `--quick` drops the 10k rows (and
+/// the 1k GRP rows) and halves the rounds so the CI job stays in seconds.
+pub fn workload_matrix(quick: bool) -> Vec<Workload> {
+    let discovery_sizes: &[(usize, u64)] = if quick {
+        &[(100, 10), (1_000, 6)]
+    } else {
+        &[(100, 30), (1_000, 15), (10_000, 4)]
+    };
+    let beacon_sizes: &[(usize, u64)] = if quick {
+        &[(100, 6), (1_000, 4)]
+    } else {
+        &[(100, 12), (1_000, 8), (10_000, 3)]
+    };
+    let grp_sizes: &[(usize, u64)] = if quick {
+        &[(100, 4)]
+    } else {
+        &[(100, 8), (1_000, 4), (10_000, 2)]
+    };
+    let mut matrix = Vec::new();
+    for (payload, sizes) in [
+        (Payload::Discovery, discovery_sizes),
+        (Payload::Beacon, beacon_sizes),
+        (Payload::Grp, grp_sizes),
+    ] {
+        for &mobility in &[
+            MobilityKind::Stationary,
+            MobilityKind::RandomWalk,
+            MobilityKind::Highway,
+        ] {
+            for &(nodes, rounds) in sizes {
+                matrix.push(Workload {
+                    payload,
+                    mobility,
+                    nodes,
+                    rounds,
+                    seed: 7,
+                });
+            }
+        }
+    }
+    matrix
+}
+
+/// Arena side for `n` nodes at the target density.
+pub fn arena_side(n: usize) -> f64 {
+    (n as f64 * std::f64::consts::PI * RADIO_RANGE * RADIO_RANGE / TARGET_DEGREE).sqrt()
+}
+
+fn build_mobility(w: &Workload) -> Box<dyn MobilityModel> {
+    let mut placement = ChaCha8Rng::seed_from_u64(w.seed ^ 0x5ce0_a71e_5eed);
+    let side = arena_side(w.nodes);
+    match w.mobility {
+        MobilityKind::Stationary => {
+            Box::new(Stationary::uniform(w.nodes, side, side, &mut placement))
+        }
+        MobilityKind::RandomWalk => {
+            Box::new(RandomWalk::new(w.nodes, side, side, 0.02, &mut placement))
+        }
+        MobilityKind::Highway => Box::new(Highway::new(
+            w.nodes,
+            4,
+            w.nodes as f64 * 5.0,
+            15.0,
+            (0.005, 0.015),
+            &mut placement,
+        )),
+    }
+}
+
+fn build_simulator<P: Protocol, F: Fn(dyngraph::NodeId) -> P>(
+    w: &Workload,
+    spatial_index: bool,
+    make_node: F,
+) -> Simulator<P> {
+    let config = SimConfig {
+        seed: w.seed,
+        // VANET-rate mobility: the topology refreshes ten times per compute
+        // period, which is precisely the regime the spatial index targets.
+        mobility_period: 100,
+        spatial_index,
+        ..Default::default()
+    };
+    let mut sim = Simulator::new(
+        config,
+        TopologyMode::Spatial {
+            radio: Box::new(UnitDisk::new(RADIO_RANGE)),
+            mobility: build_mobility(w),
+        },
+    );
+    sim.add_nodes((0..w.nodes as u64).map(|id| make_node(dyngraph::NodeId(id))));
+    sim
+}
+
+/// One engine execution of a workload.
+#[derive(Clone, Debug)]
+pub struct EngineRun {
+    pub wall: Duration,
+    pub events: u64,
+    pub broadcasts: u64,
+    pub delivered: u64,
+    pub digest: String,
+}
+
+impl EngineRun {
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+fn drive<P: Protocol>(w: &Workload, mut sim: Simulator<P>) -> EngineRun {
+    let start = Instant::now();
+    for _ in 0..w.rounds {
+        sim.run_rounds(1);
+        sim.snapshot();
+    }
+    let wall = start.elapsed();
+    let mut hasher = CanonicalHasher::new();
+    hasher.feed_str(&w.label());
+    hasher.feed_u64(w.seed);
+    sim.trace().feed_digest(&mut hasher);
+    EngineRun {
+        wall,
+        events: sim.events_processed(),
+        broadcasts: sim.stats().broadcasts,
+        delivered: sim.stats().delivered,
+        digest: hasher.finalize().to_hex(),
+    }
+}
+
+/// Execute one workload on one engine configuration.
+pub fn run_engine(w: &Workload, spatial_index: bool) -> EngineRun {
+    match w.payload {
+        Payload::Discovery => {
+            // no protocol instances: the event stream is mobility ticks
+            // only, so the run isolates neighbour-discovery throughput
+            let config = SimConfig {
+                seed: w.seed,
+                mobility_period: 100,
+                spatial_index,
+                ..Default::default()
+            };
+            let sim: Simulator<Beacon> = Simulator::new(
+                config,
+                TopologyMode::Spatial {
+                    radio: Box::new(UnitDisk::new(RADIO_RANGE)),
+                    mobility: build_mobility(w),
+                },
+            );
+            drive(w, sim)
+        }
+        Payload::Beacon => drive(w, build_simulator(w, spatial_index, Beacon::new)),
+        Payload::Grp => drive(
+            w,
+            build_simulator(w, spatial_index, |id| GrpNode::new(id, GrpConfig::new(3))),
+        ),
+    }
+}
+
+/// Grid run plus (for sizes below the ceiling) the all-pairs twin.
+#[derive(Clone, Debug)]
+pub struct WorkloadResult {
+    pub workload: Workload,
+    pub grid: EngineRun,
+    pub brute: Option<EngineRun>,
+}
+
+impl WorkloadResult {
+    /// Brute wall time over grid wall time, when the twin ran.
+    pub fn speedup(&self) -> Option<f64> {
+        self.brute.as_ref().map(|b| {
+            let g = self.grid.wall.as_secs_f64();
+            if g > 0.0 {
+                b.wall.as_secs_f64() / g
+            } else {
+                f64::INFINITY
+            }
+        })
+    }
+}
+
+/// Run one workload (both engine configurations where applicable) and
+/// panic if their digests disagree — the bench is also an equivalence test.
+pub fn run_workload(w: &Workload) -> WorkloadResult {
+    let grid = run_engine(w, true);
+    let brute = (w.nodes <= w.payload.brute_force_ceiling()).then(|| run_engine(w, false));
+    if let Some(b) = &brute {
+        assert_eq!(
+            grid.digest,
+            b.digest,
+            "{}: spatial index changed the trace digest",
+            w.label()
+        );
+    }
+    WorkloadResult {
+        workload: *w,
+        grid,
+        brute,
+    }
+}
+
+/// `(year, month, day)` of a unix timestamp (UTC), via the classic
+/// days-to-civil conversion — no calendar dependency needed offline.
+pub fn civil_date(unix_secs: u64) -> (i64, u32, u32) {
+    let days = (unix_secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    (year, month, day)
+}
+
+fn engine_json(run: &EngineRun) -> Json {
+    Json::object()
+        .with("wall_ms", run.wall.as_secs_f64() * 1_000.0)
+        .with("events", run.events as i64)
+        .with("events_per_sec", run.events_per_sec())
+        .with("broadcasts", run.broadcasts as i64)
+        .with("delivered", run.delivered as i64)
+        .with("digest", run.digest.as_str())
+}
+
+/// The `BENCH_<date>.json` document for a completed matrix.
+pub fn report_json(results: &[WorkloadResult], quick: bool, unix_secs: u64) -> Json {
+    let (y, m, d) = civil_date(unix_secs);
+    let peak_nodes = results.iter().map(|r| r.workload.nodes).max().unwrap_or(0);
+    let workloads: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            let mut obj = Json::object()
+                .with("payload", r.workload.payload.name())
+                .with("mobility", r.workload.mobility.name())
+                .with("nodes", r.workload.nodes as i64)
+                .with("rounds", r.workload.rounds as i64)
+                .with("seed", r.workload.seed as i64)
+                .with("radio_range", RADIO_RANGE)
+                .with("arena_side", arena_side(r.workload.nodes))
+                .with("grid", engine_json(&r.grid));
+            obj = match &r.brute {
+                Some(b) => obj.with("brute", engine_json(b)),
+                None => obj.with("brute", Json::Null),
+            };
+            obj.with(
+                "speedup",
+                r.speedup().map(Json::Float).unwrap_or(Json::Null),
+            )
+        })
+        .collect();
+    Json::object()
+        .with("schema", 1i64)
+        .with("date", format!("{y:04}-{m:02}-{d:02}"))
+        .with("unix_time", unix_secs as i64)
+        .with("quick", quick)
+        .with("radio_range", RADIO_RANGE)
+        .with("target_degree", TARGET_DEGREE)
+        .with("peak_nodes", peak_nodes as i64)
+        .with("workloads", Json::Array(workloads))
+}
+
+/// The events/sec summary table printed in the CI job log.
+pub fn summary_table(results: &[WorkloadResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:<12} {:>7} {:>7} {:>12} {:>14} {:>9}\n",
+        "payload", "mobility", "nodes", "rounds", "grid ms", "events/sec", "speedup"
+    ));
+    for r in results {
+        let speedup = r
+            .speedup()
+            .map(|s| format!("{s:.2}x"))
+            .unwrap_or_else(|| "-".into());
+        out.push_str(&format!(
+            "{:<8} {:<12} {:>7} {:>7} {:>12.1} {:>14.0} {:>9}\n",
+            r.workload.payload.name(),
+            r.workload.mobility.name(),
+            r.workload.nodes,
+            r.workload.rounds,
+            r.grid.wall.as_secs_f64() * 1_000.0,
+            r.grid.events_per_sec(),
+            speedup
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_date_matches_known_anchors() {
+        assert_eq!(civil_date(0), (1970, 1, 1));
+        assert_eq!(civil_date(951_782_400), (2000, 2, 29)); // leap day
+        assert_eq!(civil_date(1_753_920_000), (2025, 7, 31));
+    }
+
+    #[test]
+    fn grid_and_brute_agree_on_a_small_workload() {
+        let w = Workload {
+            payload: Payload::Beacon,
+            mobility: MobilityKind::RandomWalk,
+            nodes: 60,
+            rounds: 2,
+            seed: 3,
+        };
+        let result = run_workload(&w);
+        let brute = result.brute.expect("small workloads run the twin");
+        assert_eq!(result.grid.digest, brute.digest);
+        assert!(result.grid.events > 0);
+    }
+
+    #[test]
+    fn grp_payload_digests_agree_too() {
+        let w = Workload {
+            payload: Payload::Grp,
+            mobility: MobilityKind::Highway,
+            nodes: 40,
+            rounds: 2,
+            seed: 5,
+        };
+        let result = run_workload(&w);
+        let brute = result.brute.expect("grp twin runs at small sizes");
+        assert_eq!(result.grid.digest, brute.digest);
+    }
+
+    #[test]
+    fn matrix_shapes() {
+        assert_eq!(workload_matrix(false).len(), 27);
+        assert_eq!(workload_matrix(true).len(), 15);
+        assert!(workload_matrix(true).iter().all(|w| w.nodes <= 1_000));
+    }
+
+    #[test]
+    fn discovery_payload_runs_without_nodes() {
+        let w = Workload {
+            payload: Payload::Discovery,
+            mobility: MobilityKind::RandomWalk,
+            nodes: 80,
+            rounds: 3,
+            seed: 11,
+        };
+        let result = run_workload(&w);
+        let brute = result.brute.expect("twin runs at small sizes");
+        assert_eq!(result.grid.digest, brute.digest);
+        assert_eq!(result.grid.broadcasts, 0, "discovery rows carry no traffic");
+    }
+
+    #[test]
+    fn report_is_valid_json_with_expected_keys() {
+        let w = Workload {
+            payload: Payload::Beacon,
+            mobility: MobilityKind::Stationary,
+            nodes: 30,
+            rounds: 1,
+            seed: 1,
+        };
+        let results = vec![run_workload(&w)];
+        let doc = report_json(&results, true, 1_753_920_000).pretty();
+        for key in [
+            "\"schema\"",
+            "\"date\"",
+            "\"workloads\"",
+            "\"speedup\"",
+            "\"digest\"",
+        ] {
+            assert!(doc.contains(key), "missing {key} in {doc}");
+        }
+        assert!(doc.contains("2025-07-31"));
+    }
+}

@@ -40,6 +40,41 @@ impl Graph {
         self.adjacency.entry(node).or_default();
     }
 
+    /// Bulk-build a graph from complete, sorted adjacency lists: the outer
+    /// iterator ascends by node, each inner iterator ascends and names the
+    /// node's full neighbourhood, and edges appear in both endpoints'
+    /// lists. Neighbour lists stream straight into the BTree bulk build
+    /// without intermediate vectors, which is substantially cheaper than
+    /// per-edge `add_edge` inserts — this is the hot constructor of the
+    /// spatial-index topology rebuild. The result is content-identical to
+    /// the incremental build; debug builds assert the symmetry contract.
+    pub fn from_sorted_adjacency_iter<I, N>(adjacency: I) -> Self
+    where
+        I: Iterator<Item = (NodeId, N)>,
+        N: Iterator<Item = NodeId>,
+    {
+        let graph = Graph {
+            adjacency: adjacency
+                .map(|(node, neighbours)| {
+                    let set: BTreeSet<NodeId> = neighbours.filter(|&n| n != node).collect();
+                    (node, set)
+                })
+                .collect(),
+        };
+        debug_assert!(
+            graph.adjacency.iter().all(|(&node, neighbours)| {
+                neighbours.iter().all(|n| {
+                    graph
+                        .adjacency
+                        .get(n)
+                        .is_some_and(|back| back.contains(&node))
+                })
+            }),
+            "adjacency lists must be symmetric"
+        );
+        graph
+    }
+
     /// Remove a node and all its incident edges. Returns true if it existed.
     pub fn remove_node(&mut self, node: NodeId) -> bool {
         if self.adjacency.remove(&node).is_none() {

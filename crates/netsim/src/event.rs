@@ -15,11 +15,16 @@ pub enum EventKind<M> {
     ComputeTimer(NodeId),
     /// Node's send timer `Ts` expired.
     SendTimer(NodeId),
-    /// A message sent by `from` reaches `to`.
-    Delivery {
+    /// A broadcast by `from` reaches its recipients: one event carries the
+    /// whole delivery sweep (the loss decisions were already made at send
+    /// time), so a broadcast costs one heap operation instead of one per
+    /// neighbour. Recipients are visited in the recorded order, which is
+    /// exactly the order the per-neighbour events used to fire in — the
+    /// execution schedule, and therefore every trace digest, is unchanged.
+    Broadcast {
         from: NodeId,
-        to: NodeId,
         message: M,
+        recipients: Vec<NodeId>,
     },
     /// Positions advance and the topology is recomputed (spatial mode only).
     MobilityTick,

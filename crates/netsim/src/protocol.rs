@@ -48,6 +48,58 @@ pub trait Protocol {
     fn reset(&mut self) {}
 }
 
+/// A minimal beacon protocol: every `Ts` the node broadcasts its identity
+/// and counts what it hears. The handlers are O(1), so a simulation of
+/// [`Beacon`] nodes measures the engine itself — event queue, radio,
+/// spatial index, mobility — rather than any protocol logic. `bench-runner`
+/// uses it for the raw-throughput rows of the perf baseline.
+#[derive(Clone, Debug)]
+pub struct Beacon {
+    me: NodeId,
+    /// Beacons received from any neighbour.
+    pub heard: u64,
+    /// Compute-timer expirations observed.
+    pub computes: u64,
+}
+
+impl Beacon {
+    pub fn new(me: NodeId) -> Self {
+        Beacon {
+            me,
+            heard: 0,
+            computes: 0,
+        }
+    }
+}
+
+impl Protocol for Beacon {
+    type Message = NodeId;
+
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_message(&mut self, _from: NodeId, _msg: Self::Message, _now: SimTime) {
+        self.heard += 1;
+    }
+
+    fn on_compute(&mut self, _now: SimTime) {
+        self.computes += 1;
+    }
+
+    fn on_send(&mut self, _now: SimTime) -> Option<Self::Message> {
+        Some(self.me)
+    }
+
+    fn message_size(_msg: &Self::Message) -> usize {
+        8
+    }
+
+    fn reset(&mut self) {
+        *self = Beacon::new(self.me);
+    }
+}
+
 #[cfg(test)]
 pub(crate) mod test_support {
     //! A tiny flooding protocol used by the simulator unit tests: every node

@@ -5,7 +5,7 @@
 //! positions into a topology and decides, per transmission, whether a given
 //! neighbour actually receives the message (loss, collisions).
 
-use crate::space::Point;
+use crate::space::{Point, SpatialGrid};
 use dyngraph::{Graph, NodeId};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -22,10 +22,38 @@ pub trait RadioModel: Send {
         true
     }
 
+    /// An upper bound on the interaction distance: `in_vicinity` is false
+    /// for every pair farther apart than this. `None` (the default) means
+    /// no finite bound is known and neighbour discovery must fall back to
+    /// the all-pairs scan. All disk models report their range.
+    fn max_range(&self) -> Option<f64> {
+        None
+    }
+
     /// Build the communication topology implied by a set of positions: an
     /// undirected edge is present when each node is in the other's vicinity
     /// (the GRP algorithm only exploits symmetric links).
+    ///
+    /// When the model has a finite [`max_range`](RadioModel::max_range) the
+    /// scan runs through a one-shot spatial grid in O(n · k); otherwise it
+    /// falls back to [`topology_all_pairs`](RadioModel::topology_all_pairs).
+    /// Both paths produce the identical edge set (adjacency is BTree-based,
+    /// so insertion order cannot leak into any digest).
     fn topology(&self, positions: &BTreeMap<NodeId, Point>) -> Graph {
+        match self.max_range() {
+            Some(range) if range.is_finite() && range > 0.0 => {
+                let mut grid = SpatialGrid::new(range);
+                grid.rebuild(positions);
+                self.topology_from_grid(&mut grid)
+            }
+            _ => self.topology_all_pairs(positions),
+        }
+    }
+
+    /// The reference O(n²) topology scan. Kept public so benchmarks can
+    /// measure the pre-index baseline and property tests can cross-check
+    /// the grid path against it.
+    fn topology_all_pairs(&self, positions: &BTreeMap<NodeId, Point>) -> Graph {
         let mut g = Graph::new();
         for &n in positions.keys() {
             g.add_node(n);
@@ -41,6 +69,27 @@ pub trait RadioModel: Send {
             }
         }
         g
+    }
+
+    /// Recompute the grid's internal CSR topology from an
+    /// already-synchronised [`SpatialGrid`]: only pairs in neighbouring
+    /// cells are distance-tested. Requires a finite
+    /// [`max_range`](RadioModel::max_range); the simulator guarantees this
+    /// by construction.
+    fn refresh_grid_topology(&self, grid: &mut SpatialGrid) {
+        let range = self
+            .max_range()
+            .expect("refresh_grid_topology requires a bounded-range radio model");
+        grid.rebuild_topology(range, |pa, pb| {
+            self.in_vicinity(pa, pb) && self.in_vicinity(pb, pa)
+        });
+    }
+
+    /// Topology from an already-synchronised [`SpatialGrid`], materialised
+    /// as a [`Graph`].
+    fn topology_from_grid(&self, grid: &mut SpatialGrid) -> Graph {
+        self.refresh_grid_topology(grid);
+        grid.graph()
     }
 }
 
@@ -59,6 +108,10 @@ impl UnitDisk {
 impl RadioModel for UnitDisk {
     fn in_vicinity(&self, sender: Point, receiver: Point) -> bool {
         sender.distance(&receiver) <= self.range
+    }
+
+    fn max_range(&self) -> Option<f64> {
+        Some(self.range)
     }
 }
 
@@ -87,6 +140,10 @@ impl RadioModel for LossyDisk {
 
     fn receives(&self, rng: &mut ChaCha8Rng, _sender: Point, _receiver: Point) -> bool {
         !rng.gen_bool(self.loss)
+    }
+
+    fn max_range(&self) -> Option<f64> {
+        Some(self.range)
     }
 }
 
@@ -120,6 +177,10 @@ impl RadioModel for DistanceLossDisk {
         }
         let p_loss = self.edge_loss * (d / self.range);
         !rng.gen_bool(p_loss.clamp(0.0, 1.0))
+    }
+
+    fn max_range(&self) -> Option<f64> {
+        Some(self.range)
     }
 }
 
@@ -173,6 +234,41 @@ mod tests {
         assert_eq!(radio.loss, 1.0);
         let radio = LossyDisk::new(5.0, -3.0);
         assert_eq!(radio.loss, 0.0);
+    }
+
+    #[test]
+    fn grid_topology_equals_all_pairs_topology() {
+        use rand::Rng;
+        let radio = UnitDisk::new(7.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let pos: BTreeMap<NodeId, Point> = (0..120)
+            .map(|i| {
+                (
+                    NodeId(i),
+                    Point::new(rng.gen_range(0.0..60.0), rng.gen_range(0.0..60.0)),
+                )
+            })
+            .collect();
+        let brute = radio.topology_all_pairs(&pos);
+        let routed = radio.topology(&pos);
+        assert_eq!(brute, routed, "topology() routes through the grid");
+        let mut grid = crate::space::SpatialGrid::new(7.5);
+        grid.rebuild(&pos);
+        let via_grid = radio.topology_from_grid(&mut grid);
+        assert_eq!(brute, via_grid);
+        // CSR neighbour queries agree with the materialised graph
+        for (node, _) in grid.nodes() {
+            let from_grid: Vec<NodeId> = grid.neighbors(node).collect();
+            let from_graph: Vec<NodeId> = brute.neighbors(node).collect();
+            assert_eq!(from_grid, from_graph, "neighbours of {node:?}");
+        }
+    }
+
+    #[test]
+    fn disk_models_report_their_range() {
+        assert_eq!(UnitDisk::new(5.0).max_range(), Some(5.0));
+        assert_eq!(LossyDisk::new(6.0, 0.1).max_range(), Some(6.0));
+        assert_eq!(DistanceLossDisk::new(7.0, 0.2).max_range(), Some(7.0));
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::mobility::MobilityModel;
 use crate::node::SimNode;
 use crate::protocol::Protocol;
 use crate::radio::RadioModel;
+use crate::space::{Point, SpatialGrid};
 use crate::time::SimTime;
 use crate::trace::{MessageStats, Trace};
 use dyngraph::{Graph, NodeId, TopologyEvent};
@@ -61,6 +62,11 @@ pub struct SimConfig {
     /// Randomize the initial phase of each node's timers (recommended; a
     /// lockstep start is unrealistically favourable).
     pub stagger_phases: bool,
+    /// Use the uniform-grid spatial index for neighbour discovery in
+    /// spatial mode (default). Disabling it restores the historical
+    /// all-pairs scan on every mobility tick — kept only so benchmarks can
+    /// measure the speedup; both settings produce byte-identical traces.
+    pub spatial_index: bool,
 }
 
 impl Default for SimConfig {
@@ -73,6 +79,7 @@ impl Default for SimConfig {
             loss_probability: 0.0,
             seed: 0,
             stagger_phases: true,
+            spatial_index: true,
         }
     }
 }
@@ -87,12 +94,51 @@ impl SimConfig {
     }
 }
 
+/// How spatial-mode neighbour discovery is accelerated between mobility
+/// ticks.
+enum SpatialIndex {
+    /// Not in spatial mode, or the index is disabled: rebuild with the
+    /// all-pairs scan on every tick (the historical behaviour).
+    None,
+    /// Uniform-grid spatial hash, updated incrementally; ticks where no
+    /// node moved skip topology recomputation entirely. The authoritative
+    /// topology lives in the grid's CSR form — per-send neighbour queries
+    /// are answered from it directly, and the `Graph` the rest of the
+    /// system observes is re-materialised lazily (`dirty`) at most once
+    /// per `run_until`, not once per mobility tick.
+    Grid { grid: SpatialGrid, dirty: bool },
+    /// The radio model has no finite range, so the scan stays all-pairs,
+    /// but unchanged position maps still skip recomputation.
+    DiffOnly(BTreeMap<NodeId, Point>),
+}
+
+impl SpatialIndex {
+    fn for_mode(config: &SimConfig, mode: &TopologyMode) -> SpatialIndex {
+        let TopologyMode::Spatial { radio, mobility } = mode else {
+            return SpatialIndex::None;
+        };
+        if !config.spatial_index {
+            return SpatialIndex::None;
+        }
+        match radio.max_range() {
+            Some(range) if range.is_finite() && range > 0.0 => {
+                let mut grid = SpatialGrid::new(range);
+                grid.rebuild(mobility.positions());
+                radio.refresh_grid_topology(&mut grid);
+                SpatialIndex::Grid { grid, dirty: false }
+            }
+            _ => SpatialIndex::DiffOnly(mobility.positions().clone()),
+        }
+    }
+}
+
 /// The discrete-event simulator.
 pub struct Simulator<P: Protocol> {
     config: SimConfig,
     nodes: BTreeMap<NodeId, SimNode<P>>,
     mode: TopologyMode,
     topology: Graph,
+    index: SpatialIndex,
     events: BinaryHeap<Event<P::Message>>,
     seq: u64,
     now: SimTime,
@@ -101,14 +147,19 @@ pub struct Simulator<P: Protocol> {
     trace: Trace,
     faults: Vec<ScheduledFault>,
     loss_burst_until: SimTime,
+    events_processed: u64,
 }
 
 impl<P: Protocol> Simulator<P> {
     /// Create a simulator with the given configuration and topology mode.
     pub fn new(config: SimConfig, mode: TopologyMode) -> Self {
-        let topology = match &mode {
-            TopologyMode::Explicit(g) => g.clone(),
-            TopologyMode::Spatial { radio, mobility } => radio.topology(mobility.positions()),
+        let index = SpatialIndex::for_mode(&config, &mode);
+        let topology = match (&mode, &index) {
+            (TopologyMode::Explicit(g), _) => g.clone(),
+            (TopologyMode::Spatial { .. }, SpatialIndex::Grid { grid, .. }) => grid.graph(),
+            (TopologyMode::Spatial { radio, mobility }, _) => {
+                radio.topology_all_pairs(mobility.positions())
+            }
         };
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
         let mut sim = Simulator {
@@ -116,6 +167,7 @@ impl<P: Protocol> Simulator<P> {
             nodes: BTreeMap::new(),
             mode,
             topology,
+            index,
             events: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
@@ -124,6 +176,7 @@ impl<P: Protocol> Simulator<P> {
             trace: Trace::new(),
             faults: Vec::new(),
             loss_burst_until: SimTime::ZERO,
+            events_processed: 0,
         };
         if matches!(sim.mode, TopologyMode::Spatial { .. }) {
             sim.schedule(sim.config.mobility_period, EventKind::MobilityTick);
@@ -274,6 +327,14 @@ impl<P: Protocol> Simulator<P> {
             self.handle(ev);
         }
         self.now = deadline;
+        // materialise the observed Graph at most once per run, however many
+        // mobility ticks elapsed; in-run sends read the grid's CSR directly
+        if let SpatialIndex::Grid { grid, dirty } = &mut self.index {
+            if *dirty {
+                self.topology = grid.graph();
+                *dirty = false;
+            }
+        }
     }
 
     /// Run for `duration` ticks.
@@ -287,7 +348,15 @@ impl<P: Protocol> Simulator<P> {
         self.run_for(rounds * self.config.compute_period);
     }
 
+    /// Total number of events processed so far (timers, broadcast sweeps,
+    /// mobility ticks, faults) — the throughput denominator reported by
+    /// `bench-runner`.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     fn handle(&mut self, ev: Event<P::Message>) {
+        self.events_processed += 1;
         match ev.kind {
             EventKind::ComputeTimer(id) => {
                 let now = self.now;
@@ -303,24 +372,55 @@ impl<P: Protocol> Simulator<P> {
                 self.handle_send(id);
                 self.schedule(self.config.send_period, EventKind::SendTimer(id));
             }
-            EventKind::Delivery { from, to, message } => {
+            EventKind::Broadcast {
+                from,
+                message,
+                recipients,
+            } => {
                 let now = self.now;
-                if let Some(node) = self.nodes.get_mut(&to) {
-                    if node.active {
-                        self.stats.delivered += 1;
-                        self.stats.delivered_bytes += P::message_size(&message) as u64;
-                        node.protocol.on_message(from, message, now);
+                let mut recipients = recipients.into_iter().peekable();
+                while let Some(to) = recipients.next() {
+                    if let Some(node) = self.nodes.get_mut(&to) {
+                        if node.active {
+                            self.stats.delivered += 1;
+                            self.stats.delivered_bytes += P::message_size(&message) as u64;
+                            // move the message into the last reception
+                            // instead of cloning it
+                            if recipients.peek().is_none() {
+                                node.protocol.on_message(from, message, now);
+                                break;
+                            }
+                            node.protocol.on_message(from, message.clone(), now);
+                        } else {
+                            self.stats.dropped += 1;
+                        }
                     } else {
                         self.stats.dropped += 1;
                     }
-                } else {
-                    self.stats.dropped += 1;
                 }
             }
             EventKind::MobilityTick => {
                 if let TopologyMode::Spatial { radio, mobility } = &mut self.mode {
                     mobility.advance(self.config.mobility_period, &mut self.rng);
-                    self.topology = radio.topology(mobility.positions());
+                    match &mut self.index {
+                        SpatialIndex::Grid { grid, dirty } => {
+                            // incremental cell updates; an unchanged map
+                            // (e.g. stationary nodes) skips recomputation
+                            if grid.sync(mobility.positions()) {
+                                radio.refresh_grid_topology(grid);
+                                *dirty = true;
+                            }
+                        }
+                        SpatialIndex::DiffOnly(last) => {
+                            if last != mobility.positions() {
+                                *last = mobility.positions().clone();
+                                self.topology = radio.topology_all_pairs(mobility.positions());
+                            }
+                        }
+                        SpatialIndex::None => {
+                            self.topology = radio.topology_all_pairs(mobility.positions());
+                        }
+                    }
                 }
                 self.schedule(self.config.mobility_period, EventKind::MobilityTick);
             }
@@ -340,7 +440,16 @@ impl<P: Protocol> Simulator<P> {
             _ => return,
         };
         self.stats.broadcasts += 1;
-        let neighbours: Vec<NodeId> = self.topology.neighbors(id).collect();
+        // Per-neighbour loss decisions happen now, in neighbour order (the
+        // RNG consumption order is part of the pinned golden traces); the
+        // survivors ride a single Broadcast sweep event instead of one heap
+        // entry each. In grid mode the neighbours come from the CSR index
+        // (same NodeId-ascending order a materialised Graph iterates in).
+        let neighbours: Vec<NodeId> = match &self.index {
+            SpatialIndex::Grid { grid, .. } => grid.neighbors(id).collect(),
+            _ => self.topology.neighbors(id).collect(),
+        };
+        let mut recipients: Vec<NodeId> = Vec::with_capacity(neighbours.len());
         for to in neighbours {
             if !self.nodes.contains_key(&to) {
                 continue;
@@ -366,17 +475,20 @@ impl<P: Protocol> Simulator<P> {
                 }
             };
             if received {
-                self.schedule(
-                    self.config.delivery_delay,
-                    EventKind::Delivery {
-                        from: id,
-                        to,
-                        message: message.clone(),
-                    },
-                );
+                recipients.push(to);
             } else {
                 self.stats.dropped += 1;
             }
+        }
+        if !recipients.is_empty() {
+            self.schedule(
+                self.config.delivery_delay,
+                EventKind::Broadcast {
+                    from: id,
+                    message,
+                    recipients,
+                },
+            );
         }
     }
 

@@ -1,6 +1,9 @@
-//! Two-dimensional Euclidean space in which the nodes move.
+//! Two-dimensional Euclidean space in which the nodes move, and the
+//! uniform-grid spatial index used to make neighbour discovery O(n · k).
 
+use dyngraph::{Graph, NodeId};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// A position in the plane (metres, but the unit is arbitrary).
 #[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
@@ -48,6 +51,329 @@ impl Point {
     }
 }
 
+/// Cell coordinates of a point.
+type Cell = (i64, i64);
+
+fn cell_of(cell_size: f64, p: Point) -> Cell {
+    (
+        (p.x / cell_size).floor() as i64,
+        (p.y / cell_size).floor() as i64,
+    )
+}
+
+/// A uniform-grid spatial hash over node positions.
+///
+/// Nodes are bucketed into square cells of side `cell_size`; every pair of
+/// nodes within distance `r` of each other lies in cells whose indices
+/// differ by at most `ceil(r / cell_size)` on each axis, so range queries
+/// only visit a constant-size neighbourhood of cells instead of all nodes.
+///
+/// Internally the nodes live in a NodeId-ascending array and the cells hold
+/// `u32` indices into it, so the hot pair-enumeration loop is pure array
+/// traffic — no map lookups. The grid remembers the positions it was last
+/// synchronised with, which enables two things the simulator relies on:
+///
+/// * [`SpatialGrid::sync`] updates incrementally — steady-state ticks are a
+///   lockstep walk over the sorted node set with in-place position writes,
+///   and only boundary-crossing nodes touch their cells — and reports
+///   whether anything changed, so a stationary tick skips topology
+///   recomputation entirely;
+/// * node order is always NodeId-ascending and cell iteration is BTree-
+///   ordered, so every result (and downstream trace digest) is independent
+///   of update history.
+#[derive(Clone, Debug)]
+pub struct SpatialGrid {
+    cell_size: f64,
+    /// All indexed nodes with their positions, ascending by NodeId.
+    order: Vec<(NodeId, Point)>,
+    /// Cell buckets: ascending indices into `order`.
+    cells: BTreeMap<(i64, i64), Vec<u32>>,
+    /// The derived topology in CSR form, valid after
+    /// [`rebuild_topology`](Self::rebuild_topology): `topo_offsets` has
+    /// length n + 1 and `topo_flat[topo_offsets[i]..topo_offsets[i + 1]]`
+    /// holds node i's neighbour indices, ascending. Kept in index form so
+    /// the simulator can answer per-send neighbour queries without
+    /// materialising a [`Graph`] on every mobility tick.
+    topo_offsets: Vec<u32>,
+    topo_flat: Vec<u32>,
+    /// Reusable accepted-pair buffer (allocation churn here is hot).
+    pairs_scratch: Vec<(u32, u32)>,
+}
+
+impl PartialEq for SpatialGrid {
+    fn eq(&self, other: &Self) -> bool {
+        // the CSR topology and scratch are derived state, not identity
+        self.cell_size == other.cell_size && self.order == other.order && self.cells == other.cells
+    }
+}
+
+impl SpatialGrid {
+    /// An empty grid with the given cell side. The caller must pass a
+    /// finite, strictly positive size (the radio range is the natural
+    /// choice: then one ring of neighbouring cells covers the vicinity).
+    pub fn new(cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be finite and positive, got {cell_size}"
+        );
+        SpatialGrid {
+            cell_size,
+            order: Vec::new(),
+            cells: BTreeMap::new(),
+            topo_offsets: Vec::new(),
+            topo_flat: Vec::new(),
+            pairs_scratch: Vec::new(),
+        }
+    }
+
+    /// The configured cell side.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Number of indexed nodes.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Is the grid empty?
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The indexed nodes and their positions, ascending by NodeId.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, Point)> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Position of one node, if indexed.
+    pub fn position_of(&self, node: NodeId) -> Option<Point> {
+        self.order
+            .binary_search_by_key(&node, |&(n, _)| n)
+            .ok()
+            .map(|i| self.order[i].1)
+    }
+
+    /// Cell coordinates of a point.
+    pub fn cell_of(&self, p: Point) -> (i64, i64) {
+        cell_of(self.cell_size, p)
+    }
+
+    fn insert_into_cell(&mut self, idx: u32, cell: (i64, i64)) {
+        let bucket = self.cells.entry(cell).or_default();
+        if let Err(pos) = bucket.binary_search(&idx) {
+            bucket.insert(pos, idx);
+        }
+    }
+
+    fn remove_from_cell(&mut self, idx: u32, cell: (i64, i64)) {
+        if let Some(bucket) = self.cells.get_mut(&cell) {
+            if let Ok(pos) = bucket.binary_search(&idx) {
+                bucket.remove(pos);
+            }
+            if bucket.is_empty() {
+                self.cells.remove(&cell);
+            }
+        }
+    }
+
+    /// Drop everything and re-index `positions` from scratch. Invalidates
+    /// the CSR topology until the next
+    /// [`rebuild_topology`](Self::rebuild_topology).
+    pub fn rebuild(&mut self, positions: &BTreeMap<NodeId, Point>) {
+        assert!(
+            positions.len() <= u32::MAX as usize,
+            "spatial grid indexes at most u32::MAX nodes"
+        );
+        self.order = positions.iter().map(|(&n, &p)| (n, p)).collect();
+        self.cells.clear();
+        for (idx, &(_, p)) in self.order.iter().enumerate() {
+            let cell = cell_of(self.cell_size, p);
+            // iteration is index-ascending, so buckets stay sorted
+            self.cells.entry(cell).or_default().push(idx as u32);
+        }
+        self.topo_offsets.clear();
+        self.topo_flat.clear();
+    }
+
+    /// Bring the grid in line with `positions` and report whether any
+    /// position differed from the tracked state (i.e. the topology may
+    /// have changed); `false` means the tick was a guaranteed no-op.
+    ///
+    /// The steady-state case — identical node set, some nodes moved — is a
+    /// lockstep walk over the two sorted collections with in-place position
+    /// updates; only nodes that crossed a cell boundary touch their
+    /// buckets. Node churn (join/leave) re-indexes from scratch.
+    pub fn sync(&mut self, positions: &BTreeMap<NodeId, Point>) -> bool {
+        if self.order.len() != positions.len()
+            || !self
+                .order
+                .iter()
+                .map(|&(n, _)| n)
+                .eq(positions.keys().copied())
+        {
+            self.rebuild(positions);
+            return true;
+        }
+        let cell_size = self.cell_size;
+        let mut changed = false;
+        let mut crossings: Vec<(u32, Cell, Cell)> = Vec::new();
+        for (idx, (slot, &new)) in self.order.iter_mut().zip(positions.values()).enumerate() {
+            let old = slot.1;
+            if old != new {
+                let from = cell_of(cell_size, old);
+                let to = cell_of(cell_size, new);
+                if from != to {
+                    crossings.push((idx as u32, from, to));
+                }
+                slot.1 = new;
+                changed = true;
+            }
+        }
+        for (idx, from, to) in crossings {
+            self.remove_from_cell(idx, from);
+            self.insert_into_cell(idx, to);
+        }
+        changed
+    }
+
+    /// Visit every unordered candidate *index* pair exactly once: all pairs
+    /// co-located in a cell neighbourhood of `ceil(radius / cell_size)`
+    /// rings. Pairs farther apart than `radius` may be visited (the caller
+    /// re-checks distances); pairs within `radius` are never missed.
+    fn for_each_candidate_index_pair<F: FnMut(u32, Point, u32, Point)>(
+        &self,
+        radius: f64,
+        mut f: F,
+    ) {
+        let reach = ((radius / self.cell_size).ceil() as i64).max(1);
+        for (&(cx, cy), bucket) in &self.cells {
+            // pairs inside this cell (each once: ascending bucket, i < j)
+            for (i, &ia) in bucket.iter().enumerate() {
+                let (_, pa) = self.order[ia as usize];
+                for &ib in &bucket[i + 1..] {
+                    f(ia, pa, ib, self.order[ib as usize].1);
+                }
+            }
+            // pairs with strictly "later" cells only, so each cross-cell
+            // pair is visited exactly once; the neighbour bucket is looked
+            // up once per cell, not once per node
+            for dx in 0..=reach {
+                let dy_start = if dx == 0 { 1 } else { -reach };
+                for dy in dy_start..=reach {
+                    let Some(other) = self.cells.get(&(cx + dx, cy + dy)) else {
+                        continue;
+                    };
+                    for &ia in bucket {
+                        let (_, pa) = self.order[ia as usize];
+                        for &ib in other {
+                            f(ia, pa, ib, self.order[ib as usize].1);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visit every unordered candidate pair `(a, b)` — each pair exactly
+    /// once — that could lie within `radius` of each other. See
+    /// [`for_each_candidate_index_pair`](Self::for_each_candidate_index_pair)
+    /// for the coverage guarantee.
+    pub fn for_each_candidate_pair<F: FnMut(NodeId, Point, NodeId, Point)>(
+        &self,
+        radius: f64,
+        mut f: F,
+    ) {
+        self.for_each_candidate_index_pair(radius, |ia, pa, ib, pb| {
+            f(self.order[ia as usize].0, pa, self.order[ib as usize].0, pb)
+        });
+    }
+
+    /// Recompute the symmetric-link topology over the indexed nodes into
+    /// the internal CSR form: an edge is present when `accept(pa, pb)`
+    /// holds for the candidate pair. The adjacency is assembled index-side
+    /// (no map lookups, no global edge sort — index order *is* NodeId
+    /// order); [`neighbors`](Self::neighbors) answers queries from it and
+    /// [`graph`](Self::graph) materialises it on demand.
+    pub fn rebuild_topology(&mut self, radius: f64, mut accept: impl FnMut(Point, Point) -> bool) {
+        let n = self.order.len();
+        let mut pairs = std::mem::take(&mut self.pairs_scratch);
+        pairs.clear();
+        self.for_each_candidate_index_pair(radius, |ia, pa, ib, pb| {
+            if accept(pa, pb) {
+                pairs.push((ia, ib));
+            }
+        });
+        // counting sort by node index: degrees → prefix sums → fill
+        let offsets = &mut self.topo_offsets;
+        offsets.clear();
+        offsets.resize(n + 1, 0);
+        for &(a, b) in pairs.iter() {
+            offsets[a as usize + 1] += 1;
+            offsets[b as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let flat = &mut self.topo_flat;
+        flat.clear();
+        flat.resize(2 * pairs.len(), 0);
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for &(a, b) in pairs.iter() {
+            flat[cursor[a as usize] as usize] = b;
+            cursor[a as usize] += 1;
+            flat[cursor[b as usize] as usize] = a;
+            cursor[b as usize] += 1;
+        }
+        for i in 0..n {
+            flat[offsets[i] as usize..offsets[i + 1] as usize].sort_unstable();
+        }
+        self.pairs_scratch = pairs;
+    }
+
+    /// Neighbours of `node` per the last
+    /// [`rebuild_topology`](Self::rebuild_topology), ascending by NodeId —
+    /// the same order a materialised [`Graph`] would iterate them in.
+    /// Empty when the node is unknown or no topology has been built.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let run: &[u32] = match self.order.binary_search_by_key(&node, |&(n, _)| n) {
+            Ok(i) if i + 1 < self.topo_offsets.len() => {
+                &self.topo_flat[self.topo_offsets[i] as usize..self.topo_offsets[i + 1] as usize]
+            }
+            _ => &[],
+        };
+        run.iter().map(|&j| self.order[j as usize].0)
+    }
+
+    /// Materialise the CSR topology as a [`Graph`] — content-identical to
+    /// what a brute-force all-pairs scan with the same accept predicate
+    /// produces. The simulator calls this once per observation boundary,
+    /// not once per mobility tick.
+    pub fn graph(&self) -> Graph {
+        if self.topo_offsets.is_empty() {
+            return Graph::with_nodes(self.order.iter().map(|&(n, _)| n));
+        }
+        Graph::from_sorted_adjacency_iter(self.order.iter().enumerate().map(|(i, &(node, _))| {
+            (
+                node,
+                self.topo_flat[self.topo_offsets[i] as usize..self.topo_offsets[i + 1] as usize]
+                    .iter()
+                    .map(|&j| self.order[j as usize].0),
+            )
+        }))
+    }
+
+    /// Convenience wrapper: rebuild the CSR topology and materialise it.
+    pub fn build_topology(
+        &mut self,
+        radius: f64,
+        accept: impl FnMut(Point, Point) -> bool,
+    ) -> Graph {
+        self.rebuild_topology(radius, accept);
+        self.graph()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +403,96 @@ mod tests {
     fn clamp_keeps_point_in_bounds() {
         let p = Point::new(-3.0, 12.0).clamp_to(10.0, 10.0);
         assert_eq!(p, Point::new(0.0, 10.0));
+    }
+
+    fn grid_positions(pts: &[(u64, f64, f64)]) -> BTreeMap<NodeId, Point> {
+        pts.iter()
+            .map(|&(id, x, y)| (NodeId(id), Point::new(x, y)))
+            .collect()
+    }
+
+    fn candidate_pairs(grid: &SpatialGrid, radius: f64) -> Vec<(NodeId, NodeId)> {
+        let mut pairs = Vec::new();
+        grid.for_each_candidate_pair(radius, |a, _, b, _| {
+            pairs.push((a.min(b), a.max(b)));
+        });
+        pairs.sort();
+        pairs
+    }
+
+    #[test]
+    fn grid_covers_all_close_pairs_exactly_once() {
+        let pos = grid_positions(&[
+            (1, 0.5, 0.5),
+            (2, 0.6, 0.6),   // same cell as 1
+            (3, 1.5, 0.5),   // adjacent cell
+            (4, 10.0, 10.0), // far away
+        ]);
+        let mut grid = SpatialGrid::new(1.0);
+        grid.rebuild(&pos);
+        let pairs = candidate_pairs(&grid, 1.0);
+        assert!(pairs.contains(&(NodeId(1), NodeId(2))));
+        assert!(pairs.contains(&(NodeId(1), NodeId(3))));
+        assert!(pairs.contains(&(NodeId(2), NodeId(3))));
+        assert!(!pairs.iter().any(|&(a, b)| a == NodeId(4) || b == NodeId(4)));
+        // uniqueness
+        let mut dedup = pairs.clone();
+        dedup.dedup();
+        assert_eq!(pairs, dedup);
+    }
+
+    #[test]
+    fn sync_reports_changes_and_matches_rebuild() {
+        let mut pos = grid_positions(&[(1, 0.0, 0.0), (2, 5.0, 5.0), (3, 9.0, 1.0)]);
+        let mut grid = SpatialGrid::new(2.5);
+        assert!(grid.sync(&pos), "first sync populates the grid");
+        assert!(!grid.sync(&pos), "unchanged positions are a no-op");
+
+        // move one node across a cell boundary, drop one, add one
+        pos.insert(NodeId(1), Point::new(4.9, 0.0));
+        pos.remove(&NodeId(2));
+        pos.insert(NodeId(7), Point::new(1.0, 8.0));
+        assert!(grid.sync(&pos));
+
+        let mut fresh = SpatialGrid::new(2.5);
+        fresh.rebuild(&pos);
+        assert_eq!(grid, fresh, "incremental sync equals a full rebuild");
+    }
+
+    #[test]
+    fn sync_detects_intra_cell_moves() {
+        let mut pos = grid_positions(&[(1, 0.1, 0.1)]);
+        let mut grid = SpatialGrid::new(100.0);
+        grid.sync(&pos);
+        pos.insert(NodeId(1), Point::new(0.2, 0.1)); // same cell, new position
+        assert!(
+            grid.sync(&pos),
+            "a move within a cell still changes positions"
+        );
+        assert_eq!(grid.position_of(NodeId(1)), Some(Point::new(0.2, 0.1)));
+        assert_eq!(grid.position_of(NodeId(9)), None);
+    }
+
+    #[test]
+    fn build_topology_equals_pairwise_filter() {
+        let pos = grid_positions(&[(1, 0.0, 0.0), (2, 3.0, 0.0), (3, 3.0, 3.5), (4, 50.0, 50.0)]);
+        let mut grid = SpatialGrid::new(4.0);
+        grid.rebuild(&pos);
+        let g = grid.build_topology(4.0, |a, b| a.distance(&b) <= 4.0);
+        assert!(g.contains_edge(NodeId(1), NodeId(2)));
+        assert!(g.contains_edge(NodeId(2), NodeId(3)));
+        assert!(!g.contains_edge(NodeId(1), NodeId(3))); // distance ~4.6
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn reach_scales_with_radius_over_cell_size() {
+        // radius 3 with cell size 1: candidates must span 3 rings
+        let pos = grid_positions(&[(1, 0.5, 0.5), (2, 3.4, 0.5)]);
+        let mut grid = SpatialGrid::new(1.0);
+        grid.rebuild(&pos);
+        let pairs = candidate_pairs(&grid, 3.0);
+        assert_eq!(pairs, vec![(NodeId(1), NodeId(2))]);
     }
 }

@@ -1,0 +1,112 @@
+//! Property tests for the spatial-hash neighbour discovery: the grid path
+//! must be observationally identical to the brute-force all-pairs scan for
+//! arbitrary position sets, radii and cell sizes, and incremental `sync`
+//! must leave the grid in exactly the state a from-scratch rebuild
+//! produces.
+
+use dyngraph::NodeId;
+use netsim::radio::{RadioModel, UnitDisk};
+use netsim::space::SpatialGrid;
+use netsim::Point;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn positions_of(pts: Vec<(f64, f64)>) -> BTreeMap<NodeId, Point> {
+    pts.into_iter()
+        .enumerate()
+        .map(|(i, (x, y))| (NodeId(i as u64), Point::new(x, y)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The grid topology equals the all-pairs topology for random position
+    /// sets — across cell sizes decoupled from the radio range (smaller,
+    /// equal and larger cells must all cover the vicinity).
+    #[test]
+    fn grid_topology_equals_brute_force(
+        pts in proptest::collection::vec((0.0f64..200.0, 0.0f64..200.0), 0..70),
+        range in 1.0f64..60.0,
+        cell_scale in 0.3f64..3.0,
+    ) {
+        let pos = positions_of(pts);
+        let radio = UnitDisk::new(range);
+        let brute = radio.topology_all_pairs(&pos);
+        let mut grid = SpatialGrid::new(range * cell_scale);
+        grid.rebuild(&pos);
+        let via_grid = grid.build_topology(range, |a, b| {
+            radio.in_vicinity(a, b) && radio.in_vicinity(b, a)
+        });
+        prop_assert_eq!(&brute, &via_grid);
+        // the CSR neighbour view agrees with the materialised graph
+        for (node, _) in grid.nodes() {
+            let csr: Vec<NodeId> = grid.neighbors(node).collect();
+            let graph: Vec<NodeId> = brute.neighbors(node).collect();
+            prop_assert_eq!(csr, graph);
+        }
+    }
+
+    /// A chain of incremental syncs (moves of varying amplitude, including
+    /// cell-boundary crossings) leaves the grid equal to a from-scratch
+    /// rebuild, and its topology equal to brute force, at every step.
+    #[test]
+    fn incremental_sync_matches_fresh_rebuild(
+        pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..40),
+        steps in proptest::collection::vec(
+            proptest::collection::vec((-30.0f64..30.0, -30.0f64..30.0), 1..40),
+            1..6,
+        ),
+        cell in 2.0f64..40.0,
+        range in 2.0f64..40.0,
+    ) {
+        let mut pos = positions_of(pts);
+        let radio = UnitDisk::new(range);
+        let mut grid = SpatialGrid::new(cell);
+        grid.sync(&pos);
+        for deltas in steps {
+            let keys: Vec<NodeId> = pos.keys().copied().collect();
+            for (i, (dx, dy)) in deltas.iter().enumerate() {
+                let node = keys[i % keys.len()];
+                let p = pos[&node];
+                pos.insert(node, Point::new(p.x + dx, p.y + dy).clamp_to(100.0, 100.0));
+            }
+            grid.sync(&pos);
+            let mut fresh = SpatialGrid::new(cell);
+            fresh.rebuild(&pos);
+            prop_assert_eq!(&grid, &fresh, "synced grid diverged from rebuild");
+            let incremental = grid.build_topology(range, |a, b| {
+                radio.in_vicinity(a, b) && radio.in_vicinity(b, a)
+            });
+            prop_assert_eq!(&incremental, &radio.topology_all_pairs(&pos));
+        }
+    }
+
+    /// Node churn (joins and leaves) through `sync` also converges to the
+    /// rebuilt state.
+    #[test]
+    fn sync_handles_churn(
+        pts in proptest::collection::vec((0.0f64..80.0, 0.0f64..80.0), 2..30),
+        drop_every in 2usize..5,
+        cell in 2.0f64..30.0,
+    ) {
+        let full = positions_of(pts);
+        let mut grid = SpatialGrid::new(cell);
+        prop_assert!(grid.sync(&full) || full.is_empty());
+        let reduced: BTreeMap<NodeId, Point> = full
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % drop_every != 0)
+            .map(|(_, (&n, &p))| (n, p))
+            .collect();
+        prop_assert!(grid.sync(&reduced));
+        let mut fresh = SpatialGrid::new(cell);
+        fresh.rebuild(&reduced);
+        prop_assert_eq!(&grid, &fresh);
+        // and growing back
+        prop_assert!(grid.sync(&full));
+        let mut fresh_full = SpatialGrid::new(cell);
+        fresh_full.rebuild(&full);
+        prop_assert_eq!(&grid, &fresh_full);
+    }
+}

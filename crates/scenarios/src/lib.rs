@@ -49,24 +49,52 @@ pub fn discover_manifests(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(paths)
 }
 
-/// Load, execute and report one manifest: prints a PASS/FAIL line per
-/// (scenario, seed) with failed-assertion details, writes the `result.json`
-/// artifact, and returns the outcome. Returns `None` (after printing the
-/// error) when the manifest cannot be loaded or the artifact cannot be
-/// written. Shared by the `scenario-runner` binary and the
-/// `grp-experiments scenario` mode so the two CLIs cannot drift.
-pub fn execute_and_report(path: &Path, out_dir: &Path) -> Option<ScenarioOutcome> {
+/// What executing one manifest produced: the text destined for stdout and
+/// stderr (buffered so parallel workers never interleave their output) and
+/// the outcome itself. Workers run scenarios concurrently; reports are
+/// printed afterwards in suite order, so `--jobs 1` and `--jobs N` emit
+/// byte-identical output.
+pub struct ManifestReport {
+    pub path: PathBuf,
+    pub stdout: String,
+    pub stderr: String,
+    pub outcome: Option<ScenarioOutcome>,
+}
+
+impl ManifestReport {
+    /// Flush the buffered report to the real stdout/stderr.
+    pub fn print(&self) {
+        print!("{}", self.stdout);
+        eprint!("{}", self.stderr);
+    }
+}
+
+/// Load, execute and report one manifest: renders a PASS/FAIL line per
+/// (scenario, seed) with failed-assertion details and writes the
+/// `result.json` artifact. The outcome is `None` when the manifest cannot
+/// be loaded or the artifact cannot be written (details in `stderr`).
+/// Shared by the `scenario-runner` binary and the `grp-experiments
+/// scenario` mode so the two CLIs cannot drift.
+pub fn run_one(path: &Path, out_dir: &Path) -> ManifestReport {
+    use std::fmt::Write as _;
+    let mut report = ManifestReport {
+        path: path.to_path_buf(),
+        stdout: String::new(),
+        stderr: String::new(),
+        outcome: None,
+    };
     let manifest = match ScenarioManifest::load(path) {
         Ok(m) => m,
         Err(err) => {
-            eprintln!("{err}");
-            return None;
+            let _ = writeln!(report.stderr, "{err}");
+            return report;
         }
     };
     let outcome = runner::run_scenario(&manifest);
     for run in &outcome.runs {
         let verdict = if run.pass { "PASS" } else { "FAIL" };
-        println!(
+        let _ = writeln!(
+            report.stdout,
             "{verdict} {name} seed={seed} rounds={rounds} groups={groups} converged={conv} digest={digest}",
             name = manifest.name,
             seed = run.seed,
@@ -79,7 +107,8 @@ pub fn execute_and_report(path: &Path, out_dir: &Path) -> Option<ScenarioOutcome
             digest = &run.digest.to_hex()[..16],
         );
         for a in run.assertions.iter().filter(|a| !a.pass) {
-            println!(
+            let _ = writeln!(
+                report.stdout,
                 "     ✗ {}: expected {}, observed {}",
                 a.name, a.expected, a.observed
             );
@@ -87,14 +116,33 @@ pub fn execute_and_report(path: &Path, out_dir: &Path) -> Option<ScenarioOutcome
     }
     match write_result(&outcome, out_dir) {
         Ok(artifact) => {
-            println!("     wrote {}", artifact.display());
-            Some(outcome)
+            let _ = writeln!(report.stdout, "     wrote {}", artifact.display());
+            report.outcome = Some(outcome);
         }
         Err(err) => {
-            eprintln!("cannot write result for {}: {err}", manifest.name);
-            None
+            let _ = writeln!(
+                report.stderr,
+                "cannot write result for {}: {err}",
+                manifest.name
+            );
         }
     }
+    report
+}
+
+/// Back-compat wrapper around [`run_one`] that prints immediately.
+pub fn execute_and_report(path: &Path, out_dir: &Path) -> Option<ScenarioOutcome> {
+    let report = run_one(path, out_dir);
+    report.print();
+    report.outcome
+}
+
+/// Execute a batch of manifests on up to `jobs` worker threads (one
+/// deterministic simulation pipeline per worker — every scenario owns its
+/// RNGs, so concurrency cannot perturb any digest). Reports come back in
+/// input order regardless of scheduling; nothing is printed here.
+pub fn run_suite(paths: &[PathBuf], out_dir: &Path, jobs: usize) -> Vec<ManifestReport> {
+    rayon::par_map(paths.to_vec(), jobs.max(1), |path| run_one(&path, out_dir))
 }
 
 /// Did every assertion *except* the golden-digest pin pass? This is the

@@ -1,13 +1,18 @@
 //! `scenario-runner` — execute scenario manifests headlessly.
 //!
 //! ```text
-//! scenario-runner [--out DIR] [--update-golden] MANIFEST.toml...
+//! scenario-runner [--out DIR] [--jobs N] [--update-golden] MANIFEST.toml...
 //! scenario-runner --suite [DIR]     # run every manifest in DIR (default tests/scenarios)
 //! ```
 //!
 //! Each scenario writes `<out>/<name>.result.json` (default
 //! `results/scenarios/`) and prints a one-line verdict per run. Exit code 0
 //! iff every assertion of every scenario passed.
+//!
+//! Manifests execute on up to `--jobs` worker threads (default: the
+//! machine's available parallelism). Every scenario owns its RNG streams,
+//! so the digests — and the printed report, which is flushed in suite
+//! order after the workers finish — are byte-identical for any job count.
 //!
 //! `--update-golden` re-pins the golden digests: the `[golden]` section of
 //! each manifest is rewritten in place with the digests of this execution.
@@ -16,7 +21,7 @@
 //! failing *behavioural* assertion still fails the process — a broken run
 //! is never silently pinned over.
 
-use scenarios::{discover_manifests, execute_and_report, passes_ignoring_golden, suite_dir};
+use scenarios::{discover_manifests, passes_ignoring_golden, run_suite, suite_dir};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -25,6 +30,9 @@ fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("results/scenarios");
     let mut update_golden = false;
     let mut use_suite = false;
+    let mut jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut manifests: Vec<PathBuf> = Vec::new();
 
     let mut iter = args.iter().peekable();
@@ -37,11 +45,19 @@ fn main() -> ExitCode {
                 };
                 out_dir = PathBuf::from(dir);
             }
+            "--jobs" => {
+                let parsed = iter.next().and_then(|v| v.parse::<usize>().ok());
+                let Some(n) = parsed.filter(|&n| n >= 1) else {
+                    eprintln!("--jobs requires a positive integer argument");
+                    return ExitCode::from(2);
+                };
+                jobs = n;
+            }
             "--update-golden" => update_golden = true,
             "--suite" => use_suite = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: scenario-runner [--out DIR] [--update-golden] [--suite [DIR] | MANIFEST.toml...]"
+                    "usage: scenario-runner [--out DIR] [--jobs N] [--update-golden] [--suite [DIR] | MANIFEST.toml...]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -69,8 +85,10 @@ fn main() -> ExitCode {
     }
 
     let mut all_pass = true;
-    for path in &manifests {
-        let Some(outcome) = execute_and_report(path, &out_dir) else {
+    for report in run_suite(&manifests, &out_dir, jobs) {
+        report.print();
+        let path = &report.path;
+        let Some(outcome) = report.outcome else {
             all_pass = false;
             continue;
         };

@@ -215,6 +215,9 @@ pub struct SimSpec {
     pub delivery_delay: u64,
     pub loss: f64,
     pub stagger_phases: bool,
+    /// Spatial-mode neighbour discovery via the grid index (default). Off
+    /// restores the all-pairs scan; traces are identical either way.
+    pub spatial_index: bool,
 }
 
 impl Default for SimSpec {
@@ -228,6 +231,7 @@ impl Default for SimSpec {
             delivery_delay: 10,
             loss: 0.0,
             stagger_phases: true,
+            spatial_index: true,
         }
     }
 }
@@ -618,6 +622,7 @@ fn parse_sim(value: Option<&Value>) -> Result<SimSpec, ManifestError> {
         delivery_delay: opt_u64(t, "delivery_delay", default.delivery_delay)?,
         loss: opt_f64(t, "loss", default.loss)?,
         stagger_phases: opt_bool(t, "stagger_phases", default.stagger_phases)?,
+        spatial_index: opt_bool(t, "spatial_index", default.spatial_index)?,
     })
 }
 

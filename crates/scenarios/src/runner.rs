@@ -206,6 +206,7 @@ pub fn build_simulator(manifest: &ScenarioManifest, seed: u64) -> Simulator<GrpN
         loss_probability: sim_spec.loss,
         seed,
         stagger_phases: sim_spec.stagger_phases,
+        spatial_index: sim_spec.spatial_index,
     };
     let mode = build_mode(&manifest.workload, seed);
     let node_ids: Vec<NodeId> = match &mode {

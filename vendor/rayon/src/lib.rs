@@ -1,12 +1,94 @@
 //! Offline shim of `rayon`: the parallel-iterator API surface the
-//! experiments use, executed sequentially.
+//! experiments use, executed sequentially, plus a genuinely parallel
+//! work-stealing [`par_map`] / [`join`] used by the scenario suite.
 //!
 //! `par_iter()` / `into_par_iter()` return a [`ParIter`] wrapper whose
 //! inherent methods mirror rayon's `ParallelIterator` combinators (`map`,
 //! `filter`, `filter_map`, `reduce(identity, op)`, `collect`, …) but drive a
-//! plain sequential iterator underneath. Sequential execution is also
-//! exactly what the deterministic conformance harness wants: replication
-//! order never depends on thread scheduling.
+//! plain sequential iterator underneath (the combinators accept `FnMut`
+//! closures, which cannot be shared across threads). Sequential execution
+//! is also exactly what the deterministic conformance harness wants:
+//! replication order never depends on thread scheduling.
+//!
+//! [`par_map`] is the genuinely multi-threaded entry point the scenario
+//! suite runs on: an order-preserving parallel map over an owned `Vec`
+//! (what upstream rayon spells `vec.into_par_iter().map(f).collect()`),
+//! implemented with scoped threads and an atomic work-stealing cursor.
+//! Output index `i` always holds `f(items[i])`, so results are
+//! deterministic regardless of how the items were interleaved across
+//! workers. [`join`] mirrors the upstream two-closure API for future
+//! compatibility; nothing in the workspace consumes it yet.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run two closures, potentially in parallel, and return both results —
+/// mirrors `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// Order-preserving parallel map over an owned vector on up to `threads`
+/// workers. `par_map(items, 1, f)` degenerates to a plain sequential map;
+/// any thread count produces the same output vector.
+pub fn par_map<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = threads.max(1).min(n.max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Items move into Option slots so workers can claim them by index; each
+    // worker grabs the next unclaimed index (work stealing via an atomic
+    // cursor) and writes its result back under the same index.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("par_map slot poisoned")
+                    .take()
+                    .expect("par_map index claimed twice");
+                let out = f(item);
+                *results[i].lock().expect("par_map result poisoned") = Some(out);
+            }));
+        }
+        for h in handles {
+            h.join().expect("par_map worker panicked");
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("par_map result poisoned")
+                .expect("par_map result missing")
+        })
+        .collect()
+}
 
 /// Sequential stand-in for rayon's parallel iterators.
 pub struct ParIter<I>(I);
@@ -157,5 +239,23 @@ mod tests {
 
         let s: usize = (0..5usize).into_par_iter().sum();
         assert_eq!(s, 10);
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let got = crate::par_map(items.clone(), threads, |x| x * x);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+        assert_eq!(crate::par_map(Vec::<u64>::new(), 4, |x| x), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = crate::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
     }
 }
