@@ -87,8 +87,8 @@ impl Protocol for NeighborhoodBall {
 }
 
 impl GroupMembership for NeighborhoodBall {
-    fn current_view(&self) -> BTreeSet<NodeId> {
-        self.view.clone()
+    fn view(&self) -> &BTreeSet<NodeId> {
+        &self.view
     }
 }
 

@@ -125,8 +125,8 @@ impl Protocol for KHopClustering {
 }
 
 impl GroupMembership for KHopClustering {
-    fn current_view(&self) -> BTreeSet<NodeId> {
-        self.view.clone()
+    fn view(&self) -> &BTreeSet<NodeId> {
+        &self.view
     }
 }
 

@@ -140,8 +140,8 @@ impl Protocol for MaxMinDCluster {
 }
 
 impl GroupMembership for MaxMinDCluster {
-    fn current_view(&self) -> BTreeSet<NodeId> {
-        self.view.clone()
+    fn view(&self) -> &BTreeSet<NodeId> {
+        &self.view
     }
 }
 

@@ -8,27 +8,40 @@
 
 use crate::e1_convergence::sized_rgg;
 use crate::report::ExperimentOutput;
-use crate::runner::{convergence_budget, grp_simulator, Scale};
+use crate::runner::{convergence_budget, Scale};
 use baselines::KHopClustering;
 use dyngraph::Graph;
+use grp_core::{GrpConfig, GrpNode};
 use metrics::Table;
-use netsim::{MessageStats, Protocol, SimConfig, Simulator, TopologyMode};
+use netsim::{MessageStats, Protocol, SimBuilder, SimConfig, StatsProbe};
 
+/// Run one protocol and collect overhead accounting through the streaming
+/// [`StatsProbe`] — the observer sums `Protocol::message_size` per
+/// delivery, and the engine's own cumulative counters must agree with it
+/// (the probe *is* the wire-overhead instrument; the assert keeps the two
+/// accounting paths honest).
 fn run_stats<P, F>(topology: &Graph, rounds: usize, seed: u64, make: F) -> MessageStats
 where
     P: Protocol,
-    F: Fn(dyngraph::NodeId) -> P,
+    F: FnMut(dyngraph::NodeId) -> P,
 {
-    let mut sim = Simulator::new(
-        SimConfig {
+    let mut sim = SimBuilder::new()
+        .config(SimConfig {
             seed,
             ..Default::default()
-        },
-        TopologyMode::Explicit(topology.clone()),
+        })
+        .explicit(topology.clone())
+        .nodes_from_topology(make)
+        .build();
+    let mut probe = StatsProbe::new();
+    sim.run_rounds_observed(rounds as u64, &mut probe);
+    let stats = sim.stats();
+    assert_eq!(
+        (probe.delivered, probe.delivered_bytes),
+        (stats.delivered, stats.delivered_bytes),
+        "streaming overhead accounting diverged from the engine counters"
     );
-    sim.add_nodes(topology.nodes().map(make).collect::<Vec<_>>());
-    sim.run_rounds(rounds as u64);
-    sim.stats()
+    stats
 }
 
 fn per_node_per_round(stat: u64, n: usize, rounds: usize) -> f64 {
@@ -56,11 +69,9 @@ pub fn run(scale: Scale) -> ExperimentOutput {
         ],
     );
     for &dmax in &dmaxes {
-        let grp_stats = {
-            let mut sim = grp_simulator(&topology, dmax, seed);
-            sim.run_rounds(rounds as u64);
-            sim.stats()
-        };
+        let grp_stats = run_stats(&topology, rounds, seed, |id| {
+            GrpNode::new(id, GrpConfig::new(dmax))
+        });
         let khop_stats = run_stats(&topology, rounds, seed, |id| KHopClustering::new(id, dmax));
         table.push(vec![
             dmax.to_string(),

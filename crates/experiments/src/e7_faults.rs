@@ -10,7 +10,7 @@
 use crate::e1_convergence::sized_rgg;
 use crate::report::ExperimentOutput;
 use crate::runner::{convergence_budget, grp_simulator, Scale};
-use grp_core::predicates::SystemSnapshot;
+use grp_core::observers::ConvergenceProbe;
 use metrics::{Summary, Table};
 use netsim::{FaultKind, ScheduledFault, SimTime};
 use rayon::prelude::*;
@@ -80,17 +80,13 @@ fn recovery_rounds(scenario: FaultScenario, n: usize, dmax: usize, seed: u64) ->
     }
 
     let budget = 2 * convergence_budget(n, dmax);
-    let mut consecutive = 0;
-    for round in 0..budget {
-        sim.run_rounds(1);
-        let snapshot = SystemSnapshot::from_simulator(&sim);
-        if snapshot.legitimate(dmax) {
-            consecutive += 1;
-            if consecutive >= 3 {
-                return Some(round + 1 - 2);
-            }
-        } else {
-            consecutive = 0;
+    // stream legitimacy verdicts instead of materialising snapshots; the
+    // early exit fires on the first 3-round legitimate window
+    let mut probe = ConvergenceProbe::new(dmax);
+    for _ in 0..budget {
+        sim.run_rounds_observed(1, &mut probe);
+        if let Some(start) = probe.detector().first_stable_run(3) {
+            return Some(start + 1);
         }
     }
     None
@@ -141,6 +137,7 @@ pub fn run(scale: Scale) -> ExperimentOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use grp_core::predicates::SystemSnapshot;
 
     #[test]
     fn corruption_of_one_node_recovers() {

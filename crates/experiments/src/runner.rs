@@ -1,12 +1,19 @@
-//! Shared machinery: building simulators, collecting per-round snapshots,
-//! and the quick/full scale switch.
+//! Shared machinery: building simulators, the observer-driven history
+//! collectors, and the quick/full scale switch.
+//!
+//! Since the observer redesign this module owns no drive loop: history is
+//! collected by `grp_core::observers` probes riding `netsim`'s single
+//! observed event loop, and the entry points here ([`run_grp`],
+//! [`run_grp_on`], [`run_with_snapshots`], [`run_manifest`]) are thin
+//! compositions kept for the e1–e10 experiments.
 
 use dyngraph::{Graph, NodeId};
+use grp_core::observers::{ConvergenceProbe, GrpPipeline, SnapshotRecorder};
 use grp_core::predicates::{GroupMembership, SystemSnapshot};
 use grp_core::{ConvergenceDetector, GrpConfig, GrpNode};
 use netsim::mobility::MobilityModel;
 use netsim::radio::RadioModel;
-use netsim::{Protocol, SimConfig, Simulator, TopologyMode};
+use netsim::{SimBuilder, SimConfig, Simulator};
 
 /// How heavy an experiment run should be.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,20 +75,14 @@ pub fn grp_simulator(topology: &Graph, dmax: usize, seed: u64) -> Simulator<GrpN
 /// Build a GRP simulator on an explicit topology with a custom config
 /// (used by the ablation experiments).
 pub fn grp_simulator_with(topology: &Graph, config: GrpConfig, seed: u64) -> Simulator<GrpNode> {
-    let mut sim = Simulator::new(
-        SimConfig {
+    SimBuilder::new()
+        .config(SimConfig {
             seed,
             ..Default::default()
-        },
-        TopologyMode::Explicit(topology.clone()),
-    );
-    sim.add_nodes(
-        topology
-            .nodes()
-            .map(|id| GrpNode::new(id, config.clone()))
-            .collect::<Vec<_>>(),
-    );
-    sim
+        })
+        .explicit(topology.clone())
+        .nodes_from_topology(|id| GrpNode::new(id, config.clone()))
+        .build()
 }
 
 /// Build a GRP simulator in spatial mode (mobility + radio).
@@ -92,30 +93,27 @@ pub fn grp_spatial_simulator(
     mobility: Box<dyn MobilityModel>,
     seed: u64,
 ) -> Simulator<GrpNode> {
-    let mut sim = Simulator::new(
-        SimConfig {
+    let config = GrpConfig::new(dmax);
+    SimBuilder::new()
+        .config(SimConfig {
             seed,
             ..Default::default()
-        },
-        TopologyMode::Spatial { radio, mobility },
-    );
-    let config = GrpConfig::new(dmax);
-    sim.add_nodes(node_ids.iter().map(|&id| GrpNode::new(id, config.clone())));
-    sim
+        })
+        .spatial(radio, mobility)
+        .nodes(node_ids.iter().map(|&id| GrpNode::new(id, config.clone())))
+        .build()
 }
 
-/// Run any protocol simulator for `rounds` rounds, snapshotting the views
-/// after every round.
+/// Run any protocol simulator for `rounds` rounds, recording one
+/// copy-on-write snapshot per round (active nodes only — the unified
+/// snapshot semantics; see `SystemSnapshot::from_simulator`).
 pub fn run_with_snapshots<P>(sim: &mut Simulator<P>, rounds: usize) -> Vec<SystemSnapshot>
 where
-    P: Protocol + GroupMembership,
+    P: GroupMembership,
 {
-    let mut snapshots = Vec::with_capacity(rounds);
-    for _ in 0..rounds {
-        sim.run_rounds(1);
-        snapshots.push(SystemSnapshot::from_simulator(sim));
-    }
-    snapshots
+    let mut recorder = SnapshotRecorder::new();
+    sim.run_rounds_observed(rounds as u64, &mut recorder);
+    recorder.into_snapshots()
 }
 
 /// Run GRP on an explicit topology for `rounds` rounds and collect the full
@@ -128,19 +126,26 @@ pub fn run_grp(topology: &Graph, dmax: usize, rounds: usize, seed: u64) -> GrpRu
 /// Same as [`run_grp`] but over an already-built simulator (spatial mode,
 /// pre-injected faults, custom config, …).
 pub fn run_grp_on(sim: &mut Simulator<GrpNode>, dmax: usize, rounds: usize) -> GrpRun {
-    let mut detector = ConvergenceDetector::new(dmax);
-    let mut snapshots = Vec::with_capacity(rounds);
-    for _ in 0..rounds {
-        sim.run_rounds(1);
-        let snapshot = SystemSnapshot::from_simulator(sim);
-        detector.record(&snapshot);
-        snapshots.push(snapshot);
-    }
+    let mut pipeline = GrpPipeline::new().with_convergence(dmax);
+    sim.run_rounds_observed(rounds as u64, &mut pipeline);
+    grp_run_from(pipeline, sim)
+}
+
+/// Fold a finished pipeline into the [`GrpRun`] history the experiments
+/// consume.
+fn grp_run_from(pipeline: GrpPipeline, sim: &Simulator<GrpNode>) -> GrpRun {
+    let GrpPipeline {
+        recorder,
+        convergence,
+        ..
+    } = pipeline;
     GrpRun {
         nodes: sim.node_ids().len(),
         stats: sim.stats(),
-        snapshots,
-        detector,
+        snapshots: recorder.into_snapshots(),
+        detector: convergence
+            .map(ConvergenceProbe::into_detector)
+            .expect("pipeline built with convergence"),
     }
 }
 
@@ -159,33 +164,10 @@ pub fn convergence_budget(n: usize, dmax: usize) -> usize {
 /// conformance runner applies it.
 pub fn run_manifest(manifest: &scenarios::ScenarioManifest, seed: u64) -> GrpRun {
     let dmax = manifest.protocol.dmax;
-    let grp_config = scenarios::grp_config_of(manifest);
     let mut sim = scenarios::build_simulator(manifest, seed);
-    let mut detector = ConvergenceDetector::new(dmax);
-    let rounds = manifest.sim.rounds as usize;
-    let mut snapshots = Vec::with_capacity(rounds);
-    let mut churn = manifest.churn.iter().peekable();
-    for round in 0..rounds {
-        while let Some(c) = churn.peek() {
-            if c.at_round > round as u64 {
-                break;
-            }
-            scenarios::apply_churn_action(&mut sim, &c.action, &grp_config);
-            churn.next();
-        }
-        sim.run_rounds(1);
-        // active-only snapshots, exactly as the conformance runner records
-        // them: a crashed or departed node has no view
-        let snapshot = scenarios::snapshot_active(&sim);
-        detector.record(&snapshot);
-        snapshots.push(snapshot);
-    }
-    GrpRun {
-        nodes: sim.node_ids().len(),
-        stats: sim.stats(),
-        snapshots,
-        detector,
-    }
+    let mut pipeline = GrpPipeline::new().with_convergence(dmax);
+    scenarios::drive_manifest(&mut sim, manifest, &mut pipeline);
+    grp_run_from(pipeline, &sim)
 }
 
 #[cfg(test)]

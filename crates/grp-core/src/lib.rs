@@ -68,6 +68,7 @@ pub mod config;
 pub mod marks;
 pub mod message;
 pub mod node;
+pub mod observers;
 pub mod predicates;
 pub mod priority;
 pub mod stabilization;
@@ -78,6 +79,10 @@ pub use config::GrpConfig;
 pub use marks::Mark;
 pub use message::{GrpMessage, PriorityInfo};
 pub use node::GrpNode;
+pub use observers::{
+    ContinuityProbe, ContinuityStats, ConvergenceProbe, GrpPipeline, RecordedRound,
+    SnapshotRecorder,
+};
 pub use predicates::SystemSnapshot;
 pub use priority::Priority;
 pub use stabilization::ConvergenceDetector;

@@ -1,0 +1,390 @@
+//! View-aware observers: the streaming probes every harness composes
+//! instead of hand-rolling per-round capture loops.
+//!
+//! `netsim::observer` defines the [`Observer`] trait and the
+//! protocol-agnostic probes; this module adds the probes that need to read
+//! protocol *views* (via [`ViewProtocol`]) and evaluate the paper's
+//! predicates:
+//!
+//! * [`SnapshotRecorder`] — retains one [`SystemSnapshot`] per round with
+//!   copy-on-write capture: a node's view is deep-copied only in rounds
+//!   where it changed, and the topology is shared with the simulator, so a
+//!   converged system records a round in O(n) pointer work;
+//! * [`ConvergenceProbe`] — streams legitimacy verdicts into a
+//!   [`ConvergenceDetector`] without retaining snapshots;
+//! * [`ContinuityProbe`] — streams the ΠT/ΠC transition accounting
+//!   ([`ContinuityStats`]) keeping only the previous snapshot;
+//! * [`GrpPipeline`] — the composition the scenario and experiment runners
+//!   use: capture once per round, feed every enabled probe from the same
+//!   snapshot.
+
+use crate::predicates::{pi_c, pi_t, SystemSnapshot};
+use crate::stabilization::ConvergenceDetector;
+use dyngraph::NodeId;
+use netsim::{CanonicalHasher, MessageStats, Observer, SimTime, Simulator, ViewProtocol};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// One captured round: when, the configuration, and the cumulative message
+/// statistics at that instant.
+#[derive(Clone, Debug)]
+pub struct RecordedRound {
+    pub at: SimTime,
+    pub snapshot: SystemSnapshot,
+    pub stats: MessageStats,
+}
+
+/// Records a [`SystemSnapshot`] per observed round with copy-on-write
+/// capture.
+///
+/// **Snapshot semantics (unified):** by default only *active* nodes
+/// contribute views — a crashed or departed node has no view in the paper's
+/// model. This is the single documented semantics all harnesses now share
+/// (see [`SystemSnapshot::from_simulator`]); the pre-redesign experiment
+/// harness silently captured all nodes while the scenario runner captured
+/// active ones. [`include_inactive`](Self::include_inactive) restores the
+/// old experiment behaviour for diagnostic use only.
+#[derive(Clone, Debug, Default)]
+pub struct SnapshotRecorder {
+    include_inactive: bool,
+    rounds: Vec<RecordedRound>,
+}
+
+impl SnapshotRecorder {
+    /// A recorder with the documented active-only semantics.
+    pub fn new() -> Self {
+        SnapshotRecorder::default()
+    }
+
+    /// Also capture the frozen views of inactive nodes (diagnostics only —
+    /// the predicate checkers are not meaningful on frozen views).
+    pub fn include_inactive(mut self) -> Self {
+        self.include_inactive = true;
+        self
+    }
+
+    /// Capture the simulator's current configuration as one round. Views
+    /// that are unchanged since the previous capture share their allocation
+    /// with it; the topology handle is shared with the simulator.
+    pub fn capture<P: ViewProtocol>(&mut self, sim: &Simulator<P>) -> &RecordedRound {
+        let mut views: BTreeMap<NodeId, Arc<BTreeSet<NodeId>>> = BTreeMap::new();
+        {
+            let prev = self.rounds.last().map(|r| &r.snapshot.views);
+            for (id, p) in sim.protocols() {
+                if !self.include_inactive && !sim.is_active(id) {
+                    continue;
+                }
+                let view = p.view();
+                let shared = match prev.and_then(|m| m.get(&id)) {
+                    Some(last) if **last == *view => Arc::clone(last),
+                    _ => Arc::new(view.clone()),
+                };
+                views.insert(id, shared);
+            }
+        }
+        self.rounds.push(RecordedRound {
+            at: sim.now(),
+            snapshot: SystemSnapshot::from_shared(sim.topology_shared(), views),
+            stats: sim.stats(),
+        });
+        self.rounds.last().expect("just pushed")
+    }
+
+    /// All captured rounds, oldest first.
+    pub fn rounds(&self) -> &[RecordedRound] {
+        &self.rounds
+    }
+
+    /// Number of captured rounds.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// True when nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// The most recent snapshot, if any.
+    pub fn last_snapshot(&self) -> Option<&SystemSnapshot> {
+        self.rounds.last().map(|r| &r.snapshot)
+    }
+
+    /// Iterate over the captured snapshots.
+    pub fn snapshots(&self) -> impl Iterator<Item = &SystemSnapshot> {
+        self.rounds.iter().map(|r| &r.snapshot)
+    }
+
+    /// Consume the recorder into the per-round snapshot history.
+    pub fn into_snapshots(self) -> Vec<SystemSnapshot> {
+        self.rounds.into_iter().map(|r| r.snapshot).collect()
+    }
+
+    /// Feed the engine-trace part of the canonical digest — `(time,
+    /// topology, cumulative stats)` per round under the `"trace"` list tag
+    /// — byte-identically to how the historical `netsim::Trace` fed it.
+    pub fn feed_trace_digest(&self, hasher: &mut CanonicalHasher) {
+        hasher.begin_list("trace");
+        hasher.feed_u64(self.rounds.len() as u64);
+        for round in &self.rounds {
+            hasher.feed_time(round.at);
+            hasher.feed_graph(&round.snapshot.topology);
+            hasher.feed_stats(&round.stats);
+        }
+        hasher.end_list();
+    }
+
+    /// Feed the per-round views under the `"views"` list tag —
+    /// byte-identically to the historical scenario-runner encoding.
+    pub fn feed_views_digest(&self, hasher: &mut CanonicalHasher) {
+        hasher.begin_list("views");
+        hasher.feed_u64(self.rounds.len() as u64);
+        for (index, round) in self.rounds.iter().enumerate() {
+            hasher.feed_u64(index as u64);
+            for (&node, view) in &round.snapshot.views {
+                hasher.feed_u64(node.raw());
+                hasher.feed_node_set(view.iter().copied());
+            }
+        }
+        hasher.end_list();
+    }
+}
+
+impl<P: ViewProtocol> Observer<P> for SnapshotRecorder {
+    fn on_round_end(&mut self, _round: u64, sim: &Simulator<P>) {
+        self.capture(sim);
+    }
+}
+
+/// Streams per-round legitimacy verdicts into a [`ConvergenceDetector`]
+/// without retaining any snapshot history.
+#[derive(Clone, Debug)]
+pub struct ConvergenceProbe {
+    detector: ConvergenceDetector,
+}
+
+impl ConvergenceProbe {
+    pub fn new(dmax: usize) -> Self {
+        ConvergenceProbe {
+            detector: ConvergenceDetector::new(dmax),
+        }
+    }
+
+    /// Record one already-captured snapshot (the pipelined path — avoids a
+    /// second capture when a recorder already took one this round).
+    pub fn record(&mut self, snapshot: &SystemSnapshot) {
+        self.detector.record(snapshot);
+    }
+
+    pub fn detector(&self) -> &ConvergenceDetector {
+        &self.detector
+    }
+
+    pub fn into_detector(self) -> ConvergenceDetector {
+        self.detector
+    }
+
+    /// Index of the first snapshot of the closed legitimate suffix.
+    pub fn convergence_round(&self) -> Option<usize> {
+        self.detector.convergence_round()
+    }
+
+    /// Was the last observed round legitimate?
+    pub fn is_currently_legitimate(&self) -> bool {
+        self.detector.is_currently_legitimate()
+    }
+}
+
+impl<P: ViewProtocol> Observer<P> for ConvergenceProbe {
+    fn on_round_end(&mut self, _round: u64, sim: &Simulator<P>) {
+        let snapshot = SystemSnapshot::from_simulator(sim);
+        self.record(&snapshot);
+    }
+}
+
+/// Continuity bookkeeping over a run's consecutive-round transitions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ContinuityStats {
+    /// Number of consecutive-snapshot transitions examined.
+    pub transitions: u64,
+    /// Transitions whose topology change satisfied ΠT.
+    pub pi_t_held: u64,
+    /// Of those, how many also satisfied ΠC (the best-effort promise).
+    pub pi_c_held_given_pi_t: u64,
+}
+
+impl ContinuityStats {
+    /// The conformance ratio for the `view_continuity` assertion: ΠC-rate
+    /// among ΠT-transitions (1.0 when ΠT never held — nothing was promised).
+    pub fn view_continuity(&self) -> f64 {
+        if self.pi_t_held == 0 {
+            1.0
+        } else {
+            self.pi_c_held_given_pi_t as f64 / self.pi_t_held as f64
+        }
+    }
+}
+
+/// Streams the ΠT/ΠC transition accounting, retaining only the previous
+/// round's snapshot (which, being `Arc`-backed, is itself cheap).
+#[derive(Clone, Debug)]
+pub struct ContinuityProbe {
+    dmax: usize,
+    prev: Option<SystemSnapshot>,
+    stats: ContinuityStats,
+}
+
+impl ContinuityProbe {
+    pub fn new(dmax: usize) -> Self {
+        ContinuityProbe {
+            dmax,
+            prev: None,
+            stats: ContinuityStats::default(),
+        }
+    }
+
+    /// Record one already-captured snapshot (the pipelined path).
+    pub fn record(&mut self, snapshot: &SystemSnapshot) {
+        if let Some(prev) = &self.prev {
+            self.stats.transitions += 1;
+            if pi_t(prev, snapshot, self.dmax) {
+                self.stats.pi_t_held += 1;
+                if pi_c(prev, snapshot) {
+                    self.stats.pi_c_held_given_pi_t += 1;
+                }
+            }
+        }
+        self.prev = Some(snapshot.clone());
+    }
+
+    pub fn stats(&self) -> ContinuityStats {
+        self.stats
+    }
+}
+
+impl<P: ViewProtocol> Observer<P> for ContinuityProbe {
+    fn on_round_end(&mut self, _round: u64, sim: &Simulator<P>) {
+        let snapshot = SystemSnapshot::from_simulator(sim);
+        self.record(&snapshot);
+    }
+}
+
+/// The standard harness composition: one copy-on-write capture per round,
+/// fed to every enabled probe. Used by the scenario conformance runner and
+/// the experiment harness; builds incrementally via the `with_*` methods.
+#[derive(Clone, Debug, Default)]
+pub struct GrpPipeline {
+    pub recorder: SnapshotRecorder,
+    pub convergence: Option<ConvergenceProbe>,
+    pub continuity: Option<ContinuityProbe>,
+}
+
+impl GrpPipeline {
+    /// Recorder only.
+    pub fn new() -> Self {
+        GrpPipeline::default()
+    }
+
+    /// Also stream legitimacy verdicts.
+    pub fn with_convergence(mut self, dmax: usize) -> Self {
+        self.convergence = Some(ConvergenceProbe::new(dmax));
+        self
+    }
+
+    /// Also stream ΠT/ΠC continuity accounting.
+    pub fn with_continuity(mut self, dmax: usize) -> Self {
+        self.continuity = Some(ContinuityProbe::new(dmax));
+        self
+    }
+}
+
+impl<P: ViewProtocol> Observer<P> for GrpPipeline {
+    fn on_round_end(&mut self, _round: u64, sim: &Simulator<P>) {
+        let round = self.recorder.capture(sim);
+        let snapshot = &round.snapshot;
+        if let Some(probe) = &mut self.convergence {
+            probe.record(snapshot);
+        }
+        if let Some(probe) = &mut self.continuity {
+            probe.record(snapshot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GrpConfig, GrpNode};
+    use dyngraph::generators::path;
+    use netsim::{SimBuilder, SimConfig};
+
+    fn grp_sim(n: usize, seed: u64) -> Simulator<GrpNode> {
+        SimBuilder::new()
+            .config(SimConfig::rounds(seed))
+            .explicit(path(n))
+            .nodes_from_topology(|id| GrpNode::new(id, GrpConfig::new(3)))
+            .build()
+    }
+
+    #[test]
+    fn recorder_shares_unchanged_views_and_topology() {
+        let mut sim = grp_sim(4, 1);
+        let mut recorder = SnapshotRecorder::new();
+        sim.run_rounds_observed(40, &mut recorder);
+        assert_eq!(recorder.len(), 40);
+        // explicit mode without churn: one shared topology allocation
+        let first = &recorder.rounds()[0].snapshot.topology;
+        assert!(recorder
+            .snapshots()
+            .all(|s| Arc::ptr_eq(first, &s.topology)));
+        // once converged, consecutive rounds share every view allocation
+        let last_two: Vec<_> = recorder.rounds().iter().rev().take(2).collect();
+        for (&id, view) in &last_two[0].snapshot.views {
+            let prev = &last_two[1].snapshot.views[&id];
+            assert!(Arc::ptr_eq(view, prev), "node {id} view re-allocated");
+        }
+    }
+
+    #[test]
+    fn pipeline_probes_agree_with_post_hoc_evaluation() {
+        let mut sim = grp_sim(4, 2);
+        let mut pipeline = GrpPipeline::new().with_convergence(3).with_continuity(3);
+        sim.run_rounds_observed(40, &mut pipeline);
+        let convergence = pipeline.convergence.as_ref().unwrap();
+        assert!(convergence.convergence_round().is_some());
+        // recompute from the recorded history and compare
+        let mut detector = ConvergenceDetector::new(3);
+        let mut continuity = ContinuityProbe::new(3);
+        for s in pipeline.recorder.snapshots() {
+            detector.record(s);
+            continuity.record(s);
+        }
+        assert_eq!(
+            detector.convergence_round(),
+            convergence.convergence_round()
+        );
+        let streamed = pipeline.continuity.as_ref().unwrap().stats();
+        let recomputed = continuity.stats();
+        assert_eq!(streamed.transitions, recomputed.transitions);
+        assert_eq!(streamed.pi_t_held, recomputed.pi_t_held);
+        assert_eq!(
+            streamed.pi_c_held_given_pi_t,
+            recomputed.pi_c_held_given_pi_t
+        );
+    }
+
+    #[test]
+    fn recorder_excludes_inactive_nodes_by_default() {
+        use dyngraph::NodeId;
+        let mut sim = grp_sim(3, 3);
+        sim.set_active(NodeId(1), false);
+        let mut active_only = SnapshotRecorder::new();
+        let mut all = SnapshotRecorder::new().include_inactive();
+        sim.run_rounds_observed(1, &mut (&mut active_only, &mut all));
+        assert!(!active_only.rounds()[0]
+            .snapshot
+            .views
+            .contains_key(&NodeId(1)));
+        assert!(all.rounds()[0].snapshot.views.contains_key(&NodeId(1)));
+    }
+}

@@ -24,48 +24,75 @@
 use crate::node::GrpNode;
 use dyngraph::algo::subgraph::{subgraph_diameter, subgraph_distance};
 use dyngraph::{Graph, NodeId, Partition};
-use netsim::{Protocol, Simulator};
+use netsim::{Simulator, ViewProtocol};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
-/// Anything that exposes a GRP-style view. Implemented by [`GrpNode`] and by
-/// the baseline algorithms so the same predicate checkers apply to all.
-pub trait GroupMembership {
-    /// The current view (composition of the node's group as it believes it).
-    fn current_view(&self) -> BTreeSet<NodeId>;
-}
+/// The historical name of the view capability, kept as an alias so existing
+/// bounds (`P: Protocol + GroupMembership`) keep compiling. The trait itself
+/// now lives in `netsim` as [`ViewProtocol`], where the generic observer
+/// pipeline can see it.
+pub use netsim::ViewProtocol as GroupMembership;
 
-impl GroupMembership for GrpNode {
-    fn current_view(&self) -> BTreeSet<NodeId> {
-        self.view().clone()
+impl ViewProtocol for GrpNode {
+    fn view(&self) -> &BTreeSet<NodeId> {
+        GrpNode::view(self)
     }
 }
 
 /// A global snapshot of one configuration: the topology and every node's
 /// view at that instant.
+///
+/// Both the graph and the per-node views are behind `Arc`s: snapshots of
+/// consecutive rounds share whatever did not change, so retaining the full
+/// history of a run (the observer pipeline's `SnapshotRecorder`) costs
+/// pointer clones once the system has converged, not a deep copy per round.
+/// The predicate checkers read through the `Arc`s transparently.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SystemSnapshot {
-    pub topology: Graph,
-    pub views: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    pub topology: Arc<Graph>,
+    pub views: BTreeMap<NodeId, Arc<BTreeSet<NodeId>>>,
 }
 
 impl SystemSnapshot {
-    /// Build from explicit views.
-    pub fn new(topology: Graph, views: BTreeMap<NodeId, BTreeSet<NodeId>>) -> Self {
+    /// Build from explicit (owned) views.
+    pub fn new(topology: impl Into<Arc<Graph>>, views: BTreeMap<NodeId, BTreeSet<NodeId>>) -> Self {
+        SystemSnapshot {
+            topology: topology.into(),
+            views: views.into_iter().map(|(id, v)| (id, Arc::new(v))).collect(),
+        }
+    }
+
+    /// Build from already-shared parts (the zero-copy constructor the
+    /// observer pipeline uses).
+    pub fn from_shared(
+        topology: Arc<Graph>,
+        views: BTreeMap<NodeId, Arc<BTreeSet<NodeId>>>,
+    ) -> Self {
         SystemSnapshot { topology, views }
     }
 
     /// Capture the current configuration of a simulator running any
-    /// [`GroupMembership`] protocol.
+    /// [`ViewProtocol`] protocol.
+    ///
+    /// **Snapshot semantics (unified):** only *active* nodes contribute a
+    /// view. A crashed or departed node has no view in the paper's model,
+    /// so its frozen protocol state must not enter the predicate checks.
+    /// (Historically the experiment harness captured all nodes while the
+    /// scenario runner captured active ones; every capture path now goes
+    /// through this rule.) The topology handle is shared with the
+    /// simulator, not cloned.
     pub fn from_simulator<P>(sim: &Simulator<P>) -> Self
     where
-        P: Protocol + GroupMembership,
+        P: ViewProtocol,
     {
         let views = sim
             .protocols()
-            .map(|(id, p)| (id, p.current_view()))
+            .filter(|&(id, _)| sim.is_active(id))
+            .map(|(id, p)| (id, Arc::new(p.current_view())))
             .collect();
         SystemSnapshot {
-            topology: sim.topology().clone(),
+            topology: sim.topology_shared(),
             views,
         }
     }
@@ -85,13 +112,13 @@ impl SystemSnapshot {
         if !view.contains(&v) {
             return singleton();
         }
-        for member in view {
+        for member in view.iter() {
             match self.views.get(member) {
                 Some(other) if other == view => {}
                 _ => return singleton(),
             }
         }
-        view.clone()
+        (**view).clone()
     }
 
     /// The distinct groups `{Ω_v}` of the configuration.
@@ -123,7 +150,7 @@ impl SystemSnapshot {
             if !view.contains(v) {
                 return false;
             }
-            for member in view {
+            for member in view.iter() {
                 match self.views.get(member) {
                     Some(other) if other == view => {}
                     _ => return false,
@@ -274,9 +301,9 @@ pub fn pi_c_violations(prev: &SystemSnapshot, next: &SystemSnapshot) -> usize {
 pub fn view_removals(prev: &SystemSnapshot, next: &SystemSnapshot) -> usize {
     prev.views
         .iter()
-        .map(|(v, before)| {
-            let after = next.views.get(v).cloned().unwrap_or_default();
-            before.difference(&after).count()
+        .map(|(v, before)| match next.views.get(v) {
+            Some(after) => before.difference(after).count(),
+            None => before.len(),
         })
         .sum()
 }
@@ -407,7 +434,8 @@ mod tests {
         // after: the link 1-2 disappears, 2 is unreachable within the group
         let mut broken = path(3);
         broken.remove_edge(n(1), n(2));
-        let after_topology_only = SystemSnapshot::new(broken.clone(), before.views.clone());
+        let after_topology_only =
+            SystemSnapshot::from_shared(Arc::new(broken.clone()), before.views.clone());
         assert!(!pi_t(&before, &after_topology_only, 2));
         assert!(pi_t_violations(&before, &after_topology_only, 2) > 0);
 
@@ -429,7 +457,7 @@ mod tests {
         // adding a chord never hurts
         let mut richer = path(3);
         richer.add_edge(n(0), n(2));
-        let after = SystemSnapshot::new(richer, before.views.clone());
+        let after = SystemSnapshot::from_shared(Arc::new(richer), before.views.clone());
         assert!(pi_t(&before, &after, 2));
         assert!(pi_c(&before, &after));
         assert_eq!(view_removals(&before, &after), 0);

@@ -19,17 +19,29 @@
 //!
 //! Protocols are plugged in through the [`protocol::Protocol`] trait: GRP and
 //! the baseline algorithms all implement it, so every experiment runs the
-//! same simulation loop.
+//! same simulation loop. Protocols that expose a group view additionally
+//! implement [`protocol::ViewProtocol`], the capability the generic
+//! observer probes read.
+//!
+//! Simulators are assembled fluently with [`builder::SimBuilder`] and
+//! instrumented streaming through the [`observer`] pipeline —
+//! [`Simulator::run_rounds_observed`](sim::Simulator::run_rounds_observed)
+//! drives the single event loop and notifies [`observer::Observer`] hooks
+//! inline, so harnesses never hand-roll capture loops (see
+//! `docs/ARCHITECTURE.md` at the workspace root).
 //!
 //! The simulator is fully deterministic for a given seed: the event queue is
-//! ordered by (time, sequence number) and all randomness flows from a single
-//! `ChaCha8Rng`.
+//! ordered by (time, sequence number), all randomness flows from a single
+//! `ChaCha8Rng`, and observers — which get `&Simulator` only — cannot
+//! perturb the trace.
 
+pub mod builder;
 pub mod digest;
 pub mod event;
 pub mod fault;
 pub mod mobility;
 pub mod node;
+pub mod observer;
 pub mod protocol;
 pub mod radio;
 pub mod sim;
@@ -37,12 +49,14 @@ pub mod space;
 pub mod time;
 pub mod trace;
 
+pub use builder::SimBuilder;
 pub use digest::{CanonicalHasher, TraceDigest};
 pub use event::{Event, EventKind};
 pub use fault::{FaultKind, ScheduledFault};
 pub use mobility::MobilityModel;
 pub use node::SimNode;
-pub use protocol::Protocol;
+pub use observer::{NullObserver, Observer, StatsProbe, TraceProbe};
+pub use protocol::{Protocol, ViewProtocol};
 pub use radio::RadioModel;
 pub use sim::{SimConfig, Simulator, TopologyMode};
 pub use space::Point;

@@ -48,6 +48,27 @@ pub trait Protocol {
     fn reset(&mut self) {}
 }
 
+/// A protocol whose output is a *view*: the set of nodes the instance
+/// currently believes to be in its group. This is the capability the
+/// generic observer pipeline reads — `SnapshotRecorder` and the predicate
+/// probes work against `ViewProtocol`, so no harness needs to know the
+/// concrete protocol type. Implemented by `grp_core::GrpNode` and every
+/// baseline algorithm.
+///
+/// (`grp_core::predicates::GroupMembership` is a re-export of this trait,
+/// kept under its historical name.)
+pub trait ViewProtocol: Protocol {
+    /// Borrow the current view. Observers compare this against the
+    /// previously captured view to decide whether a fresh copy is needed,
+    /// which is what makes copy-on-write snapshot capture possible.
+    fn view(&self) -> &std::collections::BTreeSet<NodeId>;
+
+    /// An owned copy of the current view.
+    fn current_view(&self) -> std::collections::BTreeSet<NodeId> {
+        self.view().clone()
+    }
+}
+
 /// A minimal beacon protocol: every `Ts` the node broadcasts its identity
 /// and counts what it hears. The handlers are O(1), so a simulation of
 /// [`Beacon`] nodes measures the engine itself — event queue, radio,
@@ -161,6 +182,12 @@ pub(crate) mod test_support {
         fn reset(&mut self) {
             let me = self.me;
             *self = Flood::new(me);
+        }
+    }
+
+    impl ViewProtocol for Flood {
+        fn view(&self) -> &BTreeSet<NodeId> {
+            &self.known
         }
     }
 }

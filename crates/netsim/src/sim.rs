@@ -20,15 +20,17 @@ use crate::event::{Event, EventKind};
 use crate::fault::{FaultKind, ScheduledFault};
 use crate::mobility::MobilityModel;
 use crate::node::SimNode;
+use crate::observer::{NullObserver, Observer};
 use crate::protocol::Protocol;
 use crate::radio::RadioModel;
 use crate::space::{Point, SpatialGrid};
 use crate::time::SimTime;
-use crate::trace::{MessageStats, Trace};
+use crate::trace::MessageStats;
 use dyngraph::{Graph, NodeId, TopologyEvent};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
 
 /// Where the communication topology comes from.
 pub enum TopologyMode {
@@ -137,17 +139,21 @@ pub struct Simulator<P: Protocol> {
     config: SimConfig,
     nodes: BTreeMap<NodeId, SimNode<P>>,
     mode: TopologyMode,
-    topology: Graph,
+    /// The observed communication graph, shared with observers: recording a
+    /// configuration is an `Arc` clone, and explicit-mode mutation is
+    /// copy-on-write (`Arc::make_mut`), so a still-referenced past topology
+    /// is never overwritten in place.
+    topology: Arc<Graph>,
     index: SpatialIndex,
     events: BinaryHeap<Event<P::Message>>,
     seq: u64,
     now: SimTime,
     rng: ChaCha8Rng,
     stats: MessageStats,
-    trace: Trace,
     faults: Vec<ScheduledFault>,
     loss_burst_until: SimTime,
     events_processed: u64,
+    rounds_completed: u64,
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -166,17 +172,17 @@ impl<P: Protocol> Simulator<P> {
             config,
             nodes: BTreeMap::new(),
             mode,
-            topology,
+            topology: Arc::new(topology),
             index,
             events: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
             rng,
             stats: MessageStats::default(),
-            trace: Trace::new(),
             faults: Vec::new(),
             loss_burst_until: SimTime::ZERO,
             events_processed: 0,
+            rounds_completed: 0,
         };
         if matches!(sim.mode, TopologyMode::Spatial { .. }) {
             sim.schedule(sim.config.mobility_period, EventKind::MobilityTick);
@@ -194,7 +200,7 @@ impl<P: Protocol> Simulator<P> {
             node.compute_phase = self.rng.gen_range(0..self.config.compute_period.max(1));
         }
         if let TopologyMode::Explicit(_) = self.mode {
-            self.topology.add_node(id);
+            Arc::make_mut(&mut self.topology).add_node(id);
         }
         self.schedule(node.send_phase + 1, EventKind::SendTimer(id));
         self.schedule(
@@ -240,6 +246,14 @@ impl<P: Protocol> Simulator<P> {
         &self.topology
     }
 
+    /// The current topology as a shared handle — the zero-copy way for an
+    /// [`Observer`] to retain a configuration's graph. Subsequent
+    /// explicit-mode mutations copy-on-write, so the handle stays frozen at
+    /// the configuration it was taken from.
+    pub fn topology_shared(&self) -> Arc<Graph> {
+        Arc::clone(&self.topology)
+    }
+
     /// Immutable access to a protocol instance.
     pub fn protocol(&self, id: NodeId) -> Option<&P> {
         self.nodes.get(&id).map(|n| &n.protocol)
@@ -279,22 +293,11 @@ impl<P: Protocol> Simulator<P> {
         self.stats
     }
 
-    /// The recorded trace.
-    pub fn trace(&self) -> &Trace {
-        &self.trace
-    }
-
-    /// Record a configuration snapshot (topology + cumulative stats) now.
-    pub fn snapshot(&mut self) {
-        self.trace
-            .record(self.now, self.topology.clone(), self.stats);
-    }
-
     /// Replace the explicit topology (no-op guard in spatial mode: the radio
     /// model owns the topology there).
     pub fn set_topology(&mut self, graph: Graph) {
         if matches!(self.mode, TopologyMode::Explicit(_)) {
-            self.topology = graph;
+            self.topology = Arc::new(graph);
         }
     }
 
@@ -303,38 +306,54 @@ impl<P: Protocol> Simulator<P> {
         if !matches!(self.mode, TopologyMode::Explicit(_)) {
             return;
         }
+        let topology = Arc::make_mut(&mut self.topology);
         match event {
-            TopologyEvent::LinkUp(a, b) => self.topology.add_edge(a, b),
+            TopologyEvent::LinkUp(a, b) => topology.add_edge(a, b),
             TopologyEvent::LinkDown(a, b) => {
-                self.topology.remove_edge(a, b);
+                topology.remove_edge(a, b);
             }
-            TopologyEvent::NodeJoin(n) => self.topology.add_node(n),
+            TopologyEvent::NodeJoin(n) => topology.add_node(n),
             TopologyEvent::NodeLeave(n) => {
-                self.topology.remove_node(n);
+                topology.remove_node(n);
             }
         }
     }
 
     /// Run the simulation until `deadline` (inclusive of events at the
-    /// deadline), then set the clock to the deadline.
-    pub fn run_until(&mut self, deadline: SimTime) {
+    /// deadline), then set the clock to the deadline. This is **the** event
+    /// loop: every other driving entry point funnels into it.
+    pub fn run_until_observed(&mut self, deadline: SimTime, obs: &mut dyn Observer<P>) {
         while let Some(ev) = self.events.peek() {
             if ev.time > deadline {
                 break;
             }
             let ev = self.events.pop().expect("peeked");
             self.now = ev.time;
-            self.handle(ev);
+            self.handle(ev, obs);
         }
         self.now = deadline;
-        // materialise the observed Graph at most once per run, however many
-        // mobility ticks elapsed; in-run sends read the grid's CSR directly
+        self.materialise_topology();
+    }
+
+    /// Re-materialise the observed `Graph` from the grid's CSR if mobility
+    /// ticks left it stale. Called at the end of every run (so the lazy
+    /// grid path stays at most one materialisation per `run_until`,
+    /// however many mobility ticks elapsed — in-run sends read the CSR
+    /// directly) and before observer hooks that hand out `&Simulator`
+    /// mid-run.
+    fn materialise_topology(&mut self) {
         if let SpatialIndex::Grid { grid, dirty } = &mut self.index {
             if *dirty {
-                self.topology = grid.graph();
+                self.topology = Arc::new(grid.graph());
                 *dirty = false;
             }
         }
+    }
+
+    /// [`run_until_observed`](Self::run_until_observed) without
+    /// instrumentation.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.run_until_observed(deadline, &mut NullObserver);
     }
 
     /// Run for `duration` ticks.
@@ -343,9 +362,44 @@ impl<P: Protocol> Simulator<P> {
         self.run_until(deadline);
     }
 
-    /// Run for `rounds` compute periods.
+    /// Run for `rounds` compute periods without instrumentation (does not
+    /// advance the observed-round counter).
     pub fn run_rounds(&mut self, rounds: u64) {
         self.run_for(rounds * self.config.compute_period);
+    }
+
+    /// Drive `rounds` compute periods, letting `before_round` mutate the
+    /// simulator at each round boundary (topology churn, node joins) and
+    /// notifying `obs` at each round end. The round number handed to both
+    /// callbacks is the global observed-round counter
+    /// ([`rounds_completed`](Self::rounds_completed)), so successive calls
+    /// continue the numbering.
+    pub fn run_rounds_driven(
+        &mut self,
+        rounds: u64,
+        obs: &mut dyn Observer<P>,
+        before_round: &mut dyn FnMut(u64, &mut Simulator<P>),
+    ) {
+        for _ in 0..rounds {
+            let round = self.rounds_completed;
+            before_round(round, self);
+            let deadline = self.now + self.config.compute_period;
+            self.run_until_observed(deadline, obs);
+            self.rounds_completed += 1;
+            obs.on_round_end(round, self);
+        }
+    }
+
+    /// Drive `rounds` compute periods with per-round observation and no
+    /// between-round mutation.
+    pub fn run_rounds_observed(&mut self, rounds: u64, obs: &mut dyn Observer<P>) {
+        self.run_rounds_driven(rounds, obs, &mut |_, _| {});
+    }
+
+    /// Number of compute rounds driven through the observed entry points so
+    /// far (plain [`run_rounds`](Self::run_rounds) does not count).
+    pub fn rounds_completed(&self) -> u64 {
+        self.rounds_completed
     }
 
     /// Total number of events processed so far (timers, broadcast sweeps,
@@ -355,7 +409,7 @@ impl<P: Protocol> Simulator<P> {
         self.events_processed
     }
 
-    fn handle(&mut self, ev: Event<P::Message>) {
+    fn handle(&mut self, ev: Event<P::Message>, obs: &mut dyn Observer<P>) {
         self.events_processed += 1;
         match ev.kind {
             EventKind::ComputeTimer(id) => {
@@ -378,12 +432,14 @@ impl<P: Protocol> Simulator<P> {
                 recipients,
             } => {
                 let now = self.now;
+                let size = P::message_size(&message);
                 let mut recipients = recipients.into_iter().peekable();
                 while let Some(to) = recipients.next() {
                     if let Some(node) = self.nodes.get_mut(&to) {
                         if node.active {
                             self.stats.delivered += 1;
-                            self.stats.delivered_bytes += P::message_size(&message) as u64;
+                            self.stats.delivered_bytes += size as u64;
+                            obs.on_delivery(from, to, size, now);
                             // move the message into the last reception
                             // instead of cloning it
                             if recipients.peek().is_none() {
@@ -402,30 +458,48 @@ impl<P: Protocol> Simulator<P> {
             EventKind::MobilityTick => {
                 if let TopologyMode::Spatial { radio, mobility } = &mut self.mode {
                     mobility.advance(self.config.mobility_period, &mut self.rng);
-                    match &mut self.index {
+                    let changed = match &mut self.index {
                         SpatialIndex::Grid { grid, dirty } => {
                             // incremental cell updates; an unchanged map
                             // (e.g. stationary nodes) skips recomputation
                             if grid.sync(mobility.positions()) {
                                 radio.refresh_grid_topology(grid);
                                 *dirty = true;
+                                true
+                            } else {
+                                false
                             }
                         }
                         SpatialIndex::DiffOnly(last) => {
                             if last != mobility.positions() {
                                 *last = mobility.positions().clone();
-                                self.topology = radio.topology_all_pairs(mobility.positions());
+                                self.topology =
+                                    Arc::new(radio.topology_all_pairs(mobility.positions()));
+                                true
+                            } else {
+                                false
                             }
                         }
                         SpatialIndex::None => {
-                            self.topology = radio.topology_all_pairs(mobility.positions());
+                            self.topology =
+                                Arc::new(radio.topology_all_pairs(mobility.positions()));
+                            true
                         }
+                    };
+                    if changed {
+                        obs.on_topology_change(self.now);
                     }
                 }
                 self.schedule(self.config.mobility_period, EventKind::MobilityTick);
             }
             EventKind::Fault(idx) => {
-                self.apply_fault(idx);
+                if let Some(fault) = self.faults.get(idx).cloned() {
+                    self.apply_fault(&fault);
+                    // the hook hands out &Simulator mid-run: make sure the
+                    // observed graph reflects every mobility tick so far
+                    self.materialise_topology();
+                    obs.on_fault(&fault, self);
+                }
             }
         }
     }
@@ -492,10 +566,7 @@ impl<P: Protocol> Simulator<P> {
         }
     }
 
-    fn apply_fault(&mut self, idx: usize) {
-        let Some(fault) = self.faults.get(idx).cloned() else {
-            return;
-        };
+    fn apply_fault(&mut self, fault: &ScheduledFault) {
         match fault.kind {
             FaultKind::CorruptState(id) => {
                 if let Some(node) = self.nodes.get_mut(&id) {
@@ -706,13 +777,13 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_records_trace() {
+    fn trace_probe_records_observed_rounds() {
+        use crate::observer::TraceProbe;
         let mut sim = flood_sim(3, 11);
-        sim.run_rounds(1);
-        sim.snapshot();
-        sim.run_rounds(1);
-        sim.snapshot();
-        assert_eq!(sim.trace().len(), 2);
-        assert!(sim.trace().last().unwrap().at > SimTime::ZERO);
+        let mut probe = TraceProbe::new();
+        sim.run_rounds_observed(2, &mut probe);
+        assert_eq!(probe.trace().len(), 2);
+        assert!(probe.trace().last().unwrap().at > SimTime::ZERO);
+        assert_eq!(sim.rounds_completed(), 2);
     }
 }

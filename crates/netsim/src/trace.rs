@@ -11,6 +11,7 @@ use crate::digest::{CanonicalHasher, TraceDigest};
 use crate::time::SimTime;
 use dyngraph::Graph;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Counters of traffic through the simulated medium.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,11 +40,14 @@ impl MessageStats {
     }
 }
 
-/// One recorded configuration snapshot.
+/// One recorded configuration snapshot. The topology is behind an `Arc` so
+/// recording a round where the graph did not change (or where the recorder
+/// shares the simulator's own handle) costs a pointer clone, not a graph
+/// clone.
 #[derive(Clone, Debug)]
 pub struct Snapshot {
     pub at: SimTime,
-    pub topology: Graph,
+    pub topology: Arc<Graph>,
     pub stats: MessageStats,
 }
 
@@ -60,8 +64,8 @@ impl Trace {
         }
     }
 
-    /// Record a snapshot.
-    pub fn record(&mut self, at: SimTime, topology: Graph, stats: MessageStats) {
+    /// Record a snapshot (the topology handle is retained, not cloned).
+    pub fn record(&mut self, at: SimTime, topology: Arc<Graph>, stats: MessageStats) {
         self.snapshots.push(Snapshot {
             at,
             topology,
@@ -153,9 +157,10 @@ mod tests {
         assert!(trace.is_empty());
         let mut g = Graph::new();
         g.add_edge(NodeId(1), NodeId(2));
+        let g = Arc::new(g);
         trace.record(
             SimTime(10),
-            g.clone(),
+            Arc::clone(&g),
             MessageStats {
                 broadcasts: 5,
                 attempted: 10,

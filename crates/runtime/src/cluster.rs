@@ -41,10 +41,14 @@ impl Default for ClusterConfig {
     }
 }
 
-/// Shared state every node thread publishes into.
+/// Shared state every node thread publishes into. Views are published
+/// behind `Arc`s and re-published only when they actually changed, so
+/// capturing a cluster-wide snapshot shares allocations with the node
+/// threads instead of deep-cloning every view under the lock — the same
+/// copy-on-write capture the simulator's observer pipeline uses.
 #[derive(Default)]
 struct Published {
-    views: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    views: BTreeMap<NodeId, Arc<BTreeSet<NodeId>>>,
     rounds: BTreeMap<NodeId, u64>,
 }
 
@@ -101,8 +105,9 @@ impl Cluster {
         &self.config
     }
 
-    /// Latest published views, one per node.
-    pub fn views(&self) -> BTreeMap<NodeId, BTreeSet<NodeId>> {
+    /// Latest published views, one per node (shared handles — cheap to
+    /// clone out of the lock).
+    pub fn views(&self) -> BTreeMap<NodeId, Arc<BTreeSet<NodeId>>> {
         self.published.lock().views.clone()
     }
 
@@ -121,9 +126,11 @@ impl Cluster {
         *self.topology.write() = new;
     }
 
-    /// Capture a predicate-checkable snapshot of the running system.
+    /// Capture a predicate-checkable snapshot of the running system —
+    /// copy-on-write: the views are shared with the node threads' latest
+    /// publications, never deep-cloned.
     pub fn snapshot(&self) -> grp_core::predicates::SystemSnapshot {
-        grp_core::predicates::SystemSnapshot::new(self.topology(), self.views())
+        grp_core::predicates::SystemSnapshot::from_shared(Arc::new(self.topology()), self.views())
     }
 
     /// Block until every node has executed at least `rounds` compute rounds
@@ -167,6 +174,7 @@ fn node_loop(
     config: ClusterConfig,
 ) {
     let mut node = GrpNode::new(id, config.grp.clone());
+    let mut last_view: Option<Arc<BTreeSet<NodeId>>> = None;
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ id.raw().wrapping_mul(0x9E37_79B9));
     // stagger the first firing so the cluster does not run in lockstep
     let jitter = Duration::from_micros((id.raw() % 17) * 300);
@@ -186,8 +194,15 @@ fn node_loop(
         let now = Instant::now();
         if now >= next_compute {
             node.on_round();
+            // copy-on-write publication: only allocate a fresh shared view
+            // when the round actually changed it
+            if last_view.as_deref() != Some(node.view()) {
+                last_view = Some(Arc::new(node.view().clone()));
+            }
             let mut published = published.lock();
-            published.views.insert(id, node.view().clone());
+            published
+                .views
+                .insert(id, Arc::clone(last_view.as_ref().expect("just set")));
             *published.rounds.entry(id).or_insert(0) += 1;
             next_compute += config.compute_period;
         }

@@ -31,8 +31,8 @@ pub mod toml;
 pub use manifest::{ScenarioManifest, SCHEMA_VERSION};
 pub use result::{to_json, write_result, RESULT_SCHEMA_VERSION};
 pub use runner::{
-    apply_churn_action, build_simulator, build_topology, grp_config_of, run_scenario, run_seed,
-    snapshot_active, ScenarioOutcome,
+    apply_churn_action, build_simulator, build_topology, drive_manifest, grp_config_of,
+    run_scenario, run_seed, ScenarioOutcome,
 };
 
 use std::path::{Path, PathBuf};

@@ -6,22 +6,33 @@
 //! and every node's view) into a canonical [`TraceDigest`]. Same manifest +
 //! same seed ⇒ byte-identical digest; that is the contract the golden-trace
 //! regression tests pin.
+//!
+//! Since the observer redesign this module contains no drive loop of its
+//! own: [`drive_manifest`] hands the manifest's churn schedule and an
+//! [`Observer`] to `netsim`'s single observed event loop, and [`run_seed`]
+//! composes the standard [`GrpPipeline`] (copy-on-write snapshot recorder +
+//! convergence + continuity probes) on top of it.
 
 use crate::manifest::{
     AssertionSpec, ChurnAction, FaultKindSpec, MobilitySpec, RadioSpec, ScenarioManifest,
     TopologySpec, WorkloadSpec,
 };
 use dyngraph::{generators, Graph, NodeId, TopologyEvent};
-use grp_core::predicates::{pi_c, pi_t, SystemSnapshot};
-use grp_core::{ConvergenceDetector, GrpConfig, GrpNode};
+use grp_core::observers::GrpPipeline;
+use grp_core::predicates::SystemSnapshot;
+use grp_core::{GrpConfig, GrpNode};
 use netsim::mobility::{Highway, RandomWalk, RandomWaypoint, Stationary};
 use netsim::radio::{DistanceLossDisk, LossyDisk, UnitDisk};
 use netsim::{
-    CanonicalHasher, FaultKind, MessageStats, ScheduledFault, SimConfig, SimTime, Simulator,
-    TopologyMode, TraceDigest,
+    CanonicalHasher, FaultKind, MessageStats, Observer, ScheduledFault, SimBuilder, SimConfig,
+    SimTime, Simulator, TopologyMode, TraceDigest,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// Re-exported from `grp_core::observers`, where the streaming continuity
+/// probe now lives.
+pub use grp_core::observers::ContinuityStats;
 
 /// The outcome of one assertion on one run.
 #[derive(Clone, Debug)]
@@ -39,29 +50,6 @@ impl AssertionResult {
             expected: expected.to_string(),
             observed: observed.to_string(),
             pass,
-        }
-    }
-}
-
-/// Continuity bookkeeping over the run's snapshot transitions.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ContinuityStats {
-    /// Number of consecutive-snapshot transitions examined.
-    pub transitions: u64,
-    /// Transitions whose topology change satisfied ΠT.
-    pub pi_t_held: u64,
-    /// Of those, how many also satisfied ΠC (the best-effort promise).
-    pub pi_c_held_given_pi_t: u64,
-}
-
-impl ContinuityStats {
-    /// The conformance ratio for the `view_continuity` assertion: ΠC-rate
-    /// among ΠT-transitions (1.0 when ΠT never held — nothing was promised).
-    pub fn view_continuity(&self) -> f64 {
-        if self.pi_t_held == 0 {
-            1.0
-        } else {
-            self.pi_c_held_given_pi_t as f64 / self.pi_t_held as f64
         }
     }
 }
@@ -193,9 +181,9 @@ fn build_mode(workload: &WorkloadSpec, seed: u64) -> TopologyMode {
 }
 
 /// Build a ready-to-run simulator for one (manifest, seed) pair: topology or
-/// mobility+radio, GRP nodes, and the scheduled fault plan. Exposed so the
-/// `experiments` crate can drive manifest-defined workloads through its own
-/// measurement loops.
+/// mobility+radio, GRP nodes, and the scheduled fault plan — one
+/// [`SimBuilder`] expression. Exposed so the `experiments` crate can drive
+/// manifest-defined workloads through its own measurement harness.
 pub fn build_simulator(manifest: &ScenarioManifest, seed: u64) -> Simulator<GrpNode> {
     let sim_spec = &manifest.sim;
     let config = SimConfig {
@@ -216,22 +204,24 @@ pub fn build_simulator(manifest: &ScenarioManifest, seed: u64) -> Simulator<GrpN
             .collect(),
     };
     let grp_config = grp_config_of(manifest);
-    let mut sim = Simulator::new(config, mode);
-    sim.add_nodes(
-        node_ids
-            .iter()
-            .map(|&id| GrpNode::new(id, grp_config.clone())),
-    );
-    sim.schedule_faults(manifest.faults.iter().map(|f| {
-        let kind = match f.kind {
-            FaultKindSpec::Crash { node } => FaultKind::Crash(NodeId(node)),
-            FaultKindSpec::Restart { node } => FaultKind::Restart(NodeId(node)),
-            FaultKindSpec::Corrupt { node } => FaultKind::CorruptState(NodeId(node)),
-            FaultKindSpec::LossBurst { duration } => FaultKind::LossBurst { duration },
-        };
-        ScheduledFault::new(SimTime(f.at), kind)
-    }));
-    sim
+    SimBuilder::new()
+        .config(config)
+        .mode(mode)
+        .nodes(
+            node_ids
+                .iter()
+                .map(|&id| GrpNode::new(id, grp_config.clone())),
+        )
+        .faults(manifest.faults.iter().map(|f| {
+            let kind = match f.kind {
+                FaultKindSpec::Crash { node } => FaultKind::Crash(NodeId(node)),
+                FaultKindSpec::Restart { node } => FaultKind::Restart(NodeId(node)),
+                FaultKindSpec::Corrupt { node } => FaultKind::CorruptState(NodeId(node)),
+                FaultKindSpec::LossBurst { duration } => FaultKind::LossBurst { duration },
+            };
+            ScheduledFault::new(SimTime(f.at), kind)
+        }))
+        .build()
 }
 
 /// The `GrpConfig` a manifest's `[protocol]` section describes (public so
@@ -286,81 +276,69 @@ pub fn apply_churn_action(
     }
 }
 
-/// Capture a configuration snapshot covering the *active* nodes only: a
-/// crashed or departed node has no view in the paper's model, so its frozen
-/// protocol state must not enter the predicate checks.
-pub fn snapshot_active(sim: &Simulator<GrpNode>) -> SystemSnapshot {
-    let views = sim
-        .protocols()
-        .filter(|&(id, _)| sim.is_active(id))
-        .map(|(id, p)| (id, p.view().clone()))
-        .collect();
-    SystemSnapshot::new(sim.topology().clone(), views)
+/// Drive a built simulator through a manifest's full round schedule:
+/// churn actions are applied at their round boundaries and `obs` sees
+/// every round. This is the *only* manifest drive path — the conformance
+/// runner, the experiment bridge and the tests all funnel through it into
+/// `netsim`'s single observed event loop.
+pub fn drive_manifest(
+    sim: &mut Simulator<GrpNode>,
+    manifest: &ScenarioManifest,
+    obs: &mut dyn Observer<GrpNode>,
+) {
+    let grp_config = grp_config_of(manifest);
+    let mut churn = manifest.churn.iter().peekable();
+    // `at_round` is relative to the manifest's own schedule; the driven
+    // callback reports the simulator's *global* observed-round counter, so
+    // rebase it in case the caller warmed the simulator up first
+    let first_round = sim.rounds_completed();
+    sim.run_rounds_driven(manifest.sim.rounds, obs, &mut |round, sim| {
+        let manifest_round = round - first_round;
+        while let Some(c) = churn.peek() {
+            if c.at_round > manifest_round {
+                break;
+            }
+            apply_churn_action(sim, &c.action, &grp_config);
+            churn.next();
+        }
+    });
+    obs.on_run_end(sim);
 }
 
 /// Execute one seed. `golden` is the pinned digest for this seed, if any.
 pub fn run_seed(manifest: &ScenarioManifest, seed: u64, golden: Option<&String>) -> RunOutcome {
-    let grp_config = grp_config_of(manifest);
     let mut sim = build_simulator(manifest, seed);
     let dmax = manifest.protocol.dmax;
     let rounds = manifest.sim.rounds;
 
-    let mut detector = ConvergenceDetector::new(dmax);
-    let mut snapshots: Vec<SystemSnapshot> = Vec::with_capacity(rounds as usize);
-    let mut churn_iter = manifest.churn.iter().peekable();
+    let mut pipeline = GrpPipeline::new()
+        .with_convergence(dmax)
+        .with_continuity(dmax);
+    drive_manifest(&mut sim, manifest, &mut pipeline);
+    let GrpPipeline {
+        recorder,
+        convergence,
+        continuity,
+    } = pipeline;
 
-    for round in 0..rounds {
-        while let Some(c) = churn_iter.peek() {
-            if c.at_round > round {
-                break;
-            }
-            apply_churn_action(&mut sim, &c.action, &grp_config);
-            churn_iter.next();
-        }
-        sim.run_rounds(1);
-        sim.snapshot();
-        let snapshot = snapshot_active(&sim);
-        detector.record(&snapshot);
-        snapshots.push(snapshot);
-    }
-
-    // continuity accounting over consecutive snapshots
-    let mut continuity = ContinuityStats::default();
-    for pair in snapshots.windows(2) {
-        continuity.transitions += 1;
-        if pi_t(&pair[0], &pair[1], dmax) {
-            continuity.pi_t_held += 1;
-            if pi_c(&pair[0], &pair[1]) {
-                continuity.pi_c_held_given_pi_t += 1;
-            }
-        }
-    }
-
-    // canonical digest: scenario identity, seed, the netsim trace
-    // (topologies + stats) and every node's view at every round
+    // canonical digest: scenario identity, seed, the engine trace
+    // (topologies + stats) and every node's view at every round — the
+    // byte encoding is pinned by the golden scenario suite
     let mut hasher = CanonicalHasher::new();
     hasher.feed_str(&manifest.name);
     hasher.feed_u64(seed);
     hasher.feed_u64(dmax as u64);
-    sim.trace().feed_digest(&mut hasher);
-    hasher.begin_list("views");
-    hasher.feed_u64(snapshots.len() as u64);
-    for (round, snapshot) in snapshots.iter().enumerate() {
-        hasher.feed_u64(round as u64);
-        for (&node, view) in &snapshot.views {
-            hasher.feed_u64(node.raw());
-            hasher.feed_node_set(view.iter().copied());
-        }
-    }
-    hasher.end_list();
+    recorder.feed_trace_digest(&mut hasher);
+    recorder.feed_views_digest(&mut hasher);
     let digest = hasher.finalize();
 
-    let final_snapshot = snapshots
-        .last()
+    let final_snapshot = recorder
+        .last_snapshot()
         .cloned()
-        .unwrap_or_else(|| snapshot_active(&sim));
+        .unwrap_or_else(|| SystemSnapshot::from_simulator(&sim));
     let stats = sim.stats();
-    let converged_round = detector.convergence_round();
+    let converged_round = convergence.expect("enabled above").convergence_round();
+    let continuity = continuity.expect("enabled above").stats();
 
     let assertions = evaluate_assertions(
         &manifest.assertions,
@@ -626,6 +604,47 @@ min_groups = 2
         );
         let outcome = run_scenario(&m);
         assert!(outcome.pass, "the severed line must split into ≥ 2 groups");
+    }
+
+    /// `at_round` is manifest-relative: warming the simulator up through an
+    /// observed entry point first must not shift (or burst-apply) the churn
+    /// schedule.
+    #[test]
+    fn churn_rounds_are_manifest_relative_after_a_warmup() {
+        use grp_core::observers::SnapshotRecorder;
+        use netsim::NullObserver;
+
+        let m = manifest(
+            r#"
+name = "warmup-churn"
+[protocol]
+dmax = 3
+[sim]
+rounds = 30
+[topology]
+kind = "path"
+n = 4
+[[churn]]
+at_round = 10
+action = "link_down"
+a = 1
+b = 2
+"#,
+        );
+        let mut sim = build_simulator(&m, 3);
+        // converge, through an observed entry point, so rounds_completed > 0
+        sim.run_rounds_observed(40, &mut NullObserver);
+        assert_eq!(sim.rounds_completed(), 40);
+
+        let mut recorder = SnapshotRecorder::new();
+        drive_manifest(&mut sim, &m, &mut recorder);
+        assert_eq!(recorder.len(), 30);
+        let groups: Vec<usize> = recorder.snapshots().map(|s| s.group_count()).collect();
+        // the link stays up until manifest round 10: the converged line is
+        // still one group right before the cut…
+        assert_eq!(groups[9], 1, "group split before the scheduled round");
+        // …and the severed line must have split by the end of the schedule
+        assert!(groups[29] >= 2, "churn was never applied: {groups:?}");
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! to its group each round, and a message is considered delivered when every
 //! member of the poster's view also has the poster in its own view. This
 //! shows how a third-party application can rely on the views *before* global
-//! convergence, thanks to the continuity guarantee.
+//! convergence, thanks to the continuity guarantee — and how application
+//! logic rides the observer pipeline instead of hand-rolling a capture loop.
 //!
 //! ```text
 //! cargo run --example chat_groups
@@ -14,35 +15,24 @@ use dyngraph::generators::clustered;
 use dyngraph::NodeId;
 use grp_core::predicates::SystemSnapshot;
 use grp_core::{GrpConfig, GrpNode};
-use netsim::{SimConfig, Simulator, TopologyMode};
+use netsim::{Observer, SimBuilder, SimConfig, Simulator};
 
-fn main() {
-    let dmax = 2;
-    // three dense pockets of 4 nodes chained by bridges — typical "groups of
-    // vehicles at a junction"
-    let topology = clustered(3, 4);
-    let mut sim = Simulator::new(
-        SimConfig::rounds(5),
-        TopologyMode::Explicit(topology.clone()),
-    );
-    sim.add_nodes(
-        topology
-            .nodes()
-            .map(|id| GrpNode::new(id, GrpConfig::new(dmax)))
-            .collect::<Vec<_>>(),
-    );
+/// The chat application as an observer: it reads each round's views and
+/// counts group-wide message deliveries, streaming, with no snapshot vector.
+#[derive(Default)]
+struct ChatApp {
+    posted: u64,
+    delivered: u64,
+}
 
-    let mut delivered = 0u64;
-    let mut posted = 0u64;
-    for round in 1..=50u64 {
-        sim.run_rounds(1);
-        let snapshot = SystemSnapshot::from_simulator(&sim);
-        // every node posts one chat message to its current group
+impl Observer<GrpNode> for ChatApp {
+    fn on_round_end(&mut self, round: u64, sim: &Simulator<GrpNode>) {
+        let snapshot = SystemSnapshot::from_simulator(sim);
         for (author, view) in &snapshot.views {
             if view.len() <= 1 {
                 continue;
             }
-            posted += 1;
+            self.posted += 1;
             let all_members_see_author = view.iter().all(|member| {
                 snapshot
                     .views
@@ -51,22 +41,38 @@ fn main() {
                     .unwrap_or(false)
             });
             if all_members_see_author {
-                delivered += 1;
+                self.delivered += 1;
             }
         }
-        if round % 10 == 0 {
+        if (round + 1).is_multiple_of(10) {
             println!(
-                "round {round:3}: {} chat groups, {:.1} members on average",
+                "round {:3}: {} chat groups, {:.1} members on average",
+                round + 1,
                 snapshot.group_count(),
                 snapshot.mean_group_size(),
             );
         }
     }
-    println!("\nchat messages posted to a group : {posted}");
-    println!("delivered to every group member  : {delivered}");
+}
+
+fn main() {
+    let dmax = 2;
+    // three dense pockets of 4 nodes chained by bridges — typical "groups of
+    // vehicles at a junction"
+    let mut sim = SimBuilder::new()
+        .config(SimConfig::rounds(5))
+        .explicit(clustered(3, 4))
+        .nodes_from_topology(|id| GrpNode::new(id, GrpConfig::new(dmax)))
+        .build();
+
+    let mut app = ChatApp::default();
+    sim.run_rounds_observed(50, &mut app);
+
+    println!("\nchat messages posted to a group : {}", app.posted);
+    println!("delivered to every group member  : {}", app.delivered);
     println!(
         "delivery ratio                   : {:.1}%",
-        100.0 * delivered as f64 / posted.max(1) as f64
+        100.0 * app.delivered as f64 / app.posted.max(1) as f64
     );
 
     let ids: Vec<NodeId> = sim.node_ids();

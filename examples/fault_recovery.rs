@@ -6,23 +6,18 @@
 //! ```
 
 use dyngraph::generators::grid;
+use grp_core::observers::ConvergenceProbe;
 use grp_core::predicates::SystemSnapshot;
 use grp_core::{GrpConfig, GrpNode};
-use netsim::{FaultKind, ScheduledFault, SimConfig, Simulator, TopologyMode};
+use netsim::{FaultKind, ScheduledFault, SimBuilder, SimConfig};
 
 fn main() {
     let dmax = 3;
-    let topology = grid(3, 4);
-    let mut sim = Simulator::new(
-        SimConfig::rounds(13),
-        TopologyMode::Explicit(topology.clone()),
-    );
-    sim.add_nodes(
-        topology
-            .nodes()
-            .map(|id| GrpNode::new(id, GrpConfig::new(dmax)))
-            .collect::<Vec<_>>(),
-    );
+    let mut sim = SimBuilder::new()
+        .config(SimConfig::rounds(13))
+        .explicit(grid(3, 4))
+        .nodes_from_topology(|id| GrpNode::new(id, GrpConfig::new(dmax)))
+        .build();
 
     // let the 3x4 grid converge
     sim.run_rounds(60);
@@ -51,12 +46,14 @@ fn main() {
         corrupted.agreement()
     );
 
-    // run until legitimate again
+    // stream legitimacy verdicts until the system is legitimate again —
+    // no snapshot history retained at all
+    let mut probe = ConvergenceProbe::new(dmax);
     for round in 1..=120u64 {
-        sim.run_rounds(1);
-        let snapshot = SystemSnapshot::from_simulator(&sim);
-        if snapshot.legitimate(dmax) {
+        sim.run_rounds_observed(1, &mut probe);
+        if probe.is_currently_legitimate() {
             println!("system legitimate again after {round} rounds");
+            let snapshot = SystemSnapshot::from_simulator(&sim);
             println!(
                 "final groups: {:?}",
                 snapshot

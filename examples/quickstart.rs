@@ -5,42 +5,40 @@
 //! ```
 
 use dyngraph::generators::path;
-use dyngraph::NodeId;
-use grp_core::predicates::SystemSnapshot;
-use grp_core::{GrpConfig, GrpNode};
-use netsim::{SimConfig, Simulator, TopologyMode};
+use grp_core::{GrpConfig, GrpNode, SnapshotRecorder};
+use netsim::{SimBuilder, SimConfig};
 
 fn main() {
     // Six nodes on a line; the application tolerates groups of diameter 2.
     let dmax = 2;
-    let topology = path(6);
-    let mut sim = Simulator::new(
-        SimConfig::rounds(42),
-        TopologyMode::Explicit(topology.clone()),
-    );
-    sim.add_nodes((0..6).map(|i| GrpNode::new(NodeId(i), GrpConfig::new(dmax))));
+    let mut sim = SimBuilder::new()
+        .config(SimConfig::rounds(42))
+        .explicit(path(6))
+        .nodes_from_topology(|id| GrpNode::new(id, GrpConfig::new(dmax)))
+        .build();
 
     println!("topology: a line of 6 nodes, Dmax = {dmax}");
     println!("round | groups (each node's view)");
-    for round in 1..=40u64 {
-        sim.run_rounds(1);
-        if round % 5 == 0 {
-            let snapshot = SystemSnapshot::from_simulator(&sim);
-            let groups: Vec<Vec<u64>> = snapshot
-                .groups()
-                .iter()
-                .map(|g| g.iter().map(|n| n.raw()).collect())
-                .collect();
-            println!(
-                "{round:5} | {groups:?}  (ΠA={} ΠS={} ΠM={})",
-                snapshot.agreement(),
-                snapshot.safety(dmax),
-                snapshot.maximality(dmax)
-            );
-        }
+    // one copy-on-write recorder observes the whole run; we print its
+    // latest snapshot every 5 rounds
+    let mut recorder = SnapshotRecorder::new();
+    for round in (5..=40u64).step_by(5) {
+        sim.run_rounds_observed(5, &mut recorder);
+        let snapshot = recorder.last_snapshot().expect("rounds recorded");
+        let groups: Vec<Vec<u64>> = snapshot
+            .groups()
+            .iter()
+            .map(|g| g.iter().map(|n| n.raw()).collect())
+            .collect();
+        println!(
+            "{round:5} | {groups:?}  (ΠA={} ΠS={} ΠM={})",
+            snapshot.agreement(),
+            snapshot.safety(dmax),
+            snapshot.maximality(dmax)
+        );
     }
 
-    let snapshot = SystemSnapshot::from_simulator(&sim);
+    let snapshot = recorder.last_snapshot().expect("rounds recorded");
     println!("\nfinal views:");
     for (id, node) in sim.protocols() {
         let members: Vec<u64> = node.view().iter().map(|n| n.raw()).collect();

@@ -28,14 +28,10 @@ fn grp_sim(n: usize, dmax: usize, seed: u64) -> Simulator<GrpNode> {
     sim
 }
 
-/// Snapshot only the active nodes (a crashed node has no view).
+/// Snapshot only the active nodes (a crashed node has no view) — the
+/// unified semantics `SystemSnapshot::from_simulator` now implements.
 fn active_snapshot(sim: &Simulator<GrpNode>) -> SystemSnapshot {
-    let views = sim
-        .protocols()
-        .filter(|&(id, _)| sim.is_active(id))
-        .map(|(id, p)| (id, p.view().clone()))
-        .collect();
-    SystemSnapshot::new(sim.topology().clone(), views)
+    SystemSnapshot::from_simulator(sim)
 }
 
 #[test]
@@ -106,7 +102,11 @@ fn state_corruption_is_self_stabilized_away() {
     let snapshot = active_snapshot(&sim);
     assert!(snapshot.legitimate(dmax), "views: {:?}", snapshot.views);
     assert!(
-        snapshot.views.values().flatten().all(|n| n.raw() < 100),
+        snapshot
+            .views
+            .values()
+            .flat_map(|v| v.iter())
+            .all(|n| n.raw() < 100),
         "ghost identities are flushed from every view"
     );
 }
