@@ -75,7 +75,7 @@ impl Protocol for NeighborhoodBall {
     fn corrupt_state(&mut self, rng: &mut ChaCha8Rng) {
         use rand::Rng;
         let ghost = NodeId(rng.gen_range(100_000..200_000));
-        self.discovery.distances.insert(ghost, 1);
+        std::sync::Arc::make_mut(&mut self.discovery.distances).insert(ghost, 1);
         self.view.insert(ghost);
     }
 

@@ -11,14 +11,19 @@
 use dyngraph::NodeId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The message every baseline broadcasts: its current distance vector plus
 /// the head it has elected (if any).
+///
+/// The distance vector rides behind an `Arc` shared with the sender's own
+/// state: broadcasting to `k` neighbours clones `k` pointers, not `k`
+/// maps — the same zero-copy fan-out `GrpMessage` uses.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DiscoveryMessage {
     pub sender: NodeId,
     /// Known distances, capped at the protocol's horizon.
-    pub distances: BTreeMap<NodeId, u32>,
+    pub distances: Arc<BTreeMap<NodeId, u32>>,
     /// The cluster head currently chosen by the sender (self when alone).
     pub head: NodeId,
 }
@@ -36,8 +41,11 @@ pub struct Discovery {
     pub id: NodeId,
     /// Discovery horizon in hops.
     pub horizon: u32,
-    /// Current distance estimates (self at 0).
-    pub distances: BTreeMap<NodeId, u32>,
+    /// Current distance estimates (self at 0). Behind an `Arc` so the
+    /// per-send broadcast shares it instead of copying it; `recompute`
+    /// replaces the whole map, and the rare in-place mutation (fault
+    /// injection) copies-on-write.
+    pub distances: Arc<BTreeMap<NodeId, u32>>,
     /// Last message received from each neighbour since the last recompute.
     pub inbox: BTreeMap<NodeId, DiscoveryMessage>,
     /// The head advertised by each known node (learnt from the inbox,
@@ -53,7 +61,7 @@ impl Discovery {
         Discovery {
             id,
             horizon,
-            distances,
+            distances: Arc::new(distances),
             inbox: BTreeMap::new(),
             advertised_heads: BTreeMap::new(),
         }
@@ -77,7 +85,7 @@ impl Discovery {
                 .entry(neighbour)
                 .and_modify(|d| *d = (*d).min(via_neighbour))
                 .or_insert(via_neighbour);
-            for (&node, &d) in &msg.distances {
+            for (&node, &d) in msg.distances.iter() {
                 if node == self.id {
                     continue;
                 }
@@ -90,7 +98,7 @@ impl Discovery {
                 }
             }
         }
-        self.distances = distances;
+        self.distances = Arc::new(distances);
         self.advertised_heads = heads;
         self.inbox.clear();
     }
@@ -103,11 +111,13 @@ impl Discovery {
             .map(|(&n, &d)| (n, d))
     }
 
-    /// Build the broadcast message for the given elected head.
+    /// Build the broadcast message for the given elected head — the
+    /// distance vector is `Arc`-shared with the local state, so this (and
+    /// every per-recipient clone downstream) is allocation-free.
     pub fn message(&self, head: NodeId) -> DiscoveryMessage {
         DiscoveryMessage {
             sender: self.id,
-            distances: self.distances.clone(),
+            distances: Arc::clone(&self.distances),
             head,
         }
     }
@@ -130,7 +140,7 @@ mod tests {
         DiscoveryMessage {
             sender: n(sender),
             head: n(head),
-            distances: dists.iter().map(|&(i, d)| (n(i), d)).collect(),
+            distances: Arc::new(dists.iter().map(|&(i, d)| (n(i), d)).collect()),
         }
     }
 

@@ -156,6 +156,17 @@ pub fn workload_matrix(quick: bool) -> Vec<Workload> {
             }
         }
     }
+    if !quick {
+        // the conurbation row: the full protocol at 100k nodes, the scale
+        // the flat ancestor-list core and zero-copy fan-out target
+        matrix.push(Workload {
+            payload: Payload::Grp,
+            mobility: MobilityKind::RandomWalk,
+            nodes: 100_000,
+            rounds: 2,
+            seed: 7,
+        });
+    }
     matrix
 }
 
@@ -187,7 +198,7 @@ fn build_mobility(w: &Workload) -> Box<dyn MobilityModel> {
 
 fn build_simulator<P: Protocol, F: FnMut(dyngraph::NodeId) -> P>(
     w: &Workload,
-    spatial_index: bool,
+    engine: EngineConfig,
     make_node: F,
 ) -> Simulator<P> {
     let config = SimConfig {
@@ -195,7 +206,8 @@ fn build_simulator<P: Protocol, F: FnMut(dyngraph::NodeId) -> P>(
         // VANET-rate mobility: the topology refreshes ten times per compute
         // period, which is precisely the regime the spatial index targets.
         mobility_period: 100,
-        spatial_index,
+        spatial_index: engine.spatial_index,
+        parallel_compute: engine.parallel_compute,
         ..Default::default()
     };
     SimBuilder::new()
@@ -203,6 +215,32 @@ fn build_simulator<P: Protocol, F: FnMut(dyngraph::NodeId) -> P>(
         .spatial(Box::new(UnitDisk::new(RADIO_RANGE)), build_mobility(w))
         .nodes_by_id(w.nodes as u64, make_node)
         .build()
+}
+
+/// Which engine configuration a bench execution runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    pub spatial_index: bool,
+    pub parallel_compute: bool,
+}
+
+impl EngineConfig {
+    /// The primary configuration: grid index, sequential compute.
+    pub const GRID: EngineConfig = EngineConfig {
+        spatial_index: true,
+        parallel_compute: false,
+    };
+    /// The historical all-pairs neighbour scan.
+    pub const BRUTE: EngineConfig = EngineConfig {
+        spatial_index: false,
+        parallel_compute: false,
+    };
+    /// Grid index with batched parallel compute — must be digest-identical
+    /// to [`GRID`](Self::GRID); every GRP row cross-checks it.
+    pub const PARALLEL: EngineConfig = EngineConfig {
+        spatial_index: true,
+        parallel_compute: true,
+    };
 }
 
 /// One engine execution of a workload.
@@ -264,7 +302,7 @@ fn drive<P: Protocol>(w: &Workload, mut sim: Simulator<P>, instr: Instrumentatio
 }
 
 /// Execute one workload on one engine configuration.
-pub fn run_engine(w: &Workload, spatial_index: bool, instr: Instrumentation) -> EngineRun {
+pub fn run_engine(w: &Workload, engine: EngineConfig, instr: Instrumentation) -> EngineRun {
     match w.payload {
         Payload::Discovery => {
             // no protocol instances: the event stream is mobility ticks
@@ -272,7 +310,8 @@ pub fn run_engine(w: &Workload, spatial_index: bool, instr: Instrumentation) -> 
             let config = SimConfig {
                 seed: w.seed,
                 mobility_period: 100,
-                spatial_index,
+                spatial_index: engine.spatial_index,
+                parallel_compute: engine.parallel_compute,
                 ..Default::default()
             };
             let sim: Simulator<Beacon> = SimBuilder::new()
@@ -281,13 +320,111 @@ pub fn run_engine(w: &Workload, spatial_index: bool, instr: Instrumentation) -> 
                 .build();
             drive(w, sim, instr)
         }
-        Payload::Beacon => drive(w, build_simulator(w, spatial_index, Beacon::new), instr),
+        Payload::Beacon => drive(w, build_simulator(w, engine, Beacon::new), instr),
         Payload::Grp => drive(
             w,
-            build_simulator(w, spatial_index, |id| GrpNode::new(id, GrpConfig::new(3))),
+            build_simulator(w, engine, |id| GrpNode::new(id, GrpConfig::new(3))),
             instr,
         ),
     }
+}
+
+/// Delegating protocol wrapper that accumulates the wall-clock spent inside
+/// the wrapped handlers (`on_message` / `on_compute` / `on_send`). Summed
+/// over all nodes after a run it isolates *protocol compute* from engine
+/// time — the column the flat ancestor-list core is benchmarked on.
+struct TimedProto<P> {
+    inner: P,
+    spent: Duration,
+}
+
+impl<P: Protocol> Protocol for TimedProto<P> {
+    type Message = P::Message;
+
+    fn id(&self) -> dyngraph::NodeId {
+        self.inner.id()
+    }
+
+    fn on_message(&mut self, from: dyngraph::NodeId, msg: Self::Message, now: SimTime) {
+        let start = Instant::now();
+        self.inner.on_message(from, msg, now);
+        self.spent += start.elapsed();
+    }
+
+    fn on_compute(&mut self, now: SimTime) {
+        let start = Instant::now();
+        self.inner.on_compute(now);
+        self.spent += start.elapsed();
+    }
+
+    fn on_send(&mut self, now: SimTime) -> Option<Self::Message> {
+        let start = Instant::now();
+        let msg = self.inner.on_send(now);
+        self.spent += start.elapsed();
+        msg
+    }
+
+    fn message_size(msg: &Self::Message) -> usize {
+        P::message_size(msg)
+    }
+
+    fn corrupt_state(&mut self, rng: &mut rand_chacha::ChaCha8Rng) {
+        self.inner.corrupt_state(rng);
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+/// Time spent inside the protocol handlers over one full GRP execution of
+/// the workload (grid engine, uninstrumented observer).
+pub fn run_protocol_probe(w: &Workload) -> Duration {
+    let mut sim = build_simulator(w, EngineConfig::GRID, |id| TimedProto {
+        inner: GrpNode::new(id, GrpConfig::new(3)),
+        spent: Duration::ZERO,
+    });
+    sim.run_rounds_observed(w.rounds, &mut NullObserver);
+    sim.protocols().map(|(_, p)| p.spent).sum()
+}
+
+/// The digest gate that actually reaches the `par_map` branch of
+/// `handle_compute_batch`: under the matrix's staggered phases the
+/// same-instant compute batches stay below the inline floor, so the
+/// regular parallel twin exercises only the shared sequential code. This
+/// guard drives a *lockstep* twin of the workload (stagger off — every
+/// node's compute fires at the same instant, so the batch is the whole
+/// population) sequentially and in parallel, and asserts both the trace
+/// digest and every final protocol view are identical. Panics on
+/// divergence; runs on every small GRP row, including the `--quick`
+/// 100-node rows CI executes.
+pub fn assert_lockstep_parallel_digests_match(w: &Workload) {
+    let lockstep = |parallel_compute: bool| {
+        let config = SimConfig {
+            seed: w.seed,
+            mobility_period: 100,
+            stagger_phases: false,
+            parallel_compute,
+            ..Default::default()
+        };
+        let mut sim: Simulator<GrpNode> = SimBuilder::new()
+            .config(config)
+            .spatial(Box::new(UnitDisk::new(RADIO_RANGE)), build_mobility(w))
+            .nodes_by_id(w.nodes as u64, |id| GrpNode::new(id, GrpConfig::new(3)))
+            .build();
+        let mut probe = TraceProbe::new();
+        sim.run_rounds_observed(w.rounds.min(2), &mut probe);
+        let mut hasher = CanonicalHasher::new();
+        probe.trace().feed_digest(&mut hasher);
+        let views: Vec<_> = sim.protocols().map(|(_, p)| p.view().clone()).collect();
+        (hasher.finalize(), views)
+    };
+    assert_eq!(
+        lockstep(false),
+        lockstep(true),
+        "{}: lockstep parallel compute diverged from sequential",
+        w.label()
+    );
 }
 
 /// Times only what happens *inside* the wrapped observer's round hook, so
@@ -296,6 +433,8 @@ pub fn run_engine(w: &Workload, spatial_index: bool, instr: Instrumentation) -> 
 struct TimedCapture<O> {
     inner: O,
     spent: Duration,
+    /// Per-round hook durations, for paired round-by-round comparison.
+    per_round: Vec<Duration>,
 }
 
 impl<O> TimedCapture<O> {
@@ -303,6 +442,7 @@ impl<O> TimedCapture<O> {
         TimedCapture {
             inner,
             spent: Duration::ZERO,
+            per_round: Vec::new(),
         }
     }
 }
@@ -311,7 +451,9 @@ impl<P: Protocol, O: Observer<P>> Observer<P> for TimedCapture<O> {
     fn on_round_end(&mut self, round: u64, sim: &Simulator<P>) {
         let start = Instant::now();
         self.inner.on_round_end(round, sim);
-        self.spent += start.elapsed();
+        let elapsed = start.elapsed();
+        self.spent += elapsed;
+        self.per_round.push(elapsed);
     }
     fn on_delivery(
         &mut self,
@@ -371,6 +513,13 @@ pub struct SnapshotRace {
     pub streaming: Duration,
     /// Time spent inside the historical deep-clone capture's round hook.
     pub clone: Duration,
+    /// Rounds in which the streaming hook was strictly cheaper than the
+    /// clone hook *of the same round* (both hooks run back-to-back within
+    /// one round, so the paired comparison is immune to load spikes that
+    /// poison a whole-run total).
+    pub rounds_streaming_won: u32,
+    /// Rounds compared.
+    pub rounds: u32,
 }
 
 impl SnapshotRace {
@@ -387,15 +536,63 @@ impl SnapshotRace {
 
 /// Race the two capture strategies over the same GRP workload and verify
 /// they record identical histories.
+/// Calls two observers' round hooks in alternating order (a-then-b on
+/// even rounds, b-then-a on odd): whichever capture strategy runs first
+/// pays the cold-cache cost of walking the just-written protocol views,
+/// so a fixed order would systematically favour the second runner. The
+/// alternation cancels that bias over the run. Non-round hooks forward in
+/// fixed order (they are not timed).
+struct AlternatingPair<A, B>(A, B);
+
+impl<P: Protocol, A: Observer<P>, B: Observer<P>> Observer<P> for AlternatingPair<A, B> {
+    fn on_round_end(&mut self, round: u64, sim: &Simulator<P>) {
+        if round.is_multiple_of(2) {
+            self.0.on_round_end(round, sim);
+            self.1.on_round_end(round, sim);
+        } else {
+            self.1.on_round_end(round, sim);
+            self.0.on_round_end(round, sim);
+        }
+    }
+    fn on_delivery(
+        &mut self,
+        from: dyngraph::NodeId,
+        to: dyngraph::NodeId,
+        size: usize,
+        now: SimTime,
+    ) {
+        self.0.on_delivery(from, to, size, now);
+        self.1.on_delivery(from, to, size, now);
+    }
+    fn on_topology_change(&mut self, now: SimTime) {
+        self.0.on_topology_change(now);
+        self.1.on_topology_change(now);
+    }
+    fn on_fault(&mut self, fault: &netsim::ScheduledFault, sim: &Simulator<P>) {
+        self.0.on_fault(fault, sim);
+        self.1.on_fault(fault, sim);
+    }
+    fn on_run_end(&mut self, sim: &Simulator<P>) {
+        self.0.on_run_end(sim);
+        self.1.on_run_end(sim);
+    }
+}
+
 pub fn run_snapshot_race(w: &Workload) -> SnapshotRace {
     let make = |id| GrpNode::new(id, GrpConfig::new(3));
-    let mut streaming = TimedCapture::new((TraceProbe::new(), SnapshotRecorder::new()));
-    let mut sim = build_simulator(w, true, make);
-    sim.run_rounds_observed(w.rounds, &mut streaming);
-
-    let mut clone = TimedCapture::new(ClonePerRound::default());
-    let mut sim = build_simulator(w, true, make);
-    sim.run_rounds_observed(w.rounds, &mut clone);
+    // Both strategies observe the SAME simulation, their hooks timed
+    // back-to-back within each round (in alternating order — see
+    // `AlternatingPair`): scheduler noise (other test threads, CI
+    // neighbours) lands on both timing windows nearly equally instead of
+    // poisoning whichever twin run it happened to coincide with, and the
+    // captured histories are guaranteed comparable by construction.
+    let mut sim = build_simulator(w, EngineConfig::GRID, make);
+    let mut pair = AlternatingPair(
+        TimedCapture::new((TraceProbe::new(), SnapshotRecorder::new())),
+        TimedCapture::new(ClonePerRound::default()),
+    );
+    sim.run_rounds_observed(w.rounds, &mut pair);
+    let AlternatingPair(streaming, clone) = pair;
 
     let (trace_probe, recorder) = streaming.inner;
     let legacy = clone.inner;
@@ -418,14 +615,23 @@ pub fn run_snapshot_race(w: &Workload) -> SnapshotRace {
         "{}: capture strategies recorded different histories",
         w.label()
     );
+    let rounds_streaming_won = streaming
+        .per_round
+        .iter()
+        .zip(&clone.per_round)
+        .filter(|(s, c)| s < c)
+        .count() as u32;
     SnapshotRace {
         streaming: streaming.spent,
         clone: clone.spent,
+        rounds_streaming_won,
+        rounds: streaming.per_round.len().min(clone.per_round.len()) as u32,
     }
 }
 
 /// Grid run plus the twins: the all-pairs engine (below the ceiling), the
-/// uninstrumented bare run, and — on GRP rows — the snapshot-capture race.
+/// uninstrumented bare run, and — on GRP rows — the parallel-compute twin,
+/// the protocol-time probe and the snapshot-capture race.
 #[derive(Clone, Debug)]
 pub struct WorkloadResult {
     pub workload: Workload,
@@ -433,6 +639,13 @@ pub struct WorkloadResult {
     pub brute: Option<EngineRun>,
     /// The same grid configuration driven with `NullObserver`.
     pub bare: EngineRun,
+    /// GRP rows: the grid configuration with `parallel_compute` on; its
+    /// digest is asserted identical to `grid` — the sequential-vs-parallel
+    /// guard CI runs on every bench invocation.
+    pub parallel: Option<EngineRun>,
+    /// GRP rows: wall-clock spent inside the protocol handlers (compute /
+    /// send / receive), isolating protocol work from engine work.
+    pub protocol: Option<Duration>,
     pub snapshot: Option<SnapshotRace>,
 }
 
@@ -461,13 +674,20 @@ impl WorkloadResult {
     }
 }
 
+/// Largest node count for which the snapshot-capture race twin still runs
+/// (at 100k the race would double the cost of the row for a claim already
+/// pinned at 10k).
+const SNAPSHOT_RACE_CEILING: usize = 10_000;
+
 /// Run one workload (every engine configuration that applies) and panic if
-/// the grid/brute digests disagree — the bench is also an equivalence test.
+/// any digest pair disagrees — the bench is also an equivalence test:
+/// grid vs all-pairs neighbour discovery, and sequential vs parallel
+/// compute on every GRP row.
 pub fn run_workload(w: &Workload) -> WorkloadResult {
-    let grid = run_engine(w, true, Instrumentation::Trace);
-    let bare = run_engine(w, true, Instrumentation::Bare);
+    let grid = run_engine(w, EngineConfig::GRID, Instrumentation::Trace);
+    let bare = run_engine(w, EngineConfig::GRID, Instrumentation::Bare);
     let brute = (w.nodes <= w.payload.brute_force_ceiling())
-        .then(|| run_engine(w, false, Instrumentation::Trace));
+        .then(|| run_engine(w, EngineConfig::BRUTE, Instrumentation::Trace));
     if let Some(b) = &brute {
         assert_eq!(
             grid.digest,
@@ -476,12 +696,31 @@ pub fn run_workload(w: &Workload) -> WorkloadResult {
             w.label()
         );
     }
-    let snapshot = (w.payload == Payload::Grp).then(|| run_snapshot_race(w));
+    let parallel = (w.payload == Payload::Grp)
+        .then(|| run_engine(w, EngineConfig::PARALLEL, Instrumentation::Trace));
+    if let Some(p) = &parallel {
+        assert_eq!(
+            grid.digest,
+            p.digest,
+            "{}: parallel compute changed the trace digest",
+            w.label()
+        );
+        // staggered batches stay below the inline floor, so additionally
+        // drive a lockstep twin that reaches the par_map branch itself
+        if w.nodes <= 1_000 {
+            assert_lockstep_parallel_digests_match(w);
+        }
+    }
+    let protocol = (w.payload == Payload::Grp).then(|| run_protocol_probe(w));
+    let snapshot = (w.payload == Payload::Grp && w.nodes <= SNAPSHOT_RACE_CEILING)
+        .then(|| run_snapshot_race(w));
     WorkloadResult {
         workload: *w,
         grid,
         brute,
         bare,
+        parallel,
+        protocol,
         snapshot,
     }
 }
@@ -548,6 +787,14 @@ pub fn report_json(results: &[WorkloadResult], quick: bool, unix_secs: u64) -> J
                     Json::object().with("wall_ms", r.bare.wall.as_secs_f64() * 1_000.0),
                 )
                 .with("observer_overhead", r.observer_overhead());
+            obj = match &r.parallel {
+                Some(p) => obj.with("parallel", engine_json(p)),
+                None => obj.with("parallel", Json::Null),
+            };
+            obj = match &r.protocol {
+                Some(d) => obj.with("protocol_ms", d.as_secs_f64() * 1_000.0),
+                None => obj.with("protocol_ms", Json::Null),
+            };
             obj = match &r.snapshot {
                 Some(race) => obj.with("snapshot", snapshot_json(race)),
                 None => obj.with("snapshot", Json::Null),
@@ -559,7 +806,7 @@ pub fn report_json(results: &[WorkloadResult], quick: bool, unix_secs: u64) -> J
         })
         .collect();
     Json::object()
-        .with("schema", 2i64)
+        .with("schema", 3i64)
         .with("date", format!("{y:04}-{m:02}-{d:02}"))
         .with("unix_time", unix_secs as i64)
         .with("quick", quick)
@@ -573,7 +820,7 @@ pub fn report_json(results: &[WorkloadResult], quick: bool, unix_secs: u64) -> J
 pub fn summary_table(results: &[WorkloadResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<8} {:<12} {:>7} {:>7} {:>12} {:>14} {:>9} {:>8} {:>9}\n",
+        "{:<8} {:<12} {:>7} {:>7} {:>12} {:>14} {:>9} {:>8} {:>9} {:>9} {:>9}\n",
         "payload",
         "mobility",
         "nodes",
@@ -582,6 +829,8 @@ pub fn summary_table(results: &[WorkloadResult]) -> String {
         "events/sec",
         "speedup",
         "obs ovh",
+        "par ms",
+        "proto ms",
         "snap spd"
     ));
     for r in results {
@@ -593,8 +842,17 @@ pub fn summary_table(results: &[WorkloadResult]) -> String {
             .snapshot
             .map(|s| format!("{:.2}x", s.speedup()))
             .unwrap_or_else(|| "-".into());
+        let par = r
+            .parallel
+            .as_ref()
+            .map(|p| format!("{:.1}", p.wall.as_secs_f64() * 1_000.0))
+            .unwrap_or_else(|| "-".into());
+        let proto = r
+            .protocol
+            .map(|d| format!("{:.1}", d.as_secs_f64() * 1_000.0))
+            .unwrap_or_else(|| "-".into());
         out.push_str(&format!(
-            "{:<8} {:<12} {:>7} {:>7} {:>12.1} {:>14.0} {:>9} {:>8} {:>9}\n",
+            "{:<8} {:<12} {:>7} {:>7} {:>12.1} {:>14.0} {:>9} {:>8} {:>9} {:>9} {:>9}\n",
             r.workload.payload.name(),
             r.workload.mobility.name(),
             r.workload.nodes,
@@ -603,6 +861,8 @@ pub fn summary_table(results: &[WorkloadResult]) -> String {
             r.grid.events_per_sec(),
             speedup,
             format!("{:.2}x", r.observer_overhead()),
+            par,
+            proto,
             snap
         ));
     }
@@ -651,8 +911,13 @@ mod tests {
 
     #[test]
     fn matrix_shapes() {
-        assert_eq!(workload_matrix(false).len(), 27);
+        assert_eq!(
+            workload_matrix(false).len(),
+            28,
+            "27 grid rows + the 100k conurbation row"
+        );
         assert_eq!(workload_matrix(true).len(), 15);
+        assert!(workload_matrix(false).iter().any(|w| w.nodes == 100_000));
         assert!(workload_matrix(true).iter().all(|w| w.nodes <= 1_000));
     }
 
@@ -704,9 +969,12 @@ mod tests {
     /// workload with enough rounds to converge makes the gap structural —
     /// once the views stop changing, streaming capture is pure compares
     /// and pointer clones while the clone path keeps deep-copying the
-    /// graph and every view — so scheduling noise from parallel test
-    /// threads cannot flip the verdict. (The full-matrix `bench-runner`
-    /// pins the same claim at 10k nodes, serially, in release.)
+    /// graph and every view. The verdict is the *paired per-round* win
+    /// rate: both hooks run back-to-back within each round of one
+    /// simulation (in alternating order), so an external load spike — this
+    /// box shares cores with noisy neighbours — costs isolated samples,
+    /// never the whole comparison. (The full-matrix `bench-runner` pins
+    /// the same claim at 10k nodes, serially, in release.)
     #[test]
     fn streaming_capture_beats_clone_per_round() {
         let w = Workload {
@@ -716,15 +984,17 @@ mod tests {
             rounds: 30,
             seed: 7,
         };
-        // best-of-3 per strategy: a debug-mode unit test shares the box
-        // with the rest of the suite, and min() is the standard way to
-        // strip scheduler noise from a wall-clock comparison
         let races: Vec<SnapshotRace> = (0..3).map(|_| run_snapshot_race(&w)).collect();
-        let streaming = races.iter().map(|r| r.streaming).min().unwrap();
-        let clone = races.iter().map(|r| r.clone).min().unwrap();
+        let won: u32 = races.iter().map(|r| r.rounds_streaming_won).sum();
+        let rounds: u32 = races.iter().map(|r| r.rounds).sum();
         assert!(
-            clone > streaming,
-            "streaming {streaming:?} vs clone {clone:?}"
+            won * 2 > rounds,
+            "streaming won only {won}/{rounds} paired rounds \
+             (totals: {:?})",
+            races
+                .iter()
+                .map(|r| (r.streaming, r.clone))
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -28,7 +28,10 @@ impl Protocol for GrpNode {
     }
 
     fn on_send(&mut self, _now: SimTime) -> Option<GrpMessage> {
-        Some(self.build_message())
+        // cached between computes: the broadcast only changes when the
+        // state machine moves, so repeated Ts expirations within one
+        // compute period share a single Arc-backed message
+        Some(self.message_for_send())
     }
 
     fn message_size(msg: &GrpMessage) -> usize {

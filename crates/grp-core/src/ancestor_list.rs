@@ -15,23 +15,88 @@
 //! * `ant(l1, l2) = l1 ⊕ r(l2)` ([`AncestorList::ant`]) — the strictly
 //!   idempotent r-operator used by `compute()` to fold the neighbours'
 //!   lists into the local one.
+//!
+//! # Representation
+//!
+//! The list is stored CSR-style: one flat entry array sorted by `(level,
+//! node)` plus a level-offset array (`offsets[i]..offsets[i + 1]` is level
+//! `i`). The `⊕` fold is then a k-way merge of sorted runs into a reusable
+//! [`MergeScratch`] buffer — no per-level map allocation, no tree
+//! rebalancing — which is what keeps `compute()` on the fast path at
+//! 100k-node scale. The observable semantics (level contents, entry
+//! iteration order, equality) are identical to the historical
+//! `Vec<BTreeMap<NodeId, Mark>>` layout, which survives as the executable
+//! reference implementation in [`naive`]; the golden trace digests pin the
+//! equivalence end to end and `tests/property_flat_list.rs` pins it
+//! operation by operation.
 
 use crate::marks::Mark;
 use dyngraph::NodeId;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 
+/// One `(node, mark)` entry of an ancestors' set.
+pub type Entry = (NodeId, Mark);
+
 /// An ordered list of ancestors' sets with per-entry marks.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// **Serialization contract:** the wire/persisted shape of a list is the
+/// *level-map* form exposed by [`to_levels`](Self::to_levels) /
+/// [`from_levels`](Self::from_levels) — NOT the raw `{entries, offsets}`
+/// CSR internals, whose invariants (monotonic offsets starting at 0,
+/// per-level sorted unique ids) untrusted input must never construct
+/// directly. The derives below are inert under the offline serde stub;
+/// when the real `serde` crate lands (ROADMAP crate-swap audit), implement
+/// `Serialize`/`Deserialize` by hand through `to_levels`/`from_levels` so
+/// the historical `{levels: [...]}` encoding — and validation on the way
+/// in — is preserved.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AncestorList {
-    levels: Vec<BTreeMap<NodeId, Mark>>,
+    /// Entries in `(level, ascending node id)` order.
+    entries: Vec<Entry>,
+    /// `offsets[i]..offsets[i + 1]` delimits level `i`; always holds
+    /// `levels + 1` values starting at 0. `u32` keeps the hot arrays
+    /// compact — a list quotes at most the members of one group, far below
+    /// 4G entries.
+    offsets: Vec<u32>,
+}
+
+impl Default for AncestorList {
+    fn default() -> Self {
+        AncestorList::empty()
+    }
+}
+
+/// Reusable buffers for the k-way merge behind `⊕`/`ant`. A [`GrpNode`]
+/// holds one and threads it through every fold of its `compute()` round, so
+/// the whole ant-fold chain performs no allocation once the buffers have
+/// grown to the working-set size.
+///
+/// [`GrpNode`]: crate::node::GrpNode
+#[derive(Clone, Debug, Default)]
+pub struct MergeScratch {
+    entries: Vec<Entry>,
+    offsets: Vec<u32>,
+}
+
+impl MergeScratch {
+    /// Move the buffers out as a finished list (one-shot merge API).
+    fn take_result(&mut self) -> AncestorList {
+        AncestorList {
+            entries: std::mem::take(&mut self.entries),
+            offsets: std::mem::take(&mut self.offsets),
+        }
+    }
 }
 
 impl AncestorList {
     /// The empty list (no levels). Only used as a folding identity.
     pub fn empty() -> Self {
-        AncestorList { levels: Vec::new() }
+        AncestorList {
+            entries: Vec::new(),
+            offsets: vec![0],
+        }
     }
 
     /// `(v)`: the list of a node that only knows itself.
@@ -42,89 +107,141 @@ impl AncestorList {
     /// `(u)` with a mark — the replacement list used when a neighbour's list
     /// is rejected (lines 4, 7 and 19 of `compute()`).
     pub fn marked_singleton(node: NodeId, mark: Mark) -> Self {
-        let mut level = BTreeMap::new();
-        level.insert(node, mark);
         AncestorList {
-            levels: vec![level],
+            entries: vec![(node, mark)],
+            offsets: vec![0, 1],
         }
     }
 
     /// Build from explicit levels (mostly for tests and corruption).
     /// Trailing empty levels are meaningless and removed; internal empty
     /// levels are kept (they are a malformation `goodList` must detect).
-    pub fn from_levels(levels: Vec<Vec<(NodeId, Mark)>>) -> Self {
-        let mut list = AncestorList {
-            levels: levels
-                .into_iter()
-                .map(|level| level.into_iter().collect())
-                .collect(),
-        };
+    /// Within a level, entries are sorted by id and a duplicated id keeps
+    /// its last mark (the historical `BTreeMap::insert` semantics).
+    pub fn from_levels(levels: Vec<Vec<Entry>>) -> Self {
+        let mut entries = Vec::new();
+        let mut offsets = Vec::with_capacity(levels.len() + 1);
+        offsets.push(0);
+        for level in levels {
+            // collect through an ordered map so duplicate ids overwrite,
+            // exactly like the historical per-level BTreeMap did
+            let map: std::collections::BTreeMap<NodeId, Mark> = level.into_iter().collect();
+            entries.extend(map);
+            offsets.push(entries.len() as u32);
+        }
+        let mut list = AncestorList { entries, offsets };
         list.trim_trailing_empty();
         list
     }
 
+    /// The levels as owned `(node, mark)` rows — the inverse of
+    /// [`from_levels`](Self::from_levels) and the shape the serialized form
+    /// exposes (`from_levels(list.to_levels()) == list` for canonical
+    /// lists).
+    pub fn to_levels(&self) -> Vec<Vec<Entry>> {
+        (0..self.len())
+            .map(|i| self.level(i).unwrap_or(&[]).to_vec())
+            .collect()
+    }
+
     /// Number of levels, the paper's `s(list)`.
     pub fn len(&self) -> usize {
-        self.levels.len()
+        self.offsets.len() - 1
     }
 
     /// True when the list has no level at all.
     pub fn is_empty(&self) -> bool {
-        self.levels.is_empty()
+        self.len() == 0
     }
 
-    /// The `i`-th ancestors' set (`list.i`), if present.
-    pub fn level(&self, i: usize) -> Option<&BTreeMap<NodeId, Mark>> {
-        self.levels.get(i)
+    /// The `i`-th ancestors' set (`list.i`), if present, as a slice sorted
+    /// by node id.
+    pub fn level(&self, i: usize) -> Option<&[Entry]> {
+        if i < self.len() {
+            Some(&self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Does level `i` quote this node (at any mark)? False when the level
+    /// does not exist.
+    pub fn level_contains(&self, i: usize, node: NodeId) -> bool {
+        self.level(i)
+            .is_some_and(|l| l.binary_search_by_key(&node, |&(n, _)| n).is_ok())
     }
 
     /// The node ids of the `i`-th ancestors' set (empty set when absent).
     pub fn level_nodes(&self, i: usize) -> BTreeSet<NodeId> {
-        self.levels
-            .get(i)
-            .map(|l| l.keys().copied().collect())
+        self.level(i)
+            .map(|l| l.iter().map(|&(n, _)| n).collect())
             .unwrap_or_default()
     }
 
     /// Total number of node entries across all levels (used as a proxy for
     /// the wire size of a message).
     pub fn entry_count(&self) -> usize {
-        self.levels.iter().map(|l| l.len()).sum()
+        self.entries.len()
     }
 
     /// Does the list mention this node (at any level, marked or not)?
     pub fn contains(&self, node: NodeId) -> bool {
-        self.levels.iter().any(|l| l.contains_key(&node))
+        self.entries.iter().any(|&(n, _)| n == node)
     }
 
     /// The level at which a node appears, if any.
     pub fn position_of(&self, node: NodeId) -> Option<usize> {
-        self.levels.iter().position(|l| l.contains_key(&node))
+        let idx = self.entries.iter().position(|&(n, _)| n == node)?;
+        Some(self.level_of_index(idx))
     }
 
-    /// The mark of a node, if it appears.
+    /// The mark of a node, if it appears (first occurrence, as the
+    /// historical level scan returned).
     pub fn mark_of(&self, node: NodeId) -> Option<Mark> {
-        self.levels.iter().find_map(|l| l.get(&node).copied())
+        self.entries
+            .iter()
+            .find_map(|&(n, m)| (n == node).then_some(m))
     }
 
-    /// Iterate over `(node, level, mark)` for every entry.
+    /// The level a flat entry index belongs to.
+    fn level_of_index(&self, idx: usize) -> usize {
+        // offsets is sorted; the entry lives in the last level whose start
+        // is <= idx
+        match self.offsets.binary_search(&(idx as u32)) {
+            // equal offsets (empty levels) all start at the same index: the
+            // entry belongs to the last of them
+            Ok(mut i) => {
+                while i + 1 < self.offsets.len() && self.offsets[i + 1] as usize == idx {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Iterate over `(node, level, mark)` for every entry, in `(level,
+    /// ascending id)` order.
     pub fn entries(&self) -> impl Iterator<Item = (NodeId, usize, Mark)> + '_ {
-        self.levels
-            .iter()
-            .enumerate()
-            .flat_map(|(i, l)| l.iter().map(move |(&n, &m)| (n, i, m)))
+        (0..self.len()).flat_map(move |i| {
+            self.level(i)
+                .unwrap_or(&[])
+                .iter()
+                .map(move |&(n, m)| (n, i, m))
+        })
     }
 
     /// All node ids mentioned in the list.
     pub fn all_nodes(&self) -> BTreeSet<NodeId> {
-        self.entries().map(|(n, _, _)| n).collect()
+        self.entries.iter().map(|&(n, _)| n).collect()
     }
 
     /// All *unmarked* node ids (the candidates for the view).
     pub fn unmarked_nodes(&self) -> BTreeSet<NodeId> {
-        self.entries()
-            .filter(|(_, _, m)| !m.is_marked())
-            .map(|(n, _, _)| n)
+        self.entries
+            .iter()
+            .filter(|(_, m)| !m.is_marked())
+            .map(|&(n, _)| n)
             .collect()
     }
 
@@ -132,7 +249,7 @@ impl AncestorList {
     /// rejected by `goodList`)? Trailing levels never stay empty after
     /// normalisation, so this only detects internal holes.
     pub fn has_empty_level(&self) -> bool {
-        self.levels.iter().any(|l| l.is_empty())
+        self.offsets.windows(2).any(|w| w[0] == w[1])
     }
 
     /// Remove every marked entry except a *single-marked* `keep` (line 2 of
@@ -143,80 +260,151 @@ impl AncestorList {
     /// double-marked entry is dropped and the receiver will treat the link
     /// as asymmetric).
     pub fn remove_marked_except(&mut self, keep: NodeId) {
-        for level in &mut self.levels {
-            level.retain(|&n, &mut m| !m.is_marked() || (n == keep && m == Mark::Pending));
+        let mut write = 0usize;
+        let mut read_start = 0usize;
+        for level in 0..self.len() {
+            let read_end = self.offsets[level + 1] as usize;
+            for i in read_start..read_end {
+                let (n, m) = self.entries[i];
+                if !m.is_marked() || (n == keep && m == Mark::Pending) {
+                    self.entries[write] = (n, m);
+                    write += 1;
+                }
+            }
+            self.offsets[level + 1] = write as u32;
+            read_start = read_end;
         }
+        self.entries.truncate(write);
         self.trim_trailing_empty();
     }
 
     /// Set the mark of a node wherever it appears.
     pub fn set_mark(&mut self, node: NodeId, mark: Mark) {
-        for level in &mut self.levels {
-            if let Some(m) = level.get_mut(&node) {
-                *m = mark;
+        for entry in &mut self.entries {
+            if entry.0 == node {
+                entry.1 = mark;
             }
         }
     }
 
     /// Keep only the first `max_levels` levels (line 28 of `compute()`).
     pub fn truncate(&mut self, max_levels: usize) {
-        self.levels.truncate(max_levels);
+        if max_levels < self.len() {
+            self.entries.truncate(self.offsets[max_levels] as usize);
+            self.offsets.truncate(max_levels + 1);
+        }
         self.trim_trailing_empty();
     }
 
     /// `r`: a copy of the list with an empty set prepended (every node one
     /// hop farther).
     pub fn shifted(&self) -> AncestorList {
-        let mut levels = Vec::with_capacity(self.levels.len() + 1);
-        levels.push(BTreeMap::new());
-        levels.extend(self.levels.iter().cloned());
-        AncestorList { levels }
+        let mut offsets = Vec::with_capacity(self.offsets.len() + 1);
+        offsets.push(0);
+        offsets.extend_from_slice(&self.offsets);
+        AncestorList {
+            entries: self.entries.clone(),
+            offsets,
+        }
+    }
+
+    /// The merge core: `a ⊕ r^shift(b)` written into `scratch`. Every
+    /// output level is a two-pointer union of two sorted runs (combining
+    /// marks when the same node meets itself at the same position); the
+    /// cross-level dedup keeps a node at its smallest position by binary-
+    /// searching the already-emitted (sorted) output levels — O(L·log k)
+    /// per entry with L ≤ Dmax+1 levels, no auxiliary set. Trailing empty
+    /// levels are trimmed, internal ones kept — exactly the historical
+    /// semantics.
+    fn merge_shifted_into(
+        a: &AncestorList,
+        b: &AncestorList,
+        shift: usize,
+        scratch: &mut MergeScratch,
+    ) {
+        scratch.entries.clear();
+        scratch.offsets.clear();
+        scratch.offsets.push(0);
+        // r^shift(b) has b.len() + shift levels (shift empty sets prepended)
+        let depth = a.len().max(b.len() + shift);
+        for i in 0..depth {
+            let ra = a.level(i).unwrap_or(&[]);
+            let rb = if i >= shift {
+                b.level(i - shift).unwrap_or(&[])
+            } else {
+                &[]
+            };
+            // the union of two sorted runs never repeats a node within the
+            // level, so dedup only has to consult the levels emitted before
+            // this one
+            let emitted_before = scratch.entries.len();
+            let (mut ia, mut ib) = (0usize, 0usize);
+            while ia < ra.len() || ib < rb.len() {
+                let take_a = ib >= rb.len() || (ia < ra.len() && ra[ia].0 <= rb[ib].0);
+                let (node, mark) = if take_a {
+                    let (n, m) = ra[ia];
+                    ia += 1;
+                    if ib < rb.len() && rb[ib].0 == n {
+                        let combined = m.combine(rb[ib].1);
+                        ib += 1;
+                        (n, combined)
+                    } else {
+                        (n, m)
+                    }
+                } else {
+                    let e = rb[ib];
+                    ib += 1;
+                    e
+                };
+                let seen = scratch.offsets.windows(2).any(|w| {
+                    let level =
+                        &scratch.entries[w[0] as usize..(w[1] as usize).min(emitted_before)];
+                    level.binary_search_by_key(&node, |&(n, _)| n).is_ok()
+                });
+                if !seen {
+                    scratch.entries.push((node, mark));
+                }
+            }
+            scratch.offsets.push(scratch.entries.len() as u32);
+        }
+        while scratch.offsets.len() > 1
+            && scratch.offsets[scratch.offsets.len() - 1]
+                == scratch.offsets[scratch.offsets.len() - 2]
+        {
+            scratch.offsets.pop();
+        }
     }
 
     /// `⊕`: position-wise union, deduplication keeping the smallest
     /// position (combining marks when the same node meets itself at the same
     /// position), and removal of trailing empty sets.
     pub fn merge(&self, other: &AncestorList) -> AncestorList {
-        let depth = self.levels.len().max(other.levels.len());
-        let mut levels: Vec<BTreeMap<NodeId, Mark>> = Vec::with_capacity(depth);
-        for i in 0..depth {
-            let mut level: BTreeMap<NodeId, Mark> = BTreeMap::new();
-            if let Some(a) = self.levels.get(i) {
-                for (&n, &m) in a {
-                    level
-                        .entry(n)
-                        .and_modify(|cur| *cur = cur.combine(m))
-                        .or_insert(m);
-                }
-            }
-            if let Some(b) = other.levels.get(i) {
-                for (&n, &m) in b {
-                    level
-                        .entry(n)
-                        .and_modify(|cur| *cur = cur.combine(m))
-                        .or_insert(m);
-                }
-            }
-            levels.push(level);
-        }
-        // dedup: a node appears only once, at its smallest position
-        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
-        for level in &mut levels {
-            level.retain(|n, _| seen.insert(*n));
-        }
-        let mut result = AncestorList { levels };
-        result.trim_trailing_empty();
-        result
+        let mut scratch = MergeScratch::default();
+        Self::merge_shifted_into(self, other, 0, &mut scratch);
+        scratch.take_result()
     }
 
     /// The `ant` r-operator: `ant(l1, l2) = l1 ⊕ r(l2)`.
     pub fn ant(&self, other: &AncestorList) -> AncestorList {
-        self.merge(&other.shifted())
+        let mut scratch = MergeScratch::default();
+        Self::merge_shifted_into(self, other, 1, &mut scratch);
+        scratch.take_result()
+    }
+
+    /// `self ← ant(self, other)` through reusable buffers — the
+    /// allocation-light fold `compute()` runs per neighbour. After the call
+    /// `scratch` holds the previous value's buffers, ready for reuse.
+    pub fn ant_assign(&mut self, other: &AncestorList, scratch: &mut MergeScratch) {
+        Self::merge_shifted_into(self, other, 1, scratch);
+        std::mem::swap(&mut self.entries, &mut scratch.entries);
+        std::mem::swap(&mut self.offsets, &mut scratch.offsets);
     }
 
     fn trim_trailing_empty(&mut self) {
-        while matches!(self.levels.last(), Some(l) if l.is_empty()) {
-            self.levels.pop();
+        while self.offsets.len() > 1
+            && self.offsets[self.offsets.len() - 1] == self.offsets[self.offsets.len() - 2]
+        {
+            self.offsets.pop();
         }
     }
 }
@@ -224,12 +412,12 @@ impl AncestorList {
 impl fmt::Display for AncestorList {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, level) in self.levels.iter().enumerate() {
+        for i in 0..self.len() {
             if i > 0 {
                 write!(f, ", ")?;
             }
             write!(f, "{{")?;
-            for (j, (n, m)) in level.iter().enumerate() {
+            for (j, (n, m)) in self.level(i).unwrap_or(&[]).iter().enumerate() {
                 if j > 0 {
                     write!(f, ",")?;
                 }
@@ -242,6 +430,117 @@ impl fmt::Display for AncestorList {
             write!(f, "}}")?;
         }
         write!(f, ")")
+    }
+}
+
+pub mod naive {
+    //! The historical `Vec<BTreeMap>` list implementation, retained as the
+    //! executable reference the flat representation is property-tested
+    //! against (`tests/property_flat_list.rs`). Not used on any runtime
+    //! path.
+
+    use super::{AncestorList, Entry};
+    use crate::marks::Mark;
+    use dyngraph::NodeId;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// An ancestors' list stored one `BTreeMap` per level.
+    #[derive(Clone, Debug, Default, PartialEq, Eq)]
+    pub struct NaiveList {
+        pub levels: Vec<BTreeMap<NodeId, Mark>>,
+    }
+
+    impl NaiveList {
+        pub fn from_levels(levels: Vec<Vec<Entry>>) -> Self {
+            let mut list = NaiveList {
+                levels: levels
+                    .into_iter()
+                    .map(|level| level.into_iter().collect())
+                    .collect(),
+            };
+            list.trim_trailing_empty();
+            list
+        }
+
+        /// Convert a flat list to the naive layout.
+        pub fn from_flat(flat: &AncestorList) -> Self {
+            NaiveList {
+                levels: (0..flat.len())
+                    .map(|i| flat.level(i).unwrap_or(&[]).iter().copied().collect())
+                    .collect(),
+            }
+        }
+
+        /// Convert back to the flat layout.
+        pub fn to_flat(&self) -> AncestorList {
+            AncestorList::from_levels(
+                self.levels
+                    .iter()
+                    .map(|l| l.iter().map(|(&n, &m)| (n, m)).collect())
+                    .collect(),
+            )
+        }
+
+        pub fn singleton(node: NodeId) -> Self {
+            NaiveList::from_levels(vec![vec![(node, Mark::Clear)]])
+        }
+
+        pub fn shifted(&self) -> NaiveList {
+            let mut levels = Vec::with_capacity(self.levels.len() + 1);
+            levels.push(BTreeMap::new());
+            levels.extend(self.levels.iter().cloned());
+            NaiveList { levels }
+        }
+
+        pub fn merge(&self, other: &NaiveList) -> NaiveList {
+            let depth = self.levels.len().max(other.levels.len());
+            let mut levels: Vec<BTreeMap<NodeId, Mark>> = Vec::with_capacity(depth);
+            for i in 0..depth {
+                let mut level: BTreeMap<NodeId, Mark> = BTreeMap::new();
+                for side in [self.levels.get(i), other.levels.get(i)]
+                    .into_iter()
+                    .flatten()
+                {
+                    for (&n, &m) in side {
+                        level
+                            .entry(n)
+                            .and_modify(|cur| *cur = cur.combine(m))
+                            .or_insert(m);
+                    }
+                }
+                levels.push(level);
+            }
+            // dedup: a node appears only once, at its smallest position
+            let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+            for level in &mut levels {
+                level.retain(|n, _| seen.insert(*n));
+            }
+            let mut result = NaiveList { levels };
+            result.trim_trailing_empty();
+            result
+        }
+
+        pub fn ant(&self, other: &NaiveList) -> NaiveList {
+            self.merge(&other.shifted())
+        }
+
+        pub fn remove_marked_except(&mut self, keep: NodeId) {
+            for level in &mut self.levels {
+                level.retain(|&n, &mut m| !m.is_marked() || (n == keep && m == Mark::Pending));
+            }
+            self.trim_trailing_empty();
+        }
+
+        pub fn truncate(&mut self, max_levels: usize) {
+            self.levels.truncate(max_levels);
+            self.trim_trailing_empty();
+        }
+
+        fn trim_trailing_empty(&mut self) {
+            while matches!(self.levels.last(), Some(l) if l.is_empty()) {
+                self.levels.pop();
+            }
+        }
     }
 }
 
@@ -307,6 +606,20 @@ mod tests {
     }
 
     #[test]
+    fn ant_assign_matches_ant_and_reuses_buffers() {
+        let me = AncestorList::singleton(n(1));
+        let neighbours = [clear_levels(&[&[2], &[3]]), clear_levels(&[&[4], &[1, 5]])];
+        let mut folded = me.clone();
+        let mut scratch = MergeScratch::default();
+        let mut reference = me;
+        for lu in &neighbours {
+            folded.ant_assign(lu, &mut scratch);
+            reference = reference.ant(lu);
+        }
+        assert_eq!(folded, reference);
+    }
+
+    #[test]
     fn merge_is_idempotent_commutative() {
         let l1 = clear_levels(&[&[4], &[2], &[1, 3]]);
         let l2 = clear_levels(&[&[3], &[1, 5], &[2]]);
@@ -320,6 +633,7 @@ mod tests {
         // earlier in x, so the dedup removes all of them.
         let x = clear_levels(&[&[1], &[2, 3], &[4]]);
         assert_eq!(x.merge(&x.shifted()), x);
+        assert_eq!(x.ant(&x), x);
     }
 
     #[test]
@@ -415,7 +729,29 @@ mod tests {
             vec![(n(2), Mark::Clear)],
         ]);
         assert!(l.has_empty_level());
+        assert_eq!(l.position_of(n(2)), Some(2), "entry sits after the hole");
         let ok = clear_levels(&[&[1], &[2]]);
         assert!(!ok.has_empty_level());
+    }
+
+    #[test]
+    fn default_and_empty_agree() {
+        assert_eq!(AncestorList::default(), AncestorList::empty());
+        assert_eq!(AncestorList::default(), AncestorList::from_levels(vec![]));
+        assert!(AncestorList::default().is_empty());
+        assert_eq!(
+            AncestorList::empty().merge(&AncestorList::empty()),
+            AncestorList::empty()
+        );
+    }
+
+    #[test]
+    fn to_levels_round_trips() {
+        let l = AncestorList::from_levels(vec![
+            vec![(n(1), Mark::Clear)],
+            vec![],
+            vec![(n(2), Mark::Pending), (n(9), Mark::Incompatible)],
+        ]);
+        assert_eq!(AncestorList::from_levels(l.to_levels()), l);
     }
 }

@@ -31,11 +31,7 @@ pub fn good_list(own_id: NodeId, list: &AncestorList, dmax: usize) -> bool {
     // "v or v̄ are in list.1": the sender quotes us among its distance-1
     // nodes, possibly marked — that is precisely what tells us the link is
     // symmetric.
-    let quotes_us = list
-        .level(1)
-        .map(|l| l.contains_key(&own_id))
-        .unwrap_or(false);
-    quotes_us && list.len() <= dmax + 1 && !list.has_empty_level()
+    list.level_contains(1, own_id) && list.len() <= dmax + 1 && !list.has_empty_level()
 }
 
 /// Number of levels of actual group content: levels are counted up to the
@@ -46,7 +42,7 @@ fn core_len(list: &AncestorList, exclude: &BTreeSet<NodeId>) -> usize {
         if let Some(level) = list.level(i) {
             let has_content = level
                 .iter()
-                .any(|(&n, &m)| !m.is_marked() && !exclude.contains(&n));
+                .any(|&(n, m)| !m.is_marked() && !exclude.contains(&n));
             if has_content {
                 deepest = Some(i);
             }
@@ -111,7 +107,7 @@ pub fn compatible_list(
             .map(|lvl| {
                 lvl.iter()
                     .filter(|(_, mark)| !mark.is_marked())
-                    .map(|(&node, _)| node)
+                    .map(|&(node, _)| node)
                     .collect()
             })
             .unwrap_or_default();

@@ -12,6 +12,7 @@ use crate::priority::Priority;
 use dyngraph::NodeId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The priorities the sender knows about one quoted node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,14 +36,21 @@ impl PriorityInfo {
 }
 
 /// The message broadcast by a GRP node at every `Ts` expiration.
+///
+/// The two payloads — the ancestors' list and the priority table — are
+/// behind `Arc`s: a broadcast to `k` neighbours clones `k` pointers, not
+/// `k` deep copies, and `msgSetv` insertion on the receiving side is
+/// equally free. The payloads are immutable once built (a receiver that
+/// needs to edit the list, as line 2 of `compute()` does, clones it out of
+/// the `Arc` first), so sharing is safe by construction.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct GrpMessage {
     /// The sender's identity.
     pub sender: NodeId,
     /// The sender's ordered list of ancestors' sets (with marks).
-    pub list: AncestorList,
+    pub list: Arc<AncestorList>,
     /// Per-quoted-node priorities.
-    pub priorities: BTreeMap<NodeId, PriorityInfo>,
+    pub priorities: Arc<BTreeMap<NodeId, PriorityInfo>>,
     /// The priority of the sender's group (minimum over its view).
     pub group_priority: Priority,
 }
@@ -75,8 +83,8 @@ mod tests {
     fn wire_size_grows_with_entries() {
         let small = GrpMessage {
             sender: n(1),
-            list: AncestorList::singleton(n(1)),
-            priorities: BTreeMap::new(),
+            list: Arc::new(AncestorList::singleton(n(1))),
+            priorities: Arc::new(BTreeMap::new()),
             group_priority: Priority::new(0, n(1)),
         };
         let mut priorities = BTreeMap::new();
@@ -84,14 +92,18 @@ mod tests {
         priorities.insert(n(2), PriorityInfo::solo(Priority::new(0, n(2))));
         let big = GrpMessage {
             sender: n(1),
-            list: AncestorList::from_levels(vec![
+            list: Arc::new(AncestorList::from_levels(vec![
                 vec![(n(1), Mark::Clear)],
                 vec![(n(2), Mark::Clear), (n(3), Mark::Clear)],
-            ]),
-            priorities,
+            ])),
+            priorities: Arc::new(priorities),
             group_priority: Priority::new(0, n(1)),
         };
         assert!(big.wire_size() > small.wire_size());
+        // zero-copy fan-out: a clone shares both payload allocations
+        let copy = big.clone();
+        assert!(Arc::ptr_eq(&copy.list, &big.list));
+        assert!(Arc::ptr_eq(&copy.priorities, &big.priorities));
     }
 
     #[test]
@@ -101,8 +113,8 @@ mod tests {
         priorities.insert(n(2), p);
         let msg = GrpMessage {
             sender: n(1),
-            list: AncestorList::singleton(n(1)),
-            priorities,
+            list: Arc::new(AncestorList::singleton(n(1))),
+            priorities: Arc::new(priorities),
             group_priority: Priority::new(0, n(1)),
         };
         assert_eq!(msg.priority_of(n(2)), Some(p));

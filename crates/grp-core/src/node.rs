@@ -7,7 +7,7 @@
 //! transcription of the `compute()` pseudo-code (the line numbers quoted in
 //! the comments refer to the paper's listing).
 
-use crate::ancestor_list::AncestorList;
+use crate::ancestor_list::{AncestorList, MergeScratch};
 use crate::checks::{compatible_list, good_list, naive_compatible_list};
 use crate::config::GrpConfig;
 use crate::marks::Mark;
@@ -15,6 +15,7 @@ use crate::message::{GrpMessage, PriorityInfo};
 use crate::priority::{group_priority, Priority};
 use dyngraph::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// One GRP protocol instance (the local algorithm of node `v`).
 #[derive(Clone, Debug)]
@@ -47,6 +48,13 @@ pub struct GrpNode {
     known_priorities: BTreeMap<NodeId, PriorityInfo>,
     /// Number of compute-timer expirations so far (diagnostics).
     compute_count: u64,
+    /// Reusable buffers for the `ant` folds of `compute()`.
+    scratch: MergeScratch,
+    /// The broadcast built at the first `Ts` expiration since the last
+    /// state change; every input of [`build_message`](Self::build_message)
+    /// only moves inside `compute()`/`corrupt()`/`reboot()`, so repeated
+    /// sends within one compute period reuse the same `Arc`-shared payload.
+    cached_message: Option<GrpMessage>,
 }
 
 impl GrpNode {
@@ -65,6 +73,8 @@ impl GrpNode {
             was_in_group: false,
             known_priorities: BTreeMap::new(),
             compute_count: 0,
+            scratch: MergeScratch::default(),
+            cached_message: None,
         }
     }
 
@@ -162,10 +172,23 @@ impl GrpNode {
         }
         GrpMessage {
             sender: self.id,
-            list: self.list.clone(),
-            priorities,
+            list: Arc::new(self.list.clone()),
+            priorities: Arc::new(priorities),
             group_priority: my_group_priority,
         }
+    }
+
+    /// [`build_message`](Self::build_message) with caching: every input of
+    /// the broadcast (list, view, priorities) only changes inside
+    /// `compute()`, `corrupt()` or `reboot()`, so the sends between two
+    /// compute expirations all share one `Arc`-backed message instead of
+    /// re-deriving the priority table each time. The simulator adapter's
+    /// `on_send` goes through here.
+    pub fn message_for_send(&mut self) -> GrpMessage {
+        if self.cached_message.is_none() {
+            self.cached_message = Some(self.build_message());
+        }
+        self.cached_message.clone().expect("just built")
     }
 
     /// "Upon Tc timer expiration: compute(); reset msgSetv" — the whole
@@ -185,7 +208,7 @@ impl GrpNode {
         // Checking the received lists.
         let mut checked: BTreeMap<NodeId, AncestorList> = BTreeMap::new();
         for (&sender, msg) in &self.msg_set {
-            let mut lu = msg.list.clone();
+            let mut lu = (*msg.list).clone();
             // line 2: marked nodes are only useful between neighbours
             lu.remove_marked_except(self.id);
             if !good_list(self.id, &lu, dmax) {
@@ -200,9 +223,12 @@ impl GrpNode {
 
         // ---------------------------------------------------- lines 10-13
         // Computing the list of ancestors' sets of v with the ant operator.
+        // The fold runs through the node's reusable merge buffers: once
+        // they have grown to the working-set size a whole round of `ant`s
+        // allocates nothing.
         let mut lv = AncestorList::singleton(self.id);
         for lu in checked.values() {
-            lv = lv.ant(lu);
+            lv.ant_assign(lu, &mut self.scratch);
         }
 
         // ---------------------------------------------------- lines 14-29
@@ -215,7 +241,7 @@ impl GrpNode {
                     // last place of their list) are ignored and double-marked
                     let providers: Vec<NodeId> = checked
                         .iter()
-                        .filter(|(_, lu)| lu.level(dmax).is_some_and(|lvl| lvl.contains_key(&w)))
+                        .filter(|(_, lu)| lu.level_contains(dmax, w))
                         .map(|(&u, _)| u)
                         .collect();
                     for u in providers {
@@ -226,7 +252,7 @@ impl GrpNode {
             // lines 24-27: recompute without the offending lists
             lv = AncestorList::singleton(self.id);
             for lu in checked.values() {
-                lv = lv.ant(lu);
+                lv.ant_assign(lu, &mut self.scratch);
             }
             // line 28: the remaining too-far nodes have less priority — cut
             lv.truncate(dmax + 1);
@@ -256,6 +282,9 @@ impl GrpNode {
             self.priority_value = self.priority_value.saturating_add(1);
         }
         self.was_in_group = self.in_group();
+
+        // every broadcast input may have moved: rebuild on the next send
+        self.cached_message = None;
     }
 
     /// The compatibility test, honouring the E10 ablation switch.
@@ -290,18 +319,20 @@ impl GrpNode {
 
     /// Learn priorities quoted in the received messages. A sender is the
     /// authority on its own priority; for third-party nodes any quote is
-    /// accepted (the newest message wins by iteration order).
+    /// accepted (the newest message wins by iteration order). Both passes
+    /// read `msgSetv` in place — `msg_set` and `known_priorities` are
+    /// disjoint fields, so no copy of the message set is needed.
     fn absorb_priorities(&mut self) {
-        let messages: Vec<GrpMessage> = self.msg_set.values().cloned().collect();
-        for msg in &messages {
-            for (&node, &info) in &msg.priorities {
-                if node == self.id {
+        let own_id = self.id;
+        for msg in self.msg_set.values() {
+            for (&node, &info) in msg.priorities.iter() {
+                if node == own_id {
                     continue;
                 }
                 self.known_priorities.insert(node, info);
             }
         }
-        for msg in &messages {
+        for msg in self.msg_set.values() {
             if let Some(&self_info) = msg.priorities.get(&msg.sender) {
                 self.known_priorities.insert(msg.sender, self_info);
             }
@@ -373,6 +404,7 @@ impl GrpNode {
             self.quarantine.insert(g, 0);
         }
         self.priority_value = scramble_priority;
+        self.cached_message = None;
     }
 
     /// Reset to the freshly-booted state (crash/restart).

@@ -18,11 +18,13 @@
 //!   use: capture once per round, feed every enabled probe from the same
 //!   snapshot.
 
-use crate::predicates::{pi_c, pi_t, SystemSnapshot};
+use crate::predicates::{pi_c, pi_t_violations_jobs, SystemSnapshot};
 use crate::stabilization::ConvergenceDetector;
-use dyngraph::NodeId;
-use netsim::{CanonicalHasher, MessageStats, Observer, SimTime, Simulator, ViewProtocol};
-use std::collections::{BTreeMap, BTreeSet};
+use dyngraph::{Graph, NodeId};
+use netsim::{
+    CanonicalHasher, MessageStats, NodeSetDigest, Observer, SimTime, Simulator, ViewProtocol,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// One captured round: when, the configuration, and the cumulative message
@@ -123,7 +125,33 @@ impl SnapshotRecorder {
     /// Feed the engine-trace part of the canonical digest — `(time,
     /// topology, cumulative stats)` per round under the `"trace"` list tag
     /// — byte-identically to how the historical `netsim::Trace` fed it.
+    ///
+    /// **Delta-encoded:** copy-on-write capture shares one `Arc<Graph>`
+    /// across every round whose topology did not change, so the graph is
+    /// encoded once per *distinct* allocation and the cached bytes are
+    /// replayed for every round that shares it. The digest is bit-for-bit
+    /// the full walk ([`feed_trace_digest_full`](Self::feed_trace_digest_full)
+    /// pins the equivalence) — only the re-walking is skipped, which is
+    /// what makes digesting a converged 10k-node run graph-bound no more.
     pub fn feed_trace_digest(&self, hasher: &mut CanonicalHasher) {
+        let mut encodings: HashMap<*const Graph, Vec<u8>> = HashMap::new();
+        hasher.begin_list("trace");
+        hasher.feed_u64(self.rounds.len() as u64);
+        for round in &self.rounds {
+            hasher.feed_time(round.at);
+            let encoding = encodings
+                .entry(Arc::as_ptr(&round.snapshot.topology))
+                .or_insert_with(|| CanonicalHasher::graph_encoding(&round.snapshot.topology));
+            hasher.feed_graph_encoding(encoding);
+            hasher.feed_stats(&round.stats);
+        }
+        hasher.end_list();
+    }
+
+    /// The naive full walk of [`feed_trace_digest`](Self::feed_trace_digest):
+    /// re-encodes every round's graph from scratch. Kept as the executable
+    /// reference the delta path is tested byte-identical against.
+    pub fn feed_trace_digest_full(&self, hasher: &mut CanonicalHasher) {
         hasher.begin_list("trace");
         hasher.feed_u64(self.rounds.len() as u64);
         for round in &self.rounds {
@@ -136,7 +164,34 @@ impl SnapshotRecorder {
 
     /// Feed the per-round views under the `"views"` list tag —
     /// byte-identically to the historical scenario-runner encoding.
+    ///
+    /// **Delta-encoded:** each view's fixed-size [`NodeSetDigest`] summary
+    /// is computed once per distinct `Arc` allocation; rounds in which a
+    /// node's view did not change (the overwhelming majority once the
+    /// system converges) replay the cached summary instead of re-hashing
+    /// the set. Byte-identical to
+    /// [`feed_views_digest_full`](Self::feed_views_digest_full).
     pub fn feed_views_digest(&self, hasher: &mut CanonicalHasher) {
+        let mut summaries: HashMap<*const BTreeSet<NodeId>, NodeSetDigest> = HashMap::new();
+        hasher.begin_list("views");
+        hasher.feed_u64(self.rounds.len() as u64);
+        for (index, round) in self.rounds.iter().enumerate() {
+            hasher.feed_u64(index as u64);
+            for (&node, view) in &round.snapshot.views {
+                hasher.feed_u64(node.raw());
+                let summary = summaries
+                    .entry(Arc::as_ptr(view))
+                    .or_insert_with(|| CanonicalHasher::node_set_digest(view.iter().copied()));
+                hasher.feed_node_set_digest(summary);
+            }
+        }
+        hasher.end_list();
+    }
+
+    /// The naive full walk of [`feed_views_digest`](Self::feed_views_digest):
+    /// re-hashes every view of every round. Kept as the executable
+    /// reference the delta path is tested byte-identical against.
+    pub fn feed_views_digest_full(&self, hasher: &mut CanonicalHasher) {
         hasher.begin_list("views");
         hasher.feed_u64(self.rounds.len() as u64);
         for (index, round) in self.rounds.iter().enumerate() {
@@ -161,19 +216,29 @@ impl<P: ViewProtocol> Observer<P> for SnapshotRecorder {
 #[derive(Clone, Debug)]
 pub struct ConvergenceProbe {
     detector: ConvergenceDetector,
+    jobs: usize,
 }
 
 impl ConvergenceProbe {
     pub fn new(dmax: usize) -> Self {
         ConvergenceProbe {
             detector: ConvergenceDetector::new(dmax),
+            jobs: 1,
         }
+    }
+
+    /// Fan the per-node/per-pair legitimacy checks across `jobs` worker
+    /// threads; verdicts are identical for every job count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// Record one already-captured snapshot (the pipelined path — avoids a
     /// second capture when a recorder already took one this round).
     pub fn record(&mut self, snapshot: &SystemSnapshot) {
-        self.detector.record(snapshot);
+        let verdict = snapshot.legitimate_jobs(self.detector.dmax(), self.jobs);
+        self.detector.record_verdict(verdict);
     }
 
     pub fn detector(&self) -> &ConvergenceDetector {
@@ -232,6 +297,7 @@ pub struct ContinuityProbe {
     dmax: usize,
     prev: Option<SystemSnapshot>,
     stats: ContinuityStats,
+    jobs: usize,
 }
 
 impl ContinuityProbe {
@@ -240,14 +306,22 @@ impl ContinuityProbe {
             dmax,
             prev: None,
             stats: ContinuityStats::default(),
+            jobs: 1,
         }
+    }
+
+    /// Fan the per-node ΠT checks across `jobs` worker threads; the
+    /// accounting is identical for every job count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// Record one already-captured snapshot (the pipelined path).
     pub fn record(&mut self, snapshot: &SystemSnapshot) {
         if let Some(prev) = &self.prev {
             self.stats.transitions += 1;
-            if pi_t(prev, snapshot, self.dmax) {
+            if pi_t_violations_jobs(prev, snapshot, self.dmax, self.jobs) == 0 {
                 self.stats.pi_t_held += 1;
                 if pi_c(prev, snapshot) {
                     self.stats.pi_c_held_given_pi_t += 1;
@@ -294,6 +368,21 @@ impl GrpPipeline {
     /// Also stream ΠT/ΠC continuity accounting.
     pub fn with_continuity(mut self, dmax: usize) -> Self {
         self.continuity = Some(ContinuityProbe::new(dmax));
+        self
+    }
+
+    /// Fan the enabled probes' predicate evaluation (per-node ΠS/ΠT, per-
+    /// pair ΠM) across `jobs` worker threads. Probe outputs are identical
+    /// for every job count — the per-item predicates are pure functions of
+    /// the immutable snapshot — which
+    /// `crates/scenarios/tests/parallel.rs` pins.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        if let Some(probe) = self.convergence.take() {
+            self.convergence = Some(probe.with_jobs(jobs));
+        }
+        if let Some(probe) = self.continuity.take() {
+            self.continuity = Some(probe.with_jobs(jobs));
+        }
         self
     }
 }

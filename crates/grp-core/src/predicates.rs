@@ -163,16 +163,20 @@ impl SystemSnapshot {
     /// **ΠS**: every group is connected with diameter at most `dmax` in the
     /// subgraph it induces on the topology.
     pub fn safety(&self, dmax: usize) -> bool {
-        self.nodes().all(|v| {
-            let omega = self.omega(v);
-            match subgraph_diameter(&self.topology, &omega) {
-                Some(d) => d <= dmax,
-                // a singleton containing only a node absent from the
-                // topology (e.g. a crashed node's ghost) has no diameter;
-                // treat the trivial singleton as safe
-                None => omega.len() <= 1,
-            }
-        })
+        self.nodes().all(|v| self.node_is_safe(v, dmax))
+    }
+
+    /// The per-node ΠS condition (shared by the sequential and parallel
+    /// evaluations).
+    fn node_is_safe(&self, v: NodeId, dmax: usize) -> bool {
+        let omega = self.omega(v);
+        match subgraph_diameter(&self.topology, &omega) {
+            Some(d) => d <= dmax,
+            // a singleton containing only a node absent from the
+            // topology (e.g. a crashed node's ghost) has no diameter;
+            // treat the trivial singleton as safe
+            None => omega.len() <= 1,
+        }
     }
 
     /// **ΠM**: for every pair of distinct groups, merging them would create
@@ -209,6 +213,39 @@ impl SystemSnapshot {
     /// `ΠA ∧ ΠS ∧ ΠM`.
     pub fn legitimate(&self, dmax: usize) -> bool {
         self.agreement() && self.safety(dmax) && self.maximality(dmax)
+    }
+
+    /// [`legitimate`](Self::legitimate) with the per-node ΠS checks and the
+    /// per-pair ΠM checks fanned across `jobs` worker threads. The per-item
+    /// predicates are pure functions of the (immutable, `Arc`-shared)
+    /// snapshot, so the verdict is identical for every job count —
+    /// `jobs <= 1` short-circuits to the sequential path.
+    pub fn legitimate_jobs(&self, dmax: usize, jobs: usize) -> bool {
+        if jobs <= 1 {
+            return self.legitimate(dmax);
+        }
+        if !self.agreement() {
+            return false;
+        }
+        // ΠS: one task per node
+        let nodes: Vec<NodeId> = self.nodes().collect();
+        let safe = rayon::par_map(nodes, jobs, |v| self.node_is_safe(v, dmax));
+        if !safe.into_iter().all(|ok| ok) {
+            return false;
+        }
+        // ΠM: one task per unordered group pair
+        let groups = self.groups();
+        let mut pairs = Vec::new();
+        for i in 0..groups.len() {
+            for j in (i + 1)..groups.len() {
+                pairs.push((i, j));
+            }
+        }
+        let unmergeable = rayon::par_map(pairs, jobs, |(i, j)| {
+            let union: BTreeSet<NodeId> = groups[i].union(&groups[j]).copied().collect();
+            self.union_violates_diameter(&union, dmax)
+        });
+        unmergeable.into_iter().all(|violates| violates)
     }
 
     /// Number of distinct groups.
@@ -252,30 +289,46 @@ pub fn pi_t(prev: &SystemSnapshot, next: &SystemSnapshot, dmax: usize) -> bool {
 /// Number of nodes whose old group violates the ΠT condition in the new
 /// topology.
 pub fn pi_t_violations(prev: &SystemSnapshot, next: &SystemSnapshot, dmax: usize) -> usize {
-    let mut violations = 0;
-    for v in prev.nodes() {
-        let omega = prev.omega(v);
-        if omega.len() <= 1 {
-            continue;
-        }
-        let members: Vec<NodeId> = omega.iter().copied().collect();
-        let mut violated = false;
-        'outer: for (i, &x) in members.iter().enumerate() {
-            for &y in &members[i + 1..] {
-                match subgraph_distance(&next.topology, &omega, x, y) {
-                    Some(d) if d <= dmax => {}
-                    _ => {
-                        violated = true;
-                        break 'outer;
-                    }
-                }
+    prev.nodes()
+        .filter(|&v| pi_t_violated_at(prev, next, dmax, v))
+        .count()
+}
+
+/// [`pi_t_violations`] with the per-node checks fanned across `jobs` worker
+/// threads; the per-node predicate is pure, so the count is identical for
+/// every job count (`jobs <= 1` short-circuits to the sequential path).
+pub fn pi_t_violations_jobs(
+    prev: &SystemSnapshot,
+    next: &SystemSnapshot,
+    dmax: usize,
+    jobs: usize,
+) -> usize {
+    if jobs <= 1 {
+        return pi_t_violations(prev, next, dmax);
+    }
+    let nodes: Vec<NodeId> = prev.nodes().collect();
+    rayon::par_map(nodes, jobs, |v| pi_t_violated_at(prev, next, dmax, v))
+        .into_iter()
+        .filter(|&violated| violated)
+        .count()
+}
+
+/// Does `v`'s old group violate the ΠT condition in the new topology?
+fn pi_t_violated_at(prev: &SystemSnapshot, next: &SystemSnapshot, dmax: usize, v: NodeId) -> bool {
+    let omega = prev.omega(v);
+    if omega.len() <= 1 {
+        return false;
+    }
+    let members: Vec<NodeId> = omega.iter().copied().collect();
+    for (i, &x) in members.iter().enumerate() {
+        for &y in &members[i + 1..] {
+            match subgraph_distance(&next.topology, &omega, x, y) {
+                Some(d) if d <= dmax => {}
+                _ => return true,
             }
         }
-        if violated {
-            violations += 1;
-        }
     }
-    violations
+    false
 }
 
 /// **ΠC** on a pair of successive configurations: no node disappears from

@@ -144,7 +144,7 @@ proptest! {
     ) {
         let me = NodeId(me);
         if good_list(me, &list, dmax) {
-            let quoted = list.level(1).map(|l| l.contains_key(&me)).unwrap_or(false);
+            let quoted = list.level_contains(1, me);
             prop_assert!(quoted, "accepted list does not quote us at distance 1");
             prop_assert!(list.len() <= dmax + 1);
             prop_assert!(!list.has_empty_level());

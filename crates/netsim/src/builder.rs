@@ -69,6 +69,14 @@ impl<P: Protocol> SimBuilder<P> {
         self
     }
 
+    /// Toggle batched parallel execution of same-instant compute timers
+    /// (see [`SimConfig::parallel_compute`]); traces are byte-identical
+    /// either way.
+    pub fn parallel_compute(mut self, enabled: bool) -> Self {
+        self.config.parallel_compute = enabled;
+        self
+    }
+
     /// Explicit topology mode: the harness provides (and may later mutate)
     /// the communication graph.
     pub fn explicit(mut self, topology: Graph) -> Self {

@@ -171,6 +171,16 @@ enum Tag {
     ListEnd = 12,
 }
 
+/// The fixed-size summary of one ordered node set: the count and inner
+/// hash [`CanonicalHasher::feed_node_set`] folds into the outer stream.
+/// Cacheable per `Arc`-shared set — the substrate of the delta-encoded
+/// digest feed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeSetDigest {
+    count: u64,
+    body: [u8; 32],
+}
+
 /// A 32-byte digest rendered as lowercase hex.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TraceDigest(pub [u8; 32]);
@@ -284,7 +294,12 @@ impl CanonicalHasher {
         self.inner.update(&t.ticks().to_le_bytes());
     }
 
-    /// Hash a topology: sorted nodes, then sorted `a < b` edges.
+    /// Hash a topology: sorted nodes, then sorted `a < b` edges. Streams
+    /// straight into the hasher (no buffering — this runs once per round
+    /// on every trace-digest path); `graph_encoding` materialises the
+    /// identical byte stream for callers that cache it per `Arc`, and
+    /// `graph_encoding_matches_streaming_feed` pins the two against each
+    /// other.
     pub fn feed_graph(&mut self, g: &Graph) {
         self.tag(Tag::Graph);
         self.inner.update(&(g.node_count() as u64).to_le_bytes());
@@ -296,6 +311,32 @@ impl CanonicalHasher {
             self.inner.update(&a.raw().to_le_bytes());
             self.inner.update(&b.raw().to_le_bytes());
         }
+    }
+
+    /// The exact byte stream [`feed_graph`](Self::feed_graph) hashes, as an
+    /// owned buffer. Digest folders that see the same `Arc<Graph>` round
+    /// after round (the delta-encoded `SnapshotRecorder` feed) encode it
+    /// once and replay the bytes.
+    pub fn graph_encoding(g: &Graph) -> Vec<u8> {
+        let mut out = Vec::with_capacity(17 + 8 * (g.node_count() + 2 * g.edge_count()));
+        out.push(Tag::Graph as u8);
+        out.extend_from_slice(&(g.node_count() as u64).to_le_bytes());
+        for node in g.nodes() {
+            out.extend_from_slice(&node.raw().to_le_bytes());
+        }
+        out.extend_from_slice(&(g.edge_count() as u64).to_le_bytes());
+        for (a, b) in g.edges() {
+            out.extend_from_slice(&a.raw().to_le_bytes());
+            out.extend_from_slice(&b.raw().to_le_bytes());
+        }
+        out
+    }
+
+    /// Feed bytes previously produced by
+    /// [`graph_encoding`](Self::graph_encoding) — byte-identical to calling
+    /// [`feed_graph`](Self::feed_graph) on the same graph.
+    pub fn feed_graph_encoding(&mut self, encoding: &[u8]) {
+        self.inner.update(encoding);
     }
 
     pub fn feed_stats(&mut self, stats: &MessageStats) {
@@ -314,15 +355,33 @@ impl CanonicalHasher {
     /// Hash an ordered set of node ids (callers must pass sorted iterators;
     /// `BTreeSet` / `dyngraph` iteration orders already are).
     pub fn feed_node_set<I: IntoIterator<Item = NodeId>>(&mut self, nodes: I) {
-        self.tag(Tag::NodeSet);
+        let digest = Self::node_set_digest(nodes);
+        self.feed_node_set_digest(&digest);
+    }
+
+    /// Pre-hash an ordered node set into the fixed-size summary
+    /// [`feed_node_set`](Self::feed_node_set) folds in. A digest folder
+    /// that sees the same `Arc`-shared set across rounds computes this once
+    /// and replays it.
+    pub fn node_set_digest<I: IntoIterator<Item = NodeId>>(nodes: I) -> NodeSetDigest {
         let mut count: u64 = 0;
         let mut body = Sha256::new();
         for n in nodes {
             body.update(&n.raw().to_le_bytes());
             count += 1;
         }
-        self.inner.update(&count.to_le_bytes());
-        self.inner.update(&body.finalize());
+        NodeSetDigest {
+            count,
+            body: body.finalize(),
+        }
+    }
+
+    /// Feed a pre-hashed node set — byte-identical to
+    /// [`feed_node_set`](Self::feed_node_set) on the set it summarises.
+    pub fn feed_node_set_digest(&mut self, digest: &NodeSetDigest) {
+        self.tag(Tag::NodeSet);
+        self.inner.update(&digest.count.to_le_bytes());
+        self.inner.update(&digest.body);
     }
 
     /// Bracket a variable-length sequence of heterogeneous feeds.
@@ -412,6 +471,22 @@ mod tests {
         };
         assert_eq!(one(0.0), one(-0.0));
         assert_ne!(one(0.5), one(0.25));
+    }
+
+    /// The cached-bytes feed and the streaming feed must be byte-identical
+    /// — the delta-encoded `SnapshotRecorder` digest relies on it.
+    #[test]
+    fn graph_encoding_matches_streaming_feed() {
+        use dyngraph::Graph;
+        let mut g = Graph::new();
+        for i in 0..20u64 {
+            g.add_edge(NodeId(i), NodeId((i * 7 + 3) % 20));
+        }
+        let mut streamed = CanonicalHasher::new();
+        streamed.feed_graph(&g);
+        let mut replayed = CanonicalHasher::new();
+        replayed.feed_graph_encoding(&CanonicalHasher::graph_encoding(&g));
+        assert_eq!(streamed.finalize(), replayed.finalize());
     }
 
     #[test]

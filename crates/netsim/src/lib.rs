@@ -50,7 +50,7 @@ pub mod time;
 pub mod trace;
 
 pub use builder::SimBuilder;
-pub use digest::{CanonicalHasher, TraceDigest};
+pub use digest::{CanonicalHasher, NodeSetDigest, TraceDigest};
 pub use event::{Event, EventKind};
 pub use fault::{FaultKind, ScheduledFault};
 pub use mobility::MobilityModel;

@@ -10,7 +10,14 @@ use dyngraph::NodeId;
 use rand_chacha::ChaCha8Rng;
 
 /// A node-local protocol instance driven by the simulator.
-pub trait Protocol {
+///
+/// `Send` is a supertrait so that [`SimConfig::parallel_compute`] can fan
+/// same-instant compute batches across worker threads; every handler still
+/// receives `&mut self` exclusively, so implementations never need internal
+/// synchronisation.
+///
+/// [`SimConfig::parallel_compute`]: crate::sim::SimConfig::parallel_compute
+pub trait Protocol: Send {
     /// The messages broadcast to the neighbourhood.
     type Message: Clone + std::fmt::Debug;
 

@@ -29,7 +29,7 @@ use crate::trace::MessageStats;
 use dyngraph::{Graph, NodeId, TopologyEvent};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::sync::Arc;
 
 /// Where the communication topology comes from.
@@ -69,6 +69,15 @@ pub struct SimConfig {
     /// all-pairs scan on every mobility tick — kept only so benchmarks can
     /// measure the speedup; both settings produce byte-identical traces.
     pub spatial_index: bool,
+    /// Run same-instant compute-timer expirations as one parallel batch
+    /// through the work-stealing `par_map` (off by default). Only
+    /// *consecutive* compute events sharing a timestamp are batched, per-
+    /// node `on_compute` touches nothing but that node's own state, and
+    /// follow-up timers are rescheduled in the original pop order — so the
+    /// event schedule, the RNG stream and every trace digest are identical
+    /// to the sequential execution (`bench-runner` cross-checks this on
+    /// every GRP row).
+    pub parallel_compute: bool,
 }
 
 impl Default for SimConfig {
@@ -82,6 +91,7 @@ impl Default for SimConfig {
             seed: 0,
             stagger_phases: true,
             spatial_index: true,
+            parallel_compute: false,
         }
     }
 }
@@ -323,16 +333,91 @@ impl<P: Protocol> Simulator<P> {
     /// deadline), then set the clock to the deadline. This is **the** event
     /// loop: every other driving entry point funnels into it.
     pub fn run_until_observed(&mut self, deadline: SimTime, obs: &mut dyn Observer<P>) {
+        let mut batch: Vec<NodeId> = Vec::new();
         while let Some(ev) = self.events.peek() {
             if ev.time > deadline {
                 break;
             }
             let ev = self.events.pop().expect("peeked");
             self.now = ev.time;
+            if self.config.parallel_compute {
+                if let EventKind::ComputeTimer(id) = ev.kind {
+                    // drain the consecutive same-instant compute timers into
+                    // one batch; anything else (a delivery interleaved
+                    // between two computes at the same tick) stops the batch
+                    // so the sequential event order is preserved exactly
+                    batch.clear();
+                    batch.push(id);
+                    while let Some(next) = self.events.peek() {
+                        if next.time != self.now || !matches!(next.kind, EventKind::ComputeTimer(_))
+                        {
+                            break;
+                        }
+                        match self.events.pop().expect("peeked").kind {
+                            EventKind::ComputeTimer(next_id) => batch.push(next_id),
+                            _ => unreachable!("peeked a compute timer"),
+                        }
+                    }
+                    self.handle_compute_batch(&batch);
+                    continue;
+                }
+            }
             self.handle(ev, obs);
         }
         self.now = deadline;
         self.materialise_topology();
+    }
+
+    /// Run a batch of same-instant compute expirations, fanning the
+    /// per-node `on_compute` calls across worker threads. Each call only
+    /// mutates its own node's protocol state, so the parallel execution is
+    /// observably identical to handling the timers one by one; the
+    /// follow-up timers are rescheduled in the original pop order, which
+    /// keeps the sequence-number assignment (and therefore every future
+    /// tie-break) byte-identical to the sequential path.
+    fn handle_compute_batch(&mut self, ids: &[NodeId]) {
+        // Below this size the vendored par_map's per-call thread spawn
+        // costs more than the computes it distributes; run the batch
+        // inline (the results are identical either way — this is purely a
+        // scheduling choice).
+        const PARALLEL_BATCH_FLOOR: usize = 16;
+        self.events_processed += ids.len() as u64;
+        let now = self.now;
+        // A node re-added via `add_node` carries a second timer stream, so
+        // one id can legitimately appear twice in a same-instant batch;
+        // the parallel path below can only visit each node once (it holds
+        // one `&mut` per node), so a batch with duplicates must run
+        // per-event like the sequential engine does.
+        let wanted: BTreeSet<NodeId> = ids.iter().copied().collect();
+        if ids.len() < PARALLEL_BATCH_FLOOR || wanted.len() != ids.len() {
+            for id in ids {
+                if let Some(node) = self.nodes.get_mut(id) {
+                    if node.active {
+                        node.protocol.on_compute(now);
+                        node.last_compute = now;
+                    }
+                }
+            }
+        } else {
+            let targets: Vec<&mut SimNode<P>> = self
+                .nodes
+                .iter_mut()
+                .filter(|(id, node)| wanted.contains(id) && node.active)
+                .map(|(_, node)| node)
+                .collect();
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(targets.len() / (PARALLEL_BATCH_FLOOR / 2).max(1))
+                .max(1);
+            rayon::par_map(targets, threads, |node| {
+                node.protocol.on_compute(now);
+                node.last_compute = now;
+            });
+        }
+        for &id in ids {
+            self.schedule(self.config.compute_period, EventKind::ComputeTimer(id));
+        }
     }
 
     /// Re-materialise the observed `Graph` from the grid's CSR if mobility
@@ -774,6 +859,43 @@ mod tests {
             (sim.stats(), sim.protocol(NodeId(0)).unwrap().known.clone())
         };
         assert_eq!(run(42), run(42));
+    }
+
+    /// `parallel_compute` batches same-instant compute expirations across
+    /// worker threads; the observable execution — protocol state, message
+    /// statistics, event count, trace digest — must be byte-identical to
+    /// the sequential run. A lockstep start (no stagger) maximises batch
+    /// sizes, which is exactly the adversarial case.
+    #[test]
+    fn parallel_compute_is_trace_identical_to_sequential() {
+        use crate::digest::CanonicalHasher;
+        use crate::observer::TraceProbe;
+        let run = |parallel: bool| {
+            let g = dyngraph::generators::grid(4, 5);
+            let mut sim: Simulator<Flood> = Simulator::new(
+                SimConfig {
+                    seed: 12,
+                    stagger_phases: false,
+                    parallel_compute: parallel,
+                    loss_probability: 0.2,
+                    ..Default::default()
+                },
+                TopologyMode::Explicit(g.clone()),
+            );
+            sim.add_nodes(g.node_vec().into_iter().map(Flood::new));
+            let mut probe = TraceProbe::new();
+            sim.run_rounds_observed(12, &mut probe);
+            let mut hasher = CanonicalHasher::new();
+            probe.trace().feed_digest(&mut hasher);
+            let known: Vec<_> = sim.protocols().map(|(_, p)| p.known.clone()).collect();
+            (
+                hasher.finalize(),
+                sim.stats(),
+                sim.events_processed(),
+                known,
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -218,6 +218,11 @@ pub struct SimSpec {
     /// Spatial-mode neighbour discovery via the grid index (default). Off
     /// restores the all-pairs scan; traces are identical either way.
     pub spatial_index: bool,
+    /// Batch same-instant compute expirations across worker threads
+    /// (default off). Traces are byte-identical either way — the golden
+    /// digests pin it — so the flag is purely a wall-clock knob for the
+    /// XL scenarios.
+    pub parallel_compute: bool,
 }
 
 impl Default for SimSpec {
@@ -232,6 +237,7 @@ impl Default for SimSpec {
             loss: 0.0,
             stagger_phases: true,
             spatial_index: true,
+            parallel_compute: false,
         }
     }
 }
@@ -623,6 +629,7 @@ fn parse_sim(value: Option<&Value>) -> Result<SimSpec, ManifestError> {
         loss: opt_f64(t, "loss", default.loss)?,
         stagger_phases: opt_bool(t, "stagger_phases", default.stagger_phases)?,
         spatial_index: opt_bool(t, "spatial_index", default.spatial_index)?,
+        parallel_compute: opt_bool(t, "parallel_compute", default.parallel_compute)?,
     })
 }
 

@@ -195,6 +195,7 @@ pub fn build_simulator(manifest: &ScenarioManifest, seed: u64) -> Simulator<GrpN
         seed,
         stagger_phases: sim_spec.stagger_phases,
         spatial_index: sim_spec.spatial_index,
+        parallel_compute: sim_spec.parallel_compute,
     };
     let mode = build_mode(&manifest.workload, seed);
     let node_ids: Vec<NodeId> = match &mode {

@@ -1,0 +1,97 @@
+//! Determinism gates for the two parallel fast paths and the delta-encoded
+//! digest feed introduced with the flat ancestor-list core:
+//!
+//! * `parallel_compute` (batched same-instant computes across worker
+//!   threads) must leave every scenario digest byte-identical;
+//! * `GrpPipeline::with_jobs` (predicate probes fanned through `par_map`)
+//!   must produce identical convergence/continuity verdicts at any job
+//!   count;
+//! * `SnapshotRecorder`'s delta-encoded digest folding must hash to exactly
+//!   the bytes of the naive full walk.
+
+use grp_core::observers::{GrpPipeline, SnapshotRecorder};
+use netsim::CanonicalHasher;
+use scenarios::manifest::ScenarioManifest;
+use scenarios::{build_simulator, drive_manifest, run_seed, suite_dir};
+
+fn load(name: &str) -> ScenarioManifest {
+    ScenarioManifest::load(&suite_dir().join(name)).expect("manifest loads")
+}
+
+#[test]
+fn parallel_compute_leaves_scenario_digests_identical() {
+    // one explicit-topology scenario, one spatial: both timer regimes
+    for name in ["s01_stationary_line.toml", "s10_random_walk.toml"] {
+        let sequential = load(name);
+        let mut parallel = sequential.clone();
+        assert!(!sequential.sim.parallel_compute, "default must stay off");
+        parallel.sim.parallel_compute = true;
+        let seed = sequential.sim.seeds[0];
+        let a = run_seed(&sequential, seed, None);
+        let b = run_seed(&parallel, seed, None);
+        assert_eq!(
+            a.digest, b.digest,
+            "{name}: parallel compute changed the trace digest"
+        );
+        assert_eq!(a.final_snapshot, b.final_snapshot);
+        assert_eq!(a.stats, b.stats);
+    }
+}
+
+#[test]
+fn pipeline_jobs_do_not_change_probe_verdicts() {
+    let manifest = load("s07_partition_merge.toml");
+    let seed = manifest.sim.seeds[0];
+    let dmax = manifest.protocol.dmax;
+    let run_with_jobs = |jobs: usize| {
+        let mut sim = build_simulator(&manifest, seed);
+        let mut pipeline = GrpPipeline::new()
+            .with_convergence(dmax)
+            .with_continuity(dmax)
+            .with_jobs(jobs);
+        drive_manifest(&mut sim, &manifest, &mut pipeline);
+        let convergence = pipeline.convergence.expect("enabled");
+        let continuity = pipeline.continuity.expect("enabled").stats();
+        (
+            convergence.convergence_round(),
+            convergence.is_currently_legitimate(),
+            continuity.transitions,
+            continuity.pi_t_held,
+            continuity.pi_c_held_given_pi_t,
+        )
+    };
+    let one = run_with_jobs(1);
+    assert_eq!(one, run_with_jobs(4), "jobs=1 vs jobs=4 diverged");
+    assert_eq!(one, run_with_jobs(13), "jobs=1 vs jobs=13 diverged");
+}
+
+#[test]
+fn delta_digest_folding_is_byte_identical_to_full_walk() {
+    // three golden manifests spanning the sharing regimes: a stationary
+    // line (everything shared once converged), a churn scenario (topology
+    // Arcs change mid-run), and a mobile spatial scenario (fresh topology
+    // every mobility tick, views mostly stable)
+    for name in [
+        "s01_stationary_line.toml",
+        "s07_partition_merge.toml",
+        "s10_random_walk.toml",
+    ] {
+        let manifest = load(name);
+        let seed = manifest.sim.seeds[0];
+        let mut sim = build_simulator(&manifest, seed);
+        let mut recorder = SnapshotRecorder::new();
+        drive_manifest(&mut sim, &manifest, &mut recorder);
+
+        let mut delta = CanonicalHasher::new();
+        recorder.feed_trace_digest(&mut delta);
+        recorder.feed_views_digest(&mut delta);
+        let mut full = CanonicalHasher::new();
+        recorder.feed_trace_digest_full(&mut full);
+        recorder.feed_views_digest_full(&mut full);
+        assert_eq!(
+            delta.finalize(),
+            full.finalize(),
+            "{name}: delta-encoded digest diverged from the full walk"
+        );
+    }
+}
