@@ -8,7 +8,7 @@
 use crate::message::GrpMessage;
 use crate::node::GrpNode;
 use dyngraph::NodeId;
-use netsim::{Protocol, SimTime};
+use netsim::{CanonicalHasher, CanonicalState, Protocol, SimTime};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
@@ -49,6 +49,19 @@ impl Protocol for GrpNode {
 
     fn reset(&mut self) {
         self.reboot();
+    }
+}
+
+/// The model checker's hashing capability: semantic state and in-flight
+/// messages fold into the canonical digest encoding (see
+/// [`GrpNode::feed_canonical`] for what is — deliberately — excluded).
+impl CanonicalState for GrpNode {
+    fn feed_state(&self, hasher: &mut CanonicalHasher) {
+        self.feed_canonical(hasher);
+    }
+
+    fn feed_message(msg: &GrpMessage, hasher: &mut CanonicalHasher) {
+        GrpNode::feed_message_canonical(msg, hasher);
     }
 }
 

@@ -411,6 +411,195 @@ impl GrpNode {
     pub fn reboot(&mut self) {
         *self = GrpNode::new(self.id, self.config.clone());
     }
+
+    /// A lean copy of the node for state stores (the model checker keeps
+    /// thousands of these): the reusable merge buffers and the cached
+    /// broadcast are dropped — they are derived data, rebuilt on demand —
+    /// so a snapshot carries exactly the semantic state.
+    pub fn snapshot(&self) -> GrpNode {
+        let mut snap = self.clone();
+        snap.scratch = MergeScratch::default();
+        snap.cached_message = None;
+        snap
+    }
+
+    /// Overwrite this node's state with a previously taken
+    /// [`snapshot`](Self::snapshot).
+    pub fn restore(&mut self, snapshot: &GrpNode) {
+        *self = snapshot.clone();
+    }
+
+    /// Fold the node's *semantic* state into a canonical hasher — the
+    /// [`netsim::CanonicalState`] encoding. Two nodes feed identical bytes
+    /// iff they are behaviourally indistinguishable: `listv`, `viewv`,
+    /// `msgSetv`, the quarantine counters, the priority clock and the learnt
+    /// priorities all enter; the compute counter, the merge scratch and the
+    /// cached broadcast (diagnostics and derived caches) do not — including
+    /// them would make every reachable state unique and the explorer's
+    /// visited-set useless.
+    pub fn feed_canonical(&self, hasher: &mut netsim::CanonicalHasher) {
+        hasher.begin_list("grp-node");
+        hasher.feed_u64(self.id.raw());
+        hasher.feed_u64(self.config.dmax as u64);
+        hasher.feed_bool(self.config.naive_compatibility);
+        hasher.feed_bool(self.config.disable_quarantine);
+        feed_list(&self.list, hasher);
+        hasher.feed_node_set(self.view.iter().copied());
+        hasher.feed_u64(self.msg_set.len() as u64);
+        for (&sender, msg) in &self.msg_set {
+            hasher.feed_u64(sender.raw());
+            Self::feed_message_canonical(msg, hasher);
+        }
+        hasher.feed_u64(self.quarantine.len() as u64);
+        for (&node, &q) in &self.quarantine {
+            hasher.feed_u64(node.raw());
+            hasher.feed_u64(q as u64);
+        }
+        hasher.feed_u64(self.priority_value);
+        hasher.feed_bool(self.was_in_group);
+        hasher.feed_u64(self.known_priorities.len() as u64);
+        for (&node, info) in &self.known_priorities {
+            hasher.feed_u64(node.raw());
+            feed_priority_info(info, hasher);
+        }
+        hasher.end_list();
+    }
+
+    /// Fold one in-flight [`GrpMessage`] into a canonical hasher (the
+    /// message half of the [`netsim::CanonicalState`] contract).
+    pub fn feed_message_canonical(msg: &GrpMessage, hasher: &mut netsim::CanonicalHasher) {
+        hasher.begin_list("grp-msg");
+        hasher.feed_u64(msg.sender.raw());
+        feed_list(&msg.list, hasher);
+        hasher.feed_u64(msg.priorities.len() as u64);
+        for (&node, info) in msg.priorities.iter() {
+            hasher.feed_u64(node.raw());
+            feed_priority_info(info, hasher);
+        }
+        hasher.feed_u64(msg.group_priority.value);
+        hasher.feed_u64(msg.group_priority.id.raw());
+        hasher.end_list();
+    }
+
+    /// The deterministic single-node corruption catalogue the model checker
+    /// explores from. Every variant is a state the paper's adversary could
+    /// install (Section 5 allows *arbitrary* memory corruption). Each
+    /// variant damages one component of the state *in place* — a full
+    /// memory wipe is deliberately absent, because that is exactly the
+    /// crash/reboot fault the checker's `Crash`/`Reboot` transitions
+    /// already model (and a wiped node re-runs the entire group formation
+    /// handshake, which multiplies the reachable state space by orders of
+    /// magnitude without exercising any new repair path):
+    ///
+    /// * `ghost-member` — a node that exists nowhere in the system is
+    ///   spliced into `listv` and the view as an already-admitted member;
+    ///   it is never heard from, so absence aging must decay it out;
+    /// * `premature-member` — one real non-neighbour from `universe` is
+    ///   admitted into `listv`/view without handshake or quarantine;
+    /// * `weak-priority` — the oldness clock is scrambled to the weakest
+    ///   possible value, so the node loses every arbitration it used to
+    ///   win until the clocks are renegotiated;
+    /// * `pending-marks` — every confirmed (double) mark in `listv` is
+    ///   downgraded to a single mark, as if no neighbour had ever echoed
+    ///   the entries; the confirmation handshake must re-run.
+    ///
+    /// The catalogue's order and contents are part of the modelcheck
+    /// golden contract — extending it changes pinned visited-state counts.
+    pub fn enumerate_corruptions(&self, universe: &[NodeId]) -> Vec<(String, GrpNode)> {
+        let mut variants = Vec::new();
+
+        let ghost = NodeId(900_000 + self.id.raw());
+        let mut ghosted = self.snapshot();
+        let mut levels = ghosted.list.to_levels();
+        while levels.len() < 2 {
+            levels.push(Vec::new());
+        }
+        levels[1].push((ghost, Mark::Clear));
+        levels[1].sort_unstable_by_key(|&(n, _)| n);
+        ghosted.list = AncestorList::from_levels(levels);
+        ghosted.view.insert(ghost);
+        ghosted.quarantine.insert(ghost, 0);
+        ghosted.cached_message = None;
+        variants.push(("ghost-member".to_string(), ghosted));
+
+        // smallest real node that is neither self nor already in the view
+        if let Some(&stranger) = universe
+            .iter()
+            .find(|&&u| u != self.id && !self.view.contains(&u))
+        {
+            let mut premature = self.snapshot();
+            let mut levels = premature.list.to_levels();
+            while levels.len() < 2 {
+                levels.push(Vec::new());
+            }
+            levels[1].push((stranger, Mark::Clear));
+            levels[1].sort_unstable_by_key(|&(n, _)| n);
+            premature.list = AncestorList::from_levels(levels);
+            premature.view.insert(stranger);
+            premature.quarantine.insert(stranger, 0);
+            premature.cached_message = None;
+            variants.push(("premature-member".to_string(), premature));
+        }
+
+        let mut weak = self.snapshot();
+        weak.priority_value = 999;
+        weak.cached_message = None;
+        variants.push(("weak-priority".to_string(), weak));
+
+        let mut single = self.snapshot();
+        let levels = single
+            .list
+            .to_levels()
+            .into_iter()
+            .map(|level| {
+                level
+                    .into_iter()
+                    .map(|(node, mark)| {
+                        let mark = if node == self.id { mark } else { Mark::Pending };
+                        (node, mark)
+                    })
+                    .collect()
+            })
+            .collect();
+        single.list = AncestorList::from_levels(levels);
+        single.cached_message = None;
+        variants.push(("pending-marks".to_string(), single));
+
+        variants
+    }
+}
+
+/// Canonical encoding of an [`AncestorList`] through its serialized
+/// (level-map) shape: level count, then per level the `(node, mark)`
+/// entries in ascending id order. Empty levels encode as zero-length runs,
+/// so structurally different lists never collide.
+fn feed_list(list: &AncestorList, hasher: &mut netsim::CanonicalHasher) {
+    let levels = list.to_levels();
+    hasher.begin_list("alist");
+    hasher.feed_u64(levels.len() as u64);
+    for level in &levels {
+        hasher.feed_u64(level.len() as u64);
+        for &(node, mark) in level {
+            hasher.feed_u64(node.raw());
+            hasher.feed_u64(mark_tag(mark));
+        }
+    }
+    hasher.end_list();
+}
+
+fn feed_priority_info(info: &PriorityInfo, hasher: &mut netsim::CanonicalHasher) {
+    hasher.feed_u64(info.node.value);
+    hasher.feed_u64(info.node.id.raw());
+    hasher.feed_u64(info.group.value);
+    hasher.feed_u64(info.group.id.raw());
+}
+
+fn mark_tag(mark: Mark) -> u64 {
+    match mark {
+        Mark::Clear => 0,
+        Mark::Pending => 1,
+        Mark::Incompatible => 2,
+    }
 }
 
 #[cfg(test)]
@@ -454,8 +643,12 @@ mod tests {
     /// Like [`round`], but with staggered compute timers: every node sends
     /// each sub-round (Ts ≤ Tc), while only one node's compute timer fires
     /// per sub-round, in round-robin order. This matches the paper's timer
-    /// model; perfectly synchronous computes can oscillate between two
-    /// legitimate partitions at group boundaries (see DESIGN.md).
+    /// model; perfectly synchronous computes can oscillate forever at group
+    /// boundaries (see DESIGN.md). The minimal concrete cycle — path(5) at
+    /// Dmax = 2, period 4, maximality violated in every state — is checked
+    /// in as `crates/modelcheck/tests/data/path5_dmax2_sync.trace` and
+    /// replayed by `crates/modelcheck/tests/oscillation.rs`, which also
+    /// verifies that this staggered regime escapes it.
     fn staggered_round(nodes: &mut BTreeMap<NodeId, GrpNode>, edges: &[(u64, u64)], turn: usize) {
         let messages: BTreeMap<NodeId, GrpMessage> = nodes
             .iter()
@@ -701,7 +894,9 @@ mod tests {
         // Topology: 0-1-2 triangle, 10-11-12 triangle, chain 2-20-21-10.
         // Staggered compute timers (the paper's Ts ≤ Tc regime): boundary
         // nodes must settle into one of the legitimate partitions instead of
-        // oscillating.
+        // oscillating. The fully synchronous regime does NOT settle — that
+        // counterexample is pinned as a replayable trace in
+        // crates/modelcheck/tests/data/path5_dmax2_sync.trace.
         let ids = [0, 1, 2, 10, 11, 12, 20, 21];
         let mut nodes = make_nodes(&ids, 2);
         let edges = [

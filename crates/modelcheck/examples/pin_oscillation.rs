@@ -1,0 +1,46 @@
+//! Regenerate the pinned synchronous-schedule oscillation trace.
+//!
+//! ```text
+//! cargo run -p modelcheck --example pin_oscillation \
+//!     > crates/modelcheck/tests/data/path5_dmax2_sync.trace
+//! ```
+//!
+//! The artifact is the minimal documented counterexample to naive
+//! convergence: five nodes in a line at `dmax = 2`, booted fresh and
+//! driven fully synchronously (deliver everything, then compute everyone,
+//! forever), never reach a legitimate configuration — the boundary node 2
+//! oscillates between courting the `{0,1}` and `{3,4}` groups and is
+//! admitted by neither, so maximality (ΠM) is violated in every state of
+//! the cycle. `tests/oscillation.rs` replays the file and verifies all of
+//! that mechanically, including that a staggered (still fair) schedule
+//! escapes the cycle.
+
+use dyngraph::generators::path;
+use grp_core::GrpConfig;
+use modelcheck::{find_synchronous_lasso, fresh_net, replay, Checker, GrpChecker};
+
+fn main() {
+    let config = GrpConfig::new(2);
+    let net = fresh_net(path(5), &config);
+    let lasso = find_synchronous_lasso(&net, 64).expect("the synchronous schedule is periodic");
+    let checker = GrpChecker::new(2);
+    let entry = replay(&net, &lasso.trace, Default::default()).expect("replays");
+    assert!(entry.state_hash() == lasso.entry_hash, "lasso closes");
+    assert!(
+        !checker.goal(&entry),
+        "the pinned cycle must not be legitimate"
+    );
+
+    println!("# Synchronous-schedule oscillation on path(5), dmax = 2.");
+    println!("# Replay from freshly-booted nodes; the final state is the cycle");
+    println!(
+        "# entry, reached again every {} rounds.",
+        lasso.period_rounds
+    );
+    println!("# stem_rounds {}", lasso.stem_rounds);
+    println!("# period_rounds {}", lasso.period_rounds);
+    println!("# entry_hash {}", lasso.entry_hash.to_hex());
+    for choice in &lasso.trace {
+        println!("{choice}");
+    }
+}

@@ -1,0 +1,328 @@
+//! GRP-specific glue: legitimacy as the goal predicate, deterministic
+//! warm-up to a legitimate configuration, the corruption catalogue runner
+//! used by the `modelcheck` scenario mode, and the synchronous-schedule
+//! lasso finder that pins the documented view oscillation.
+
+use crate::explore::{explore, Checker, ExploreConfig, Report};
+use crate::state::{Choice, McNet};
+use dyngraph::{Graph, NodeId};
+use grp_core::predicates::SystemSnapshot;
+use grp_core::{GrpConfig, GrpNode};
+use netsim::{CanonicalHasher, TraceDigest};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+
+/// Goal predicate for GRP: the alive nodes' views form a legitimate
+/// configuration — agreement (ΠA), safety (ΠS) and maximality (ΠM) all
+/// hold over the full communication topology.
+///
+/// Legitimacy depends only on the views, and vastly more explorer states
+/// exist than view configurations (states also differ in lists, message
+/// sets and channels), so verdicts are memoized by a views-only digest —
+/// that cache is what keeps the goal check off the exploration's critical
+/// path.
+pub struct GrpChecker {
+    pub dmax: usize,
+    verdicts: RefCell<HashMap<[u8; 32], bool>>,
+}
+
+impl GrpChecker {
+    pub fn new(dmax: usize) -> Self {
+        GrpChecker {
+            dmax,
+            verdicts: RefCell::new(HashMap::new()),
+        }
+    }
+}
+
+impl Checker<GrpNode> for GrpChecker {
+    fn goal(&self, net: &McNet<GrpNode>) -> bool {
+        let mut hasher = CanonicalHasher::new();
+        hasher.begin_list("grp-views");
+        for (&id, node) in &net.nodes {
+            if net.is_alive(id) {
+                hasher.feed_u64(id.raw());
+                hasher.feed_node_set(node.view().iter().copied());
+            }
+        }
+        hasher.end_list();
+        let key = hasher.finalize().0;
+        if let Some(&verdict) = self.verdicts.borrow().get(&key) {
+            return verdict;
+        }
+        let verdict = snapshot_of(net).legitimate(self.dmax);
+        self.verdicts.borrow_mut().insert(key, verdict);
+        verdict
+    }
+}
+
+/// The global snapshot the predicates evaluate: alive nodes' views over
+/// the full topology (crashed nodes are absent, mirroring how the
+/// simulator's snapshot capture treats inactive nodes).
+pub fn snapshot_of(net: &McNet<GrpNode>) -> SystemSnapshot {
+    let views: BTreeMap<_, _> = net
+        .nodes
+        .iter()
+        .filter(|(&id, _)| net.is_alive(id))
+        .map(|(&id, node)| (id, node.view().clone()))
+        .collect();
+    SystemSnapshot::new(net.topology.clone(), views)
+}
+
+/// A network of freshly-booted GRP nodes, one per topology node.
+pub fn fresh_net(topology: Graph, config: &GrpConfig) -> McNet<GrpNode> {
+    let nodes: Vec<GrpNode> = topology
+        .node_vec()
+        .into_iter()
+        .map(|id| GrpNode::new(id, config.clone()))
+        .collect();
+    McNet::new(topology, nodes)
+}
+
+/// Append one fully synchronous round to `net`: deliver every pending
+/// message (canonical channel order), then run every alive node's compute
+/// step (ascending id). In this schedule each compute consumes exactly
+/// the previous round's broadcasts — the regime of the simulator's
+/// lockstep tests, and the regime in which the documented boundary
+/// oscillation lives. Returns the choices applied.
+pub fn synchronous_round(net: &mut McNet<GrpNode>) -> Vec<Choice> {
+    let mut applied = Vec::new();
+    loop {
+        let pending: Vec<(NodeId, NodeId)> = net.channels.keys().copied().collect();
+        if pending.is_empty() {
+            break;
+        }
+        for (from, to) in pending {
+            let choice = Choice::Deliver { from, to };
+            net.apply(choice);
+            applied.push(choice);
+        }
+    }
+    let order: Vec<NodeId> = net
+        .nodes
+        .keys()
+        .copied()
+        .filter(|&id| net.is_alive(id))
+        .collect();
+    for node in order {
+        let choice = Choice::Compute { node };
+        net.apply(choice);
+        applied.push(choice);
+    }
+    applied
+}
+
+/// Drive a fresh network with synchronous rounds until it is legitimate
+/// and stable (two consecutive rounds hash identically), ending with all
+/// channels drained so the returned configuration is quiescent. Errors if
+/// `max_rounds` synchronous rounds do not reach a stable legitimate
+/// configuration — the topology/`dmax` combination is then unsuitable for
+/// a `start = "legitimate"` model-check.
+pub fn legitimate_start(
+    topology: Graph,
+    config: &GrpConfig,
+    max_rounds: usize,
+) -> Result<McNet<GrpNode>, String> {
+    let checker = GrpChecker::new(config.dmax);
+    let mut net = fresh_net(topology, config);
+    let mut prev_hash: Option<TraceDigest> = None;
+    for _ in 0..max_rounds {
+        synchronous_round(&mut net);
+        // hash the drained configuration so "stable" means the whole
+        // round (messages included) reproduced itself
+        let mut drained = net.clone();
+        drain(&mut drained);
+        let hash = drained.state_hash();
+        if prev_hash == Some(hash) && checker.goal(&drained) {
+            return Ok(drained);
+        }
+        prev_hash = Some(hash);
+    }
+    Err(format!(
+        "no stable legitimate configuration within {max_rounds} synchronous rounds"
+    ))
+}
+
+fn drain(net: &mut McNet<GrpNode>) {
+    drain_recording(net);
+}
+
+/// One corruption case: which node was corrupted, which catalogue variant,
+/// and what the explorer concluded.
+pub struct CorruptionCase {
+    pub node: NodeId,
+    pub variant: String,
+    pub report: Report,
+}
+
+/// Run the explorer once per `(node, corruption variant)` pair from
+/// [`GrpNode::enumerate_corruptions`], each time starting from `base` with
+/// that single node's state replaced by the corrupted variant. `base` is
+/// normally the output of [`legitimate_start`]; the catalogue order is
+/// deterministic, so the sequence of reports is too.
+pub fn check_corruptions(
+    base: &McNet<GrpNode>,
+    checker: &GrpChecker,
+    config: &ExploreConfig,
+) -> Vec<CorruptionCase> {
+    let universe: Vec<NodeId> = base.nodes.keys().copied().collect();
+    let mut cases = Vec::new();
+    for &id in &universe {
+        let variants = base.nodes[&id].enumerate_corruptions(&universe);
+        for (variant, corrupted) in variants {
+            let mut net = base.clone();
+            net.nodes.insert(id, corrupted);
+            let report = explore(&net, checker, config);
+            cases.push(CorruptionCase {
+                node: id,
+                variant,
+                report,
+            });
+        }
+    }
+    cases
+}
+
+/// A lasso found by iterating the synchronous schedule: `stem_rounds`
+/// rounds reach the cycle entry, the following `period_rounds` rounds
+/// return to it. `trace` is the full flat choice sequence (replayable from
+/// the starting configuration); `entry_hash` is the drained cycle entry's
+/// canonical hash. A `period_rounds` of 1 means the schedule reached a
+/// fixpoint; anything larger is a genuine oscillation.
+pub struct SyncLasso {
+    pub stem_rounds: usize,
+    pub period_rounds: usize,
+    pub trace: Vec<Choice>,
+    pub entry_hash: TraceDigest,
+}
+
+/// Iterate the fully synchronous schedule from `start`, hashing the
+/// drained configuration after every round, until a configuration repeats
+/// (returns the lasso) or `max_rounds` elapse (returns `None`). Because
+/// the schedule is deterministic, a repeated hash proves the execution is
+/// periodic forever after.
+pub fn find_synchronous_lasso(start: &McNet<GrpNode>, max_rounds: usize) -> Option<SyncLasso> {
+    let mut net = start.clone();
+    let mut trace: Vec<Choice> = Vec::new();
+    // drained-configuration hash -> round index at which it was seen
+    let mut seen: BTreeMap<[u8; 32], usize> = BTreeMap::new();
+    for round in 0..max_rounds {
+        let choices = synchronous_round(&mut net);
+        trace.extend(choices);
+        let mut drained = net.clone();
+        let drain_choices = drain_recording(&mut drained);
+        let hash = drained.state_hash();
+        if let Some(&entry_round) = seen.get(&hash.0) {
+            // close the lasso on the *drained* configuration: the trace
+            // runs through the current round, then drains, ending in a
+            // state whose hash matches the round-`entry_round` state
+            trace.extend(drain_choices);
+            return Some(SyncLasso {
+                stem_rounds: entry_round + 1,
+                period_rounds: round - entry_round,
+                trace,
+                entry_hash: hash,
+            });
+        }
+        seen.insert(hash.0, round);
+    }
+    None
+}
+
+fn drain_recording(net: &mut McNet<GrpNode>) -> Vec<Choice> {
+    let mut applied = Vec::new();
+    loop {
+        let pending: Vec<(NodeId, NodeId)> = net.channels.keys().copied().collect();
+        if pending.is_empty() {
+            return applied;
+        }
+        for (from, to) in pending {
+            let choice = Choice::Deliver { from, to };
+            net.apply(choice);
+            applied.push(choice);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Outcome;
+    use crate::state::FaultBudget;
+    use dyngraph::generators::{complete, path};
+
+    #[test]
+    fn warmup_reaches_quiescent_legitimate_state() {
+        let config = GrpConfig::new(2);
+        let base = legitimate_start(complete(3), &config, 64).expect("warmup");
+        assert!(base.channels.is_empty(), "warmup ends drained");
+        let checker = GrpChecker::new(2);
+        assert!(checker.goal(&base));
+        // quiescent legitimate state is a synchronous fixpoint
+        let lasso = find_synchronous_lasso(&base, 8).expect("steady state repeats");
+        assert_eq!(lasso.period_rounds, 1);
+    }
+
+    #[test]
+    fn triangle_corruptions_all_reconverge() {
+        let config = GrpConfig::new(2);
+        let base = legitimate_start(complete(3), &config, 64).expect("warmup");
+        let checker = GrpChecker::new(2);
+        let cases = check_corruptions(&base, &checker, &ExploreConfig::default());
+        assert_eq!(cases.len(), 9, "3 nodes x 3 applicable variants");
+        for case in &cases {
+            assert!(
+                case.report.converged(),
+                "node {} variant {} did not converge: {:?}",
+                case.node.raw(),
+                case.variant,
+                case.report.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_catalogue_is_deterministic() {
+        let config = GrpConfig::new(2);
+        let base = legitimate_start(complete(3), &config, 64).expect("warmup");
+        let run = || {
+            let checker = GrpChecker::new(2);
+            check_corruptions(&base, &checker, &ExploreConfig::default())
+                .into_iter()
+                .map(|c| (c.node, c.variant, c.report.visited))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn path5_dmax2_synchronous_schedule_oscillates() {
+        // The boundary oscillation pinned in tests/data/path5_dmax2_sync.trace
+        // (replayed by tests/oscillation.rs): node 2 sits
+        // between the {0,1} and {3,4} groups and is never admitted by
+        // either side while every compute stays perfectly synchronous.
+        let config = GrpConfig::new(2);
+        let net = fresh_net(path(5), &config);
+        let lasso = find_synchronous_lasso(&net, 64).expect("schedule is periodic");
+        assert!(lasso.period_rounds > 1, "period {}", lasso.period_rounds);
+        let entry = crate::replay(&net, &lasso.trace, FaultBudget::default()).expect("replays");
+        assert_eq!(entry.state_hash(), lasso.entry_hash);
+        let checker = GrpChecker::new(2);
+        assert!(!checker.goal(&entry), "the cycle never reaches legitimacy");
+    }
+
+    #[test]
+    fn explorer_reports_stats_with_goal_pruning() {
+        let config = GrpConfig::new(2);
+        let base = legitimate_start(complete(3), &config, 64).expect("warmup");
+        let checker = GrpChecker::new(2);
+        let report = explore(&base, &checker, &ExploreConfig::default());
+        // the root is legitimate and (being quiescent + goal) the search
+        // still expands it once
+        assert!(report.converged());
+        assert!(report.goal_states >= 1);
+        let witness = report.witness.expect("legitimate root is its own witness");
+        assert!(witness.choices.is_empty());
+        matches!(report.outcome, Outcome::Converged);
+    }
+}

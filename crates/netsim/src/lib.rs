@@ -56,7 +56,7 @@ pub use fault::{FaultKind, ScheduledFault};
 pub use mobility::MobilityModel;
 pub use node::SimNode;
 pub use observer::{NullObserver, Observer, StatsProbe, TraceProbe};
-pub use protocol::{Protocol, ViewProtocol};
+pub use protocol::{CanonicalState, Protocol, ViewProtocol};
 pub use radio::RadioModel;
 pub use sim::{SimConfig, Simulator, TopologyMode};
 pub use space::Point;

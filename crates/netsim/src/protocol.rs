@@ -76,6 +76,25 @@ pub trait ViewProtocol: Protocol {
     }
 }
 
+/// A [`ViewProtocol`] whose complete semantic state can be folded into a
+/// [`CanonicalHasher`](crate::digest::CanonicalHasher) — the capability the
+/// `modelcheck` crate's bounded explorer needs for hash-based visited-state
+/// deduplication.
+///
+/// The encoding contract mirrors the trace-digest contract: typed, tagged,
+/// length-prefixed, platform-independent. Two instances must feed identical
+/// bytes **iff** they are behaviourally indistinguishable — diagnostic
+/// counters, caches and scratch buffers must *not* enter the encoding,
+/// otherwise reachable states never deduplicate and the explorer's state
+/// space becomes infinite.
+pub trait CanonicalState: ViewProtocol + Clone {
+    /// Fold the node's semantic state into the hasher.
+    fn feed_state(&self, hasher: &mut crate::digest::CanonicalHasher);
+
+    /// Fold one in-flight message into the hasher.
+    fn feed_message(msg: &Self::Message, hasher: &mut crate::digest::CanonicalHasher);
+}
+
 /// A minimal beacon protocol: every `Ts` the node broadcasts its identity
 /// and counts what it hears. The handlers are O(1), so a simulation of
 /// [`Beacon`] nodes measures the engine itself — event queue, radio,

@@ -42,6 +42,17 @@ impl Json {
         out
     }
 
+    /// Serialise as a fragment: no trailing newline, continuation lines
+    /// indented `indent` levels deep. This is the building block of the
+    /// streaming `result.json` writer — a fragment rendered at the level
+    /// it will occupy is byte-identical to the same value inside a
+    /// [`Json::pretty`] document.
+    pub fn render(&self, indent: usize) -> String {
+        let mut out = String::new();
+        self.write(&mut out, indent);
+        out
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),

@@ -28,11 +28,14 @@ pub mod result;
 pub mod runner;
 pub mod toml;
 
-pub use manifest::{ScenarioManifest, SCHEMA_VERSION};
-pub use result::{to_json, write_result, RESULT_SCHEMA_VERSION};
+pub use manifest::{RunMode, ScenarioManifest, SCHEMA_VERSION};
+pub use result::{
+    stream_scenario, to_json, write_result, write_result_streaming, ResultWriter,
+    RESULT_SCHEMA_VERSION,
+};
 pub use runner::{
     apply_churn_action, build_simulator, build_topology, drive_manifest, grp_config_of,
-    run_scenario, run_seed, ScenarioOutcome,
+    run_scenario, run_scenario_with, run_seed, ScenarioOutcome,
 };
 
 use std::path::{Path, PathBuf};
@@ -90,7 +93,19 @@ pub fn run_one(path: &Path, out_dir: &Path) -> ManifestReport {
             return report;
         }
     };
-    let outcome = runner::run_scenario(&manifest);
+    // the artifact streams per seed while the scenario executes; the bytes
+    // are pinned byte-identical to the batch renderer's output
+    let (artifact, outcome) = match result::write_result_streaming(&manifest, out_dir) {
+        Ok(pair) => pair,
+        Err(err) => {
+            let _ = writeln!(
+                report.stderr,
+                "cannot write result for {}: {err}",
+                manifest.name
+            );
+            return report;
+        }
+    };
     for run in &outcome.runs {
         let verdict = if run.pass { "PASS" } else { "FAIL" };
         let _ = writeln!(
@@ -114,19 +129,8 @@ pub fn run_one(path: &Path, out_dir: &Path) -> ManifestReport {
             );
         }
     }
-    match write_result(&outcome, out_dir) {
-        Ok(artifact) => {
-            let _ = writeln!(report.stdout, "     wrote {}", artifact.display());
-            report.outcome = Some(outcome);
-        }
-        Err(err) => {
-            let _ = writeln!(
-                report.stderr,
-                "cannot write result for {}: {err}",
-                manifest.name
-            );
-        }
-    }
+    let _ = writeln!(report.stdout, "     wrote {}", artifact.display());
+    report.outcome = Some(outcome);
     report
 }
 

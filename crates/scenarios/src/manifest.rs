@@ -260,6 +260,88 @@ impl Default for ProtocolSpec {
     }
 }
 
+/// What the manifest executes: a sampled simulation (the default) or the
+/// bounded model checker over the same protocol implementation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RunMode {
+    #[default]
+    Simulate,
+    ModelCheck,
+}
+
+/// Which optional per-round probes the run composes on top of the
+/// snapshot recorder. Disabling a probe removes its cost *and* its
+/// outputs: an assertion that reads a disabled probe is rejected at parse
+/// time rather than panicking (or silently passing) at run time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReportSpec {
+    /// Stream legitimacy verdicts and report the convergence round.
+    pub convergence: bool,
+    /// Stream ΠT ⇒ ΠC continuity accounting.
+    pub continuity: bool,
+}
+
+impl Default for ReportSpec {
+    fn default() -> Self {
+        ReportSpec {
+            convergence: true,
+            continuity: true,
+        }
+    }
+}
+
+/// Where a model-check run starts exploring from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StartSpec {
+    /// The warmed-up legitimate configuration itself: one exploration in
+    /// which only the `[modelcheck.faults]` budget can perturb the system.
+    Legitimate,
+    /// One exploration per entry of the single-node corruption catalogue
+    /// ([`grp_core::GrpNode::enumerate_corruptions`]), each starting from
+    /// the legitimate configuration with that node's state replaced.
+    #[default]
+    Corrupted,
+}
+
+/// The `[modelcheck]` table: bounds and adversary budget for the bounded
+/// explorer (`mode = "modelcheck"` only). Defaults mirror
+/// `modelcheck::ExploreConfig::default()`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelCheckSpec {
+    /// BFS depth bound (choices from the root).
+    pub depth: usize,
+    /// Hard cap on distinct visited states.
+    pub max_states: usize,
+    /// Starting configurations to explore from.
+    pub start: StartSpec,
+    /// Synchronous warm-up rounds allowed to reach the legitimate base.
+    pub warmup_rounds: usize,
+    /// Random walks launched past the bounds, and their length.
+    pub walks: u32,
+    pub walk_depth: usize,
+    /// Adversary fault budget (`[modelcheck.faults]`): message drops,
+    /// duplications and node crashes available during exploration.
+    pub max_drops: u32,
+    pub max_duplicates: u32,
+    pub max_crashes: u32,
+}
+
+impl Default for ModelCheckSpec {
+    fn default() -> Self {
+        ModelCheckSpec {
+            depth: 256,
+            max_states: 200_000,
+            start: StartSpec::default(),
+            warmup_rounds: 64,
+            walks: 16,
+            walk_depth: 256,
+            max_drops: 0,
+            max_duplicates: 0,
+            max_crashes: 0,
+        }
+    }
+}
+
 /// Pass/fail predicates evaluated on the completed run. All fields are
 /// optional; absent fields assert nothing.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -283,6 +365,9 @@ pub struct AssertionSpec {
     pub max_groups: Option<u64>,
     /// Lower bound on the delivery ratio over the whole run.
     pub min_delivery_ratio: Option<f64>,
+    /// Model-check mode only: every explored case must re-converge to a
+    /// legitimate configuration (exhaustively, within the bounds).
+    pub reconverges: Option<bool>,
 }
 
 /// Golden digests, one per seed (aligned with `sim.seeds`). Empty when the
@@ -297,9 +382,14 @@ pub struct GoldenSpec {
 pub struct ScenarioManifest {
     pub name: String,
     pub description: String,
+    pub mode: RunMode,
     pub workload: WorkloadSpec,
     pub protocol: ProtocolSpec,
     pub sim: SimSpec,
+    pub report: ReportSpec,
+    /// Present iff `mode = "modelcheck"` (defaulted when the table is
+    /// absent).
+    pub modelcheck: Option<ModelCheckSpec>,
     pub faults: Vec<FaultSpec>,
     pub churn: Vec<ChurnSpec>,
     pub assertions: AssertionSpec,
@@ -336,9 +426,11 @@ impl ScenarioManifest {
             .unwrap_or("")
             .to_string();
 
+        let mode = parse_mode(root.get("mode"))?;
         let workload = parse_workload(root)?;
         let protocol = parse_protocol(root.get("protocol"))?;
         let sim = parse_sim(root.get("sim"))?;
+        let report = parse_report(root.get("report"))?;
         let faults = parse_faults(root.get("faults"))?;
         let churn = parse_churn(root.get("churn"))?;
         if !churn.is_empty() && matches!(workload, WorkloadSpec::Spatial { .. }) {
@@ -354,12 +446,75 @@ impl ScenarioManifest {
             ));
         }
 
+        let modelcheck = match mode {
+            RunMode::ModelCheck => Some(parse_modelcheck(root.get("modelcheck"))?),
+            RunMode::Simulate => {
+                if root.get("modelcheck").is_some() {
+                    return bad("[modelcheck] requires `mode = \"modelcheck\"`");
+                }
+                None
+            }
+        };
+        match mode {
+            RunMode::ModelCheck => {
+                if matches!(workload, WorkloadSpec::Spatial { .. }) {
+                    return bad("mode = \"modelcheck\" requires an explicit [topology]; \
+                         spatial workloads cannot be exhaustively explored");
+                }
+                if !faults.is_empty() {
+                    return bad(
+                        "mode = \"modelcheck\" takes its fault budget from [modelcheck.faults]; \
+                         the timed [[faults]] schedule is simulation-only",
+                    );
+                }
+                if !churn.is_empty() {
+                    return bad("the [[churn]] schedule is simulation-only");
+                }
+                for (key, present) in [
+                    ("converged_by", assertions.converged_by.is_some()),
+                    ("max_rounds", assertions.max_rounds.is_some()),
+                    ("view_continuity", assertions.view_continuity.is_some()),
+                    (
+                        "min_delivery_ratio",
+                        assertions.min_delivery_ratio.is_some(),
+                    ),
+                ] {
+                    if present {
+                        return bad(format!(
+                            "[assertions]: `{key}` is simulation-only and cannot be \
+                             checked in mode = \"modelcheck\""
+                        ));
+                    }
+                }
+            }
+            RunMode::Simulate => {
+                if assertions.reconverges.is_some() {
+                    return bad(
+                        "[assertions]: `reconverges` is only meaningful in mode = \"modelcheck\"",
+                    );
+                }
+                // A disabled probe has no output for the assertion to read;
+                // reject the conflict here instead of panicking in the runner.
+                if !report.convergence && assertions.converged_by.is_some() {
+                    return bad("[report]: `convergence = false` disables the probe that \
+                         `converged_by` asserts on — enable it or drop the assertion");
+                }
+                if !report.continuity && assertions.view_continuity.is_some() {
+                    return bad("[report]: `continuity = false` disables the probe that \
+                         `view_continuity` asserts on — enable it or drop the assertion");
+                }
+            }
+        }
+
         Ok(ScenarioManifest {
             name: name.to_string(),
             description,
+            mode,
             workload,
             protocol,
             sim,
+            report,
+            modelcheck,
             faults,
             churn,
             assertions,
@@ -380,26 +535,33 @@ fn get_int(table: &BTreeMap<String, Value>, key: &str) -> Result<Option<i64>, Ma
     }
 }
 
+/// The one validator behind every count-like key — rounds, periods, seeds,
+/// node ids, depth bounds, fault budgets, assertion bounds. A count is a
+/// TOML integer `>= 0`; anything else (floats, strings, booleans, negative
+/// integers) reports the same shape regardless of which section the key
+/// lives in: ``{ctx}: `{key}`: expected non-negative integer``.
+fn count_value(value: &Value, key: &str, ctx: &str) -> Result<u64, ManifestError> {
+    match value.as_int() {
+        Some(i) if i >= 0 => Ok(i as u64),
+        _ => bad(format!("{ctx}: `{key}`: expected non-negative integer")),
+    }
+}
+
+fn req_u64(table: &BTreeMap<String, Value>, key: &str, ctx: &str) -> Result<u64, ManifestError> {
+    match table.get(key) {
+        Some(v) => count_value(v, key, ctx),
+        None => bad(format!(
+            "{ctx}: `{key}`: expected non-negative integer, but the key is missing"
+        )),
+    }
+}
+
 fn req_usize(
     table: &BTreeMap<String, Value>,
     key: &str,
     ctx: &str,
 ) -> Result<usize, ManifestError> {
-    match table.get(key).and_then(Value::as_int) {
-        Some(i) if i >= 0 => Ok(i as usize),
-        _ => bad(format!(
-            "{ctx}: missing or invalid `{key}` (non-negative integer)"
-        )),
-    }
-}
-
-fn req_u64(table: &BTreeMap<String, Value>, key: &str, ctx: &str) -> Result<u64, ManifestError> {
-    match table.get(key).and_then(Value::as_int) {
-        Some(i) if i >= 0 => Ok(i as u64),
-        _ => bad(format!(
-            "{ctx}: missing or invalid `{key}` (non-negative integer)"
-        )),
-    }
+    req_u64(table, key, ctx).map(|v| v as usize)
 }
 
 fn req_f64(table: &BTreeMap<String, Value>, key: &str, ctx: &str) -> Result<f64, ManifestError> {
@@ -419,13 +581,15 @@ fn opt_f64(table: &BTreeMap<String, Value>, key: &str, default: f64) -> Result<f
     }
 }
 
-fn opt_u64(table: &BTreeMap<String, Value>, key: &str, default: u64) -> Result<u64, ManifestError> {
+fn opt_u64(
+    table: &BTreeMap<String, Value>,
+    key: &str,
+    default: u64,
+    ctx: &str,
+) -> Result<u64, ManifestError> {
     match table.get(key) {
         None => Ok(default),
-        Some(v) => match v.as_int() {
-            Some(i) if i >= 0 => Ok(i as u64),
-            _ => bad(format!("`{key}` must be a non-negative integer")),
-        },
+        Some(v) => count_value(v, key, ctx),
     }
 }
 
@@ -578,6 +742,80 @@ fn parse_radio(r: &BTreeMap<String, Value>) -> Result<RadioSpec, ManifestError> 
     }
 }
 
+fn parse_mode(value: Option<&Value>) -> Result<RunMode, ManifestError> {
+    match value {
+        None => Ok(RunMode::default()),
+        Some(v) => match v.as_str() {
+            Some("simulate") => Ok(RunMode::Simulate),
+            Some("modelcheck") => Ok(RunMode::ModelCheck),
+            Some(other) => bad(format!(
+                "unknown `mode` `{other}` (expected \"simulate\" or \"modelcheck\")"
+            )),
+            None => bad("`mode` must be a string"),
+        },
+    }
+}
+
+fn parse_report(value: Option<&Value>) -> Result<ReportSpec, ManifestError> {
+    let default = ReportSpec::default();
+    let Some(value) = value else {
+        return Ok(default);
+    };
+    let t = value
+        .as_table()
+        .ok_or_else(|| ManifestError("[report] must be a table".into()))?;
+    Ok(ReportSpec {
+        convergence: opt_bool(t, "convergence", default.convergence)?,
+        continuity: opt_bool(t, "continuity", default.continuity)?,
+    })
+}
+
+fn parse_modelcheck(value: Option<&Value>) -> Result<ModelCheckSpec, ManifestError> {
+    let default = ModelCheckSpec::default();
+    let Some(value) = value else {
+        return Ok(default);
+    };
+    let t = value
+        .as_table()
+        .ok_or_else(|| ManifestError("[modelcheck] must be a table".into()))?;
+    let ctx = "[modelcheck]";
+    let start = match t.get("start") {
+        None => StartSpec::default(),
+        Some(v) => match v.as_str() {
+            Some("legitimate") => StartSpec::Legitimate,
+            Some("corrupted") => StartSpec::Corrupted,
+            _ => {
+                return bad("[modelcheck]: `start` must be \"legitimate\" or \"corrupted\"");
+            }
+        },
+    };
+    let (max_drops, max_duplicates, max_crashes) = match t.get("faults") {
+        None => (0, 0, 0),
+        Some(v) => {
+            let f = v
+                .as_table()
+                .ok_or_else(|| ManifestError("[modelcheck.faults] must be a table".into()))?;
+            let fc = "[modelcheck.faults]";
+            (
+                opt_u64(f, "drops", 0, fc)? as u32,
+                opt_u64(f, "duplicates", 0, fc)? as u32,
+                opt_u64(f, "crashes", 0, fc)? as u32,
+            )
+        }
+    };
+    Ok(ModelCheckSpec {
+        depth: opt_u64(t, "depth", default.depth as u64, ctx)? as usize,
+        max_states: opt_u64(t, "max_states", default.max_states as u64, ctx)? as usize,
+        start,
+        warmup_rounds: opt_u64(t, "warmup_rounds", default.warmup_rounds as u64, ctx)? as usize,
+        walks: opt_u64(t, "walks", default.walks as u64, ctx)? as u32,
+        walk_depth: opt_u64(t, "walk_depth", default.walk_depth as u64, ctx)? as usize,
+        max_drops,
+        max_duplicates,
+        max_crashes,
+    })
+}
+
 fn parse_protocol(value: Option<&Value>) -> Result<ProtocolSpec, ManifestError> {
     let Some(value) = value else {
         return Ok(ProtocolSpec::default());
@@ -600,18 +838,16 @@ fn parse_sim(value: Option<&Value>) -> Result<SimSpec, ManifestError> {
     let t = value
         .as_table()
         .ok_or_else(|| ManifestError("[sim] must be a table".into()))?;
+    let ctx = "[sim]";
     let seeds = match t.get("seeds") {
-        None => vec![opt_u64(t, "seed", 1)?],
+        None => vec![opt_u64(t, "seed", 1, ctx)?],
         Some(v) => {
             let items = v
                 .as_array()
                 .ok_or_else(|| ManifestError("`seeds` must be an array".into()))?;
             let mut seeds = Vec::new();
             for item in items {
-                match item.as_int() {
-                    Some(i) if i >= 0 => seeds.push(i as u64),
-                    _ => return bad("`seeds` entries must be non-negative integers"),
-                }
+                seeds.push(count_value(item, "seeds", ctx)?);
             }
             if seeds.is_empty() {
                 return bad("`seeds` must not be empty");
@@ -621,11 +857,11 @@ fn parse_sim(value: Option<&Value>) -> Result<SimSpec, ManifestError> {
     };
     Ok(SimSpec {
         seeds,
-        rounds: opt_u64(t, "rounds", default.rounds)?,
-        send_period: opt_u64(t, "send_period", default.send_period)?,
-        compute_period: opt_u64(t, "compute_period", default.compute_period)?,
-        mobility_period: opt_u64(t, "mobility_period", default.mobility_period)?,
-        delivery_delay: opt_u64(t, "delivery_delay", default.delivery_delay)?,
+        rounds: opt_u64(t, "rounds", default.rounds, ctx)?,
+        send_period: opt_u64(t, "send_period", default.send_period, ctx)?,
+        compute_period: opt_u64(t, "compute_period", default.compute_period, ctx)?,
+        mobility_period: opt_u64(t, "mobility_period", default.mobility_period, ctx)?,
+        delivery_delay: opt_u64(t, "delivery_delay", default.delivery_delay, ctx)?,
         loss: opt_f64(t, "loss", default.loss)?,
         stagger_phases: opt_bool(t, "stagger_phases", default.stagger_phases)?,
         spatial_index: opt_bool(t, "spatial_index", default.spatial_index)?,
@@ -705,10 +941,7 @@ fn parse_churn(value: Option<&Value>) -> Result<Vec<ChurnSpec>, ManifestError> {
                             .ok_or_else(|| ManifestError("`links` must be an array".into()))?;
                         let mut links = Vec::new();
                         for l in arr {
-                            match l.as_int() {
-                                Some(i) if i >= 0 => links.push(i as u64),
-                                _ => return bad("`links` entries must be node ids"),
-                            }
+                            links.push(count_value(l, "links", "[[churn]]")?);
                         }
                         links
                     }
@@ -748,12 +981,7 @@ fn parse_assertions(value: Option<&Value>) -> Result<AssertionSpec, ManifestErro
     let opt_u64_field = |key: &str| -> Result<Option<u64>, ManifestError> {
         match t.get(key) {
             None => Ok(None),
-            Some(v) => match v.as_int() {
-                Some(i) if i >= 0 => Ok(Some(i as u64)),
-                _ => bad(format!(
-                    "[assertions]: `{key}` must be a non-negative integer"
-                )),
-            },
+            Some(v) => count_value(v, key, "[assertions]").map(Some),
         }
     };
     let opt_f64_field = |key: &str| -> Result<Option<f64>, ManifestError> {
@@ -776,6 +1004,7 @@ fn parse_assertions(value: Option<&Value>) -> Result<AssertionSpec, ManifestErro
         min_groups: opt_u64_field("min_groups")?,
         max_groups: opt_u64_field("max_groups")?,
         min_delivery_ratio: opt_f64_field("min_delivery_ratio")?,
+        reconverges: opt_bool_field("reconverges")?,
     })
 }
 
@@ -992,5 +1221,194 @@ seeds = [1, 2]
 digests = ["only-one"]
 "#;
         assert!(ScenarioManifest::parse(misaligned).is_err());
+    }
+
+    /// Every count-like key, wherever it lives, reports the same error
+    /// shape on a malformed value: `` `{key}`: expected non-negative
+    /// integer``. One case per validation site.
+    #[test]
+    fn count_keys_report_one_uniform_error_shape() {
+        let cases: &[(&str, &str)] = &[
+            // [topology] required count, float-shaped
+            (
+                "name = \"x\"\n[topology]\nkind = \"path\"\nn = 2.5",
+                "[topology]: `n`: expected non-negative integer",
+            ),
+            // [topology] required count, missing
+            (
+                "name = \"x\"\n[topology]\nkind = \"path\"",
+                "[topology]: `n`: expected non-negative integer, but the key is missing",
+            ),
+            // [protocol] required count, negative
+            (
+                "name = \"x\"\n[topology]\nkind = \"path\"\nn = 2\n[protocol]\ndmax = -1",
+                "[protocol]: `dmax`: expected non-negative integer",
+            ),
+            // [sim] optional count, string-shaped
+            (
+                "name = \"x\"\n[topology]\nkind = \"path\"\nn = 2\n[sim]\nrounds = \"ten\"",
+                "[sim]: `rounds`: expected non-negative integer",
+            ),
+            // [sim] seeds array entry, negative
+            (
+                "name = \"x\"\n[topology]\nkind = \"path\"\nn = 2\n[sim]\nseeds = [1, -2]",
+                "[sim]: `seeds`: expected non-negative integer",
+            ),
+            // [[faults]] required count, boolean-shaped
+            (
+                "name = \"x\"\n[topology]\nkind = \"path\"\nn = 2\n[[faults]]\nat = true\nkind = \"crash\"\nnode = 0",
+                "[[faults]]: `at`: expected non-negative integer",
+            ),
+            // [[churn]] links entry, float-shaped
+            (
+                "name = \"x\"\n[topology]\nkind = \"path\"\nn = 3\n[[churn]]\nat_round = 1\naction = \"node_join\"\nnode = 9\nlinks = [0, 1.5]",
+                "[[churn]]: `links`: expected non-negative integer",
+            ),
+            // [assertions] optional count, float-shaped
+            (
+                "name = \"x\"\n[topology]\nkind = \"path\"\nn = 2\n[assertions]\nconverged_by = 9.75",
+                "[assertions]: `converged_by`: expected non-negative integer",
+            ),
+            // [modelcheck] optional count, negative
+            (
+                "name = \"x\"\nmode = \"modelcheck\"\n[topology]\nkind = \"path\"\nn = 2\n[modelcheck]\ndepth = -4",
+                "[modelcheck]: `depth`: expected non-negative integer",
+            ),
+            // [modelcheck.faults] budget entry, string-shaped
+            (
+                "name = \"x\"\nmode = \"modelcheck\"\n[topology]\nkind = \"path\"\nn = 2\n[modelcheck]\n[modelcheck.faults]\ndrops = \"two\"",
+                "[modelcheck.faults]: `drops`: expected non-negative integer",
+            ),
+        ];
+        for (input, expected) in cases {
+            let err = ScenarioManifest::parse(input).expect_err(expected).0;
+            assert!(
+                err.contains(expected),
+                "expected error containing `{expected}`, got `{err}`"
+            );
+        }
+    }
+
+    #[test]
+    fn modelcheck_manifest_parses_with_defaults_and_overrides() {
+        let m = ScenarioManifest::parse(
+            r#"
+name = "mc"
+mode = "modelcheck"
+[topology]
+kind = "complete"
+n = 3
+[assertions]
+reconverges = true
+"#,
+        )
+        .expect("parses");
+        assert_eq!(m.mode, RunMode::ModelCheck);
+        let spec = m.modelcheck.expect("defaulted spec");
+        assert_eq!(spec, ModelCheckSpec::default());
+        assert_eq!(m.assertions.reconverges, Some(true));
+
+        let m = ScenarioManifest::parse(
+            r#"
+name = "mc"
+mode = "modelcheck"
+[topology]
+kind = "path"
+n = 4
+[modelcheck]
+depth = 32
+max_states = 5000
+start = "legitimate"
+warmup_rounds = 20
+walks = 4
+walk_depth = 64
+[modelcheck.faults]
+drops = 1
+duplicates = 2
+crashes = 1
+"#,
+        )
+        .expect("parses");
+        let spec = m.modelcheck.expect("spec");
+        assert_eq!(spec.depth, 32);
+        assert_eq!(spec.max_states, 5000);
+        assert_eq!(spec.start, StartSpec::Legitimate);
+        assert_eq!(spec.warmup_rounds, 20);
+        assert_eq!((spec.walks, spec.walk_depth), (4, 64));
+        assert_eq!(
+            (spec.max_drops, spec.max_duplicates, spec.max_crashes),
+            (1, 2, 1)
+        );
+    }
+
+    #[test]
+    fn modelcheck_mode_rejects_simulation_only_sections() {
+        let base = "name = \"mc\"\nmode = \"modelcheck\"\n[topology]\nkind = \"path\"\nn = 3\n";
+        for (extra, why) in [
+            (
+                "[[faults]]\nat = 100\nkind = \"crash\"\nnode = 0\n",
+                "faults",
+            ),
+            (
+                "[[churn]]\nat_round = 2\naction = \"link_down\"\na = 0\nb = 1\n",
+                "churn",
+            ),
+            ("[assertions]\nconverged_by = 10\n", "converged_by"),
+            ("[assertions]\nview_continuity = 0.9\n", "view_continuity"),
+            ("[assertions]\nmin_delivery_ratio = 0.5\n", "delivery"),
+            ("[assertions]\nmax_rounds = 40\n", "max_rounds"),
+        ] {
+            let input = format!("{base}{extra}");
+            assert!(
+                ScenarioManifest::parse(&input).is_err(),
+                "modelcheck manifest with {why} must be rejected"
+            );
+        }
+        // spatial workloads cannot be explored
+        assert!(ScenarioManifest::parse(
+            "name = \"mc\"\nmode = \"modelcheck\"\n[mobility]\nkind = \"stationary_line\"\nn = 3\nspacing = 10.0\n[radio]\nkind = \"unit_disk\"\nrange = 15.0\n"
+        )
+        .is_err());
+        // and the table/assertion are modelcheck-only
+        assert!(ScenarioManifest::parse(
+            "name = \"x\"\n[topology]\nkind = \"path\"\nn = 2\n[modelcheck]\ndepth = 8\n"
+        )
+        .is_err());
+        assert!(ScenarioManifest::parse(
+            "name = \"x\"\n[topology]\nkind = \"path\"\nn = 2\n[assertions]\nreconverges = true\n"
+        )
+        .is_err());
+        assert!(ScenarioManifest::parse(
+            "name = \"x\"\nmode = \"fuzz\"\n[topology]\nkind = \"path\"\nn = 2\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn report_toggles_conflict_with_probe_reading_assertions() {
+        let m = ScenarioManifest::parse(
+            "name = \"x\"\n[topology]\nkind = \"path\"\nn = 2\n[report]\nconvergence = false\ncontinuity = false\n",
+        )
+        .expect("parses");
+        assert!(!m.report.convergence && !m.report.continuity);
+        // defaults keep both probes on
+        assert_eq!(
+            ReportSpec::default(),
+            ReportSpec {
+                convergence: true,
+                continuity: true
+            }
+        );
+
+        let err = ScenarioManifest::parse(
+            "name = \"x\"\n[topology]\nkind = \"path\"\nn = 2\n[report]\nconvergence = false\n[assertions]\nconverged_by = 10\n",
+        )
+        .expect_err("conflict").0;
+        assert!(err.contains("convergence = false"), "got `{err}`");
+        let err = ScenarioManifest::parse(
+            "name = \"x\"\n[topology]\nkind = \"path\"\nn = 2\n[report]\ncontinuity = false\n[assertions]\nview_continuity = 0.5\n",
+        )
+        .expect_err("conflict").0;
+        assert!(err.contains("continuity = false"), "got `{err}`");
     }
 }

@@ -5,12 +5,39 @@
 //! see `docs/SCENARIOS.md` for the field-by-field contract.
 
 use crate::json::Json;
-use crate::runner::{RunOutcome, ScenarioOutcome};
+use crate::manifest::ScenarioManifest;
+use crate::runner::{run_scenario_with, McReport, RunOutcome, ScenarioOutcome};
 use std::io;
 use std::path::{Path, PathBuf};
 
 /// Result document schema version.
 pub const RESULT_SCHEMA_VERSION: i64 = 1;
+
+fn modelcheck_to_json(mc: &McReport) -> Json {
+    Json::object()
+        .with("start", mc.start.as_str())
+        .with("all_converged", mc.all_converged)
+        .with("total_visited", mc.total_visited)
+        .with(
+            "cases",
+            Json::Array(
+                mc.cases
+                    .iter()
+                    .map(|c| {
+                        Json::object()
+                            .with("node", c.node)
+                            .with("variant", c.variant.as_str())
+                            .with("outcome", c.outcome.as_str())
+                            .with("converged", c.converged)
+                            .with("visited", c.visited)
+                            .with("goal_states", c.goal_states)
+                            .with("max_depth", c.max_depth)
+                            .with("trace_len", c.trace_len)
+                    })
+                    .collect(),
+            ),
+        )
+}
 
 fn run_to_json(run: &RunOutcome, golden: Option<&String>) -> Json {
     let last = &run.final_snapshot;
@@ -19,7 +46,7 @@ fn run_to_json(run: &RunOutcome, golden: Option<&String>) -> Json {
         .iter()
         .map(|g| Json::Array(g.iter().map(|n| Json::Int(n.raw() as i64)).collect()))
         .collect();
-    Json::object()
+    let mut doc = Json::object()
         .with("seed", run.seed)
         .with("rounds", run.rounds)
         .with("nodes", run.nodes)
@@ -67,8 +94,13 @@ fn run_to_json(run: &RunOutcome, golden: Option<&String>) -> Json {
                     })
                     .collect(),
             ),
-        )
-        .with("pass", run.pass)
+        );
+    // the section exists only for `mode = "modelcheck"` runs, so the
+    // simulation documents keep their exact historical byte layout
+    if let Some(mc) = &run.modelcheck {
+        doc = doc.with("modelcheck", modelcheck_to_json(mc));
+    }
+    doc.with("pass", run.pass)
 }
 
 /// Render the scenario outcome as the result.json document.
@@ -99,6 +131,111 @@ pub fn write_result(outcome: &ScenarioOutcome, out_dir: &Path) -> io::Result<Pat
     let path = out_dir.join(format!("{}.result.json", outcome.manifest.name));
     std::fs::write(&path, to_json(outcome).pretty())?;
     Ok(path)
+}
+
+/// Incremental `result.json` emission: the header goes out on
+/// construction, each run as it completes, the verdict on [`finish`].
+/// The bytes are identical to `to_json(&outcome).pretty()` for the same
+/// runs — a contract the golden-suite tests pin — so consumers cannot
+/// tell which path produced an artifact. The win is that a long multi-seed
+/// scenario leaves a useful partial document behind if the process dies
+/// mid-suite, and never buffers more than one run.
+///
+/// [`finish`]: ResultWriter::finish
+pub struct ResultWriter<W: io::Write> {
+    out: W,
+    runs_written: usize,
+}
+
+impl<W: io::Write> ResultWriter<W> {
+    /// Write the document header (everything before the first run).
+    pub fn new(mut out: W, manifest: &ScenarioManifest) -> io::Result<Self> {
+        let mut head = String::from("{\n");
+        for (key, value) in [
+            ("schema", Json::Int(RESULT_SCHEMA_VERSION)),
+            ("scenario", Json::from(manifest.name.as_str())),
+            ("description", Json::from(manifest.description.as_str())),
+            ("dmax", Json::from(manifest.protocol.dmax)),
+        ] {
+            head.push_str("  ");
+            head.push_str(&Json::from(key).render(1));
+            head.push_str(": ");
+            head.push_str(&value.render(1));
+            head.push_str(",\n");
+        }
+        head.push_str("  \"runs\": [");
+        out.write_all(head.as_bytes())?;
+        Ok(ResultWriter {
+            out,
+            runs_written: 0,
+        })
+    }
+
+    /// Append one run, exactly as the batch renderer would place it.
+    pub fn write_run(&mut self, run: &RunOutcome, golden: Option<&String>) -> io::Result<()> {
+        let separator = if self.runs_written == 0 {
+            "\n    "
+        } else {
+            ",\n    "
+        };
+        self.out.write_all(separator.as_bytes())?;
+        self.out
+            .write_all(run_to_json(run, golden).render(2).as_bytes())?;
+        self.runs_written += 1;
+        Ok(())
+    }
+
+    /// Close the runs array, write the overall verdict, and hand the sink
+    /// back (flushed).
+    pub fn finish(mut self, pass: bool) -> io::Result<W> {
+        let tail = if self.runs_written == 0 {
+            // matches the batch renderer's compact empty array
+            format!("],\n  \"pass\": {}\n}}\n", Json::Bool(pass).render(1))
+        } else {
+            format!("\n  ],\n  \"pass\": {}\n}}\n", Json::Bool(pass).render(1))
+        };
+        self.out.write_all(tail.as_bytes())?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Run a manifest, streaming each seed's run into `out` the moment it
+/// completes. Returns the full outcome alongside the sink.
+pub fn stream_scenario<W: io::Write>(
+    manifest: &ScenarioManifest,
+    out: W,
+) -> io::Result<(ScenarioOutcome, W)> {
+    let mut writer = Some(ResultWriter::new(out, manifest)?);
+    let mut write_err: Option<io::Error> = None;
+    let outcome = run_scenario_with(manifest, |i, run| {
+        if let (Some(w), None) = (writer.as_mut(), write_err.as_ref()) {
+            if let Err(e) = w.write_run(run, manifest.golden.digests.get(i)) {
+                write_err = Some(e);
+            }
+        }
+    });
+    if let Some(e) = write_err {
+        return Err(e);
+    }
+    let out = writer
+        .take()
+        .expect("writer is only taken here")
+        .finish(outcome.pass)?;
+    Ok((outcome, out))
+}
+
+/// Streaming twin of [`write_result`]: executes the manifest and streams
+/// `<out_dir>/<scenario-name>.result.json` per seed as the runs complete.
+pub fn write_result_streaming(
+    manifest: &ScenarioManifest,
+    out_dir: &Path,
+) -> io::Result<(PathBuf, ScenarioOutcome)> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join(format!("{}.result.json", manifest.name));
+    let file = std::fs::File::create(&path)?;
+    let (outcome, _file) = stream_scenario(manifest, io::BufWriter::new(file))?;
+    Ok((path, outcome))
 }
 
 #[cfg(test)]
@@ -140,6 +277,85 @@ agreement = true
         }
         // two seeds ⇒ two runs
         assert_eq!(outcome.runs.len(), 2);
+    }
+
+    /// The streaming writer and the batch renderer are byte-for-byte
+    /// interchangeable — on multi-seed simulation documents and on
+    /// model-check documents with their extra section.
+    #[test]
+    fn streamed_document_is_byte_identical_to_batch() {
+        for text in [
+            r#"
+name = "stream-sim"
+[sim]
+rounds = 15
+seeds = [1, 2, 3]
+[topology]
+kind = "path"
+n = 3
+[assertions]
+agreement = true
+"#,
+            r#"
+name = "stream-mc"
+mode = "modelcheck"
+[protocol]
+dmax = 2
+[topology]
+kind = "complete"
+n = 3
+[assertions]
+reconverges = true
+"#,
+        ] {
+            let manifest = ScenarioManifest::parse(text).unwrap();
+            let (outcome, streamed) = stream_scenario(&manifest, Vec::new()).expect("streams");
+            let streamed = String::from_utf8(streamed).unwrap();
+            assert_eq!(
+                streamed,
+                to_json(&outcome).pretty(),
+                "{}: streamed bytes diverge from the batch renderer",
+                manifest.name
+            );
+        }
+    }
+
+    #[test]
+    fn result_document_carries_the_modelcheck_section_only_in_mc_mode() {
+        let mc = ScenarioManifest::parse(
+            r#"
+name = "mc-result"
+mode = "modelcheck"
+[protocol]
+dmax = 2
+[topology]
+kind = "complete"
+n = 3
+[assertions]
+reconverges = true
+"#,
+        )
+        .unwrap();
+        let text = to_json(&run_scenario(&mc)).pretty();
+        for field in [
+            "\"modelcheck\":",
+            "\"start\": \"corrupted\"",
+            "\"all_converged\": true",
+            "\"variant\":",
+            "\"visited\":",
+        ] {
+            assert!(text.contains(field), "missing {field} in:\n{text}");
+        }
+
+        let sim = ScenarioManifest::parse(
+            "name = \"sim-result\"\n[sim]\nrounds = 10\n[topology]\nkind = \"path\"\nn = 2\n",
+        )
+        .unwrap();
+        let text = to_json(&run_scenario(&sim)).pretty();
+        assert!(
+            !text.contains("\"modelcheck\""),
+            "simulation documents must keep their historical layout"
+        );
     }
 
     #[test]

@@ -14,13 +14,17 @@
 //! convergence + continuity probes) on top of it.
 
 use crate::manifest::{
-    AssertionSpec, ChurnAction, FaultKindSpec, MobilitySpec, RadioSpec, ScenarioManifest,
-    TopologySpec, WorkloadSpec,
+    AssertionSpec, ChurnAction, FaultKindSpec, MobilitySpec, RadioSpec, RunMode, ScenarioManifest,
+    StartSpec, TopologySpec, WorkloadSpec,
 };
 use dyngraph::{generators, Graph, NodeId, TopologyEvent};
 use grp_core::observers::GrpPipeline;
 use grp_core::predicates::SystemSnapshot;
 use grp_core::{GrpConfig, GrpNode};
+use modelcheck::{
+    check_corruptions, explore, fresh_net, legitimate_start, snapshot_of, ExploreConfig,
+    FaultBudget, GrpChecker, Outcome, Report, Violation,
+};
 use netsim::mobility::{Highway, RandomWalk, RandomWaypoint, Stationary};
 use netsim::radio::{DistanceLossDisk, LossyDisk, UnitDisk};
 use netsim::{
@@ -54,17 +58,50 @@ impl AssertionResult {
     }
 }
 
+/// One explored model-check case as reported in `result.json`.
+#[derive(Clone, Debug)]
+pub struct McCaseReport {
+    /// The corrupted node, or `None` for the whole-net `start =
+    /// "legitimate"` case.
+    pub node: Option<u64>,
+    /// Corruption-catalogue variant name (or `"legitimate"`).
+    pub variant: String,
+    /// `"converged"`, `"cycle"`, `"stuck"`, `"invariant"` or `"bounds"`.
+    pub outcome: String,
+    pub converged: bool,
+    pub visited: u64,
+    pub goal_states: u64,
+    pub max_depth: usize,
+    /// Length of the witness/counterexample choice trace, if one exists.
+    pub trace_len: Option<usize>,
+}
+
+/// The model-check section of one run: every explored case plus the
+/// aggregate verdict. Deterministic given (manifest, seed), so it folds
+/// into the golden digest.
+#[derive(Clone, Debug, Default)]
+pub struct McReport {
+    /// `"legitimate"` or `"corrupted"` — which start the manifest chose.
+    pub start: String,
+    pub cases: Vec<McCaseReport>,
+    pub total_visited: u64,
+    pub all_converged: bool,
+}
+
 /// Everything observed while executing one (manifest, seed) pair.
 pub struct RunOutcome {
     pub seed: u64,
     pub rounds: u64,
     pub nodes: usize,
     pub digest: TraceDigest,
-    /// Index of the first snapshot of the closed legitimate suffix.
+    /// Index of the first snapshot of the closed legitimate suffix
+    /// (`None` when the convergence probe is disabled via `[report]`).
     pub converged_round: Option<usize>,
     pub final_snapshot: SystemSnapshot,
     pub stats: MessageStats,
     pub continuity: ContinuityStats,
+    /// Present iff the manifest ran in `mode = "modelcheck"`.
+    pub modelcheck: Option<McReport>,
     pub assertions: Vec<AssertionResult>,
     pub pass: bool,
 }
@@ -78,12 +115,26 @@ pub struct ScenarioOutcome {
 
 /// Execute every seed of a manifest.
 pub fn run_scenario(manifest: &ScenarioManifest) -> ScenarioOutcome {
+    run_scenario_with(manifest, |_, _| {})
+}
+
+/// Execute every seed of a manifest, handing each completed [`RunOutcome`]
+/// (with its seed index) to `on_run` before the next seed starts — the
+/// hook the streaming `result.json` writer feeds from.
+pub fn run_scenario_with(
+    manifest: &ScenarioManifest,
+    mut on_run: impl FnMut(usize, &RunOutcome),
+) -> ScenarioOutcome {
     let runs: Vec<RunOutcome> = manifest
         .sim
         .seeds
         .iter()
         .enumerate()
-        .map(|(i, &seed)| run_seed(manifest, seed, manifest.golden.digests.get(i)))
+        .map(|(i, &seed)| {
+            let run = run_seed(manifest, seed, manifest.golden.digests.get(i));
+            on_run(i, &run);
+            run
+        })
         .collect();
     let pass = runs.iter().all(|r| r.pass);
     ScenarioOutcome {
@@ -308,13 +359,23 @@ pub fn drive_manifest(
 
 /// Execute one seed. `golden` is the pinned digest for this seed, if any.
 pub fn run_seed(manifest: &ScenarioManifest, seed: u64, golden: Option<&String>) -> RunOutcome {
+    if manifest.mode == RunMode::ModelCheck {
+        return run_modelcheck_seed(manifest, seed, golden);
+    }
     let mut sim = build_simulator(manifest, seed);
     let dmax = manifest.protocol.dmax;
     let rounds = manifest.sim.rounds;
 
-    let mut pipeline = GrpPipeline::new()
-        .with_convergence(dmax)
-        .with_continuity(dmax);
+    // probes compose per the `[report]` toggles; an assertion that reads a
+    // disabled probe was already rejected at manifest-parse time, so a
+    // `None` below can never be asked for a verdict
+    let mut pipeline = GrpPipeline::new();
+    if manifest.report.convergence {
+        pipeline = pipeline.with_convergence(dmax);
+    }
+    if manifest.report.continuity {
+        pipeline = pipeline.with_continuity(dmax);
+    }
     drive_manifest(&mut sim, manifest, &mut pipeline);
     let GrpPipeline {
         recorder,
@@ -338,8 +399,8 @@ pub fn run_seed(manifest: &ScenarioManifest, seed: u64, golden: Option<&String>)
         .cloned()
         .unwrap_or_else(|| SystemSnapshot::from_simulator(&sim));
     let stats = sim.stats();
-    let converged_round = convergence.expect("enabled above").convergence_round();
-    let continuity = continuity.expect("enabled above").stats();
+    let converged_round = convergence.and_then(|probe| probe.convergence_round());
+    let continuity = continuity.map(|probe| probe.stats()).unwrap_or_default();
 
     let assertions = evaluate_assertions(
         &manifest.assertions,
@@ -348,6 +409,7 @@ pub fn run_seed(manifest: &ScenarioManifest, seed: u64, golden: Option<&String>)
         &final_snapshot,
         &continuity,
         &stats,
+        None,
         &digest,
         golden,
     );
@@ -362,6 +424,166 @@ pub fn run_seed(manifest: &ScenarioManifest, seed: u64, golden: Option<&String>)
         final_snapshot,
         stats,
         continuity,
+        modelcheck: None,
+        assertions,
+        pass,
+    }
+}
+
+fn violation_tag(violation: &Violation) -> (&'static str, &modelcheck::Trace) {
+    match violation {
+        Violation::Invariant { trace, .. } => ("invariant", trace),
+        Violation::Stuck { trace } => ("stuck", trace),
+        Violation::Cycle { trace, .. } => ("cycle", trace),
+    }
+}
+
+fn case_report(node: Option<u64>, variant: String, report: &Report) -> McCaseReport {
+    let (outcome, trace_len) = match &report.outcome {
+        Outcome::Converged => (
+            "converged",
+            report.witness.as_ref().map(|w| w.choices.len()),
+        ),
+        Outcome::Violation(v) => {
+            let (tag, trace) = violation_tag(v);
+            (tag, Some(trace.choices.len()))
+        }
+        Outcome::BoundsExceeded { .. } => {
+            ("bounds", report.witness.as_ref().map(|w| w.choices.len()))
+        }
+    };
+    McCaseReport {
+        node,
+        variant,
+        outcome: outcome.to_string(),
+        converged: report.converged(),
+        visited: report.visited,
+        goal_states: report.goal_states,
+        max_depth: report.max_depth,
+        trace_len,
+    }
+}
+
+/// Execute one seed in `mode = "modelcheck"`: warm the topology up to its
+/// legitimate configuration synchronously, then run the bounded explorer
+/// once per start case (the corruption catalogue, or the legitimate base
+/// itself). The digest folds every case's verdict and state count, so the
+/// `[golden]` pin mechanically freezes the exhaustively-verified claim —
+/// "every enumerated corruption re-converges in exactly this state space".
+fn run_modelcheck_seed(
+    manifest: &ScenarioManifest,
+    seed: u64,
+    golden: Option<&String>,
+) -> RunOutcome {
+    let spec = manifest.modelcheck.clone().unwrap_or_default();
+    let WorkloadSpec::Explicit(topo_spec) = &manifest.workload else {
+        unreachable!("parse-time validation rejects spatial modelcheck manifests");
+    };
+    let topology = build_topology(topo_spec, seed);
+    let nodes = topology.node_vec().len();
+    let dmax = manifest.protocol.dmax;
+    let grp_config = grp_config_of(manifest);
+    let checker = GrpChecker::new(dmax);
+    let explore_config = ExploreConfig {
+        depth: spec.depth,
+        max_states: spec.max_states,
+        budget: FaultBudget {
+            max_drops: spec.max_drops,
+            max_duplicates: spec.max_duplicates,
+            max_crashes: spec.max_crashes,
+        },
+        walks: spec.walks,
+        walk_depth: spec.walk_depth,
+        seed,
+    };
+    let start_tag = match spec.start {
+        StartSpec::Legitimate => "legitimate",
+        StartSpec::Corrupted => "corrupted",
+    };
+
+    let mut assertions = Vec::new();
+    let (mc, final_snapshot) =
+        match legitimate_start(topology.clone(), &grp_config, spec.warmup_rounds) {
+            Err(err) => {
+                assertions.push(AssertionResult::new(
+                    "modelcheck_warmup",
+                    "a stable legitimate configuration",
+                    err,
+                    false,
+                ));
+                let report = McReport {
+                    start: start_tag.to_string(),
+                    ..McReport::default()
+                };
+                (report, snapshot_of(&fresh_net(topology, &grp_config)))
+            }
+            Ok(base) => {
+                let cases: Vec<McCaseReport> = match spec.start {
+                    StartSpec::Corrupted => check_corruptions(&base, &checker, &explore_config)
+                        .into_iter()
+                        .map(|case| case_report(Some(case.node.raw()), case.variant, &case.report))
+                        .collect(),
+                    StartSpec::Legitimate => {
+                        let report = explore(&base, &checker, &explore_config);
+                        vec![case_report(None, "legitimate".to_string(), &report)]
+                    }
+                };
+                let report = McReport {
+                    start: start_tag.to_string(),
+                    total_visited: cases.iter().map(|c| c.visited).sum(),
+                    all_converged: !cases.is_empty() && cases.iter().all(|c| c.converged),
+                    cases,
+                };
+                (report, snapshot_of(&base))
+            }
+        };
+
+    // the model-check digest: scenario identity, then every case's verdict
+    // and exploration statistics, in catalogue order
+    let mut hasher = CanonicalHasher::new();
+    hasher.feed_str(&manifest.name);
+    hasher.feed_u64(seed);
+    hasher.feed_u64(dmax as u64);
+    hasher.begin_list("modelcheck");
+    hasher.feed_str(&mc.start);
+    for case in &mc.cases {
+        // 0 = whole-net case; corrupted node ids are offset by one
+        hasher.feed_u64(case.node.map(|n| n + 1).unwrap_or(0));
+        hasher.feed_str(&case.variant);
+        hasher.feed_str(&case.outcome);
+        hasher.feed_u64(case.visited);
+        hasher.feed_u64(case.goal_states);
+        hasher.feed_u64(case.max_depth as u64);
+        hasher.feed_u64(case.trace_len.map(|l| l as u64 + 1).unwrap_or(0));
+    }
+    hasher.end_list();
+    let digest = hasher.finalize();
+
+    let stats = MessageStats::default();
+    let continuity = ContinuityStats::default();
+    assertions.extend(evaluate_assertions(
+        &manifest.assertions,
+        manifest,
+        None,
+        &final_snapshot,
+        &continuity,
+        &stats,
+        Some(&mc),
+        &digest,
+        golden,
+    ));
+    let pass = assertions.iter().all(|a| a.pass);
+
+    RunOutcome {
+        seed,
+        rounds: 0,
+        nodes,
+        digest,
+        converged_round: None,
+        final_snapshot,
+        stats,
+        continuity,
+        modelcheck: Some(mc),
         assertions,
         pass,
     }
@@ -375,12 +597,22 @@ fn evaluate_assertions(
     last: &SystemSnapshot,
     continuity: &ContinuityStats,
     stats: &MessageStats,
+    mc: Option<&McReport>,
     digest: &TraceDigest,
     golden: Option<&String>,
 ) -> Vec<AssertionResult> {
     let dmax = manifest.protocol.dmax;
     let mut results = Vec::new();
 
+    if let Some(expected) = spec.reconverges {
+        let observed = mc.map(|m| m.all_converged).unwrap_or(false);
+        results.push(AssertionResult::new(
+            "reconverges",
+            expected,
+            observed,
+            observed == expected,
+        ));
+    }
     if let Some(bound) = spec.converged_by {
         let observed = match converged_round {
             Some(r) => r.to_string(),
@@ -646,6 +878,130 @@ b = 2
         assert_eq!(groups[9], 1, "group split before the scheduled round");
         // …and the severed line must have split by the end of the schedule
         assert!(groups[29] >= 2, "churn was never applied: {groups:?}");
+    }
+
+    #[test]
+    fn report_toggles_disable_probes_without_panicking() {
+        // the old pipeline unconditionally enabled both probes and then
+        // `expect("enabled above")`-ed them back out; with `[report]` the
+        // probes are genuinely optional, so this run must complete with
+        // no convergence verdict and default continuity accounting
+        let m = manifest(
+            r#"
+name = "no-probes"
+[protocol]
+dmax = 3
+[sim]
+rounds = 20
+[topology]
+kind = "path"
+n = 3
+[report]
+convergence = false
+continuity = false
+[assertions]
+legitimate = true
+"#,
+        );
+        let run = run_seed(&m, 1, None);
+        assert!(run.pass, "assertions: {:?}", run.assertions);
+        assert_eq!(run.converged_round, None);
+        assert_eq!(run.continuity.transitions, 0);
+        // digests are probe-independent: the recorder alone feeds them
+        let full = run_seed(&manifest(LINE), 7, None);
+        let half = {
+            let mut text = String::from(LINE);
+            text.push_str("[report]\ncontinuity = false\n");
+            run_seed(&manifest(&text), 7, None)
+        };
+        assert_eq!(full.digest, half.digest);
+    }
+
+    #[test]
+    fn modelcheck_triangle_reconverges_exhaustively() {
+        let m = manifest(
+            r#"
+name = "mc-unit-triangle"
+mode = "modelcheck"
+[protocol]
+dmax = 2
+[topology]
+kind = "complete"
+n = 3
+[assertions]
+reconverges = true
+legitimate = true
+"#,
+        );
+        let run = run_seed(&m, 1, None);
+        assert!(run.pass, "assertions: {:?}", run.assertions);
+        let mc = run.modelcheck.as_ref().expect("modelcheck section");
+        assert_eq!(mc.start, "corrupted");
+        assert_eq!(mc.cases.len(), 9, "3 nodes x 3 applicable variants");
+        assert!(mc.all_converged);
+        assert!(mc.cases.iter().all(|c| c.outcome == "converged"));
+        assert!(mc.total_visited > 0);
+        // the verdict is deterministic: same manifest + seed ⇒ same digest
+        let again = run_seed(&m, 1, None);
+        assert_eq!(run.digest, again.digest);
+    }
+
+    #[test]
+    fn modelcheck_legitimate_start_is_a_goal_fixpoint() {
+        let m = manifest(
+            r#"
+name = "mc-unit-legit"
+mode = "modelcheck"
+[protocol]
+dmax = 1
+[topology]
+kind = "path"
+n = 2
+[modelcheck]
+start = "legitimate"
+[assertions]
+reconverges = true
+"#,
+        );
+        let run = run_seed(&m, 1, None);
+        assert!(run.pass, "assertions: {:?}", run.assertions);
+        let mc = run.modelcheck.as_ref().expect("modelcheck section");
+        assert_eq!(mc.cases.len(), 1);
+        assert_eq!(mc.cases[0].node, None);
+        assert_eq!(mc.cases[0].variant, "legitimate");
+        assert!(mc.all_converged);
+    }
+
+    #[test]
+    fn modelcheck_warmup_failure_is_a_structured_assertion() {
+        // path(4) at dmax = 1 never stabilizes under the synchronous
+        // schedule (a benign period-2 internal cycle), so the warmup must
+        // fail as a reported assertion rather than a panic
+        let m = manifest(
+            r#"
+name = "mc-unit-nowarm"
+mode = "modelcheck"
+[protocol]
+dmax = 1
+[topology]
+kind = "path"
+n = 4
+[modelcheck]
+warmup_rounds = 16
+[assertions]
+reconverges = true
+"#,
+        );
+        let run = run_seed(&m, 1, None);
+        assert!(!run.pass);
+        assert!(run
+            .assertions
+            .iter()
+            .any(|a| a.name == "modelcheck_warmup" && !a.pass));
+        assert!(run
+            .assertions
+            .iter()
+            .any(|a| a.name == "reconverges" && !a.pass));
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //!     --suite tests/scenarios --update-golden
 //! ```
 
-use scenarios::manifest::ScenarioManifest;
-use scenarios::{discover_manifests, run_scenario, run_seed, suite_dir, write_result};
+use scenarios::manifest::{RunMode, ScenarioManifest};
+use scenarios::{
+    discover_manifests, run_scenario, run_seed, suite_dir, to_json, write_result, ResultWriter,
+};
 use std::path::Path;
 
 fn load_suite() -> Vec<(std::path::PathBuf, ScenarioManifest)> {
@@ -39,6 +41,34 @@ fn load_suite() -> Vec<(std::path::PathBuf, ScenarioManifest)> {
 /// pinned digests are still enforced on every push.
 const DEBUG_NODE_CEILING: usize = 5_000;
 
+/// The same idea for model-check manifests, keyed on the declared
+/// `max_states` bound: mc03's ~33k-state star exploration takes ~30s
+/// unoptimised. Smaller checks still run (and pin) in debug.
+const DEBUG_STATE_CEILING: usize = 100_000;
+
+fn debug_skip(manifest: &ScenarioManifest) -> Option<String> {
+    if !cfg!(debug_assertions) {
+        return None;
+    }
+    if manifest.workload.node_count() > DEBUG_NODE_CEILING {
+        return Some(format!(
+            "{} nodes > {DEBUG_NODE_CEILING}",
+            manifest.workload.node_count()
+        ));
+    }
+    if manifest.mode == RunMode::ModelCheck {
+        let bound = manifest
+            .modelcheck
+            .as_ref()
+            .map(|s| s.max_states)
+            .unwrap_or_default();
+        if bound > DEBUG_STATE_CEILING {
+            return Some(format!("max_states {bound} > {DEBUG_STATE_CEILING}"));
+        }
+    }
+    None
+}
+
 #[test]
 fn every_scenario_is_pinned_and_passes() {
     let out_dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("scenario-results");
@@ -49,18 +79,32 @@ fn every_scenario_is_pinned_and_passes() {
             "{}: no [golden] digests pinned — run the scenario-runner with --update-golden",
             path.display()
         );
-        if cfg!(debug_assertions) && manifest.workload.node_count() > DEBUG_NODE_CEILING {
+        if let Some(why) = debug_skip(&manifest) {
             eprintln!(
-                "skipping {} in debug build ({} nodes > {DEBUG_NODE_CEILING}); \
+                "skipping {} in debug build ({why}); \
                  the release scenario suite still pins it",
                 manifest.name,
-                manifest.workload.node_count()
             );
             continue;
         }
         let outcome = run_scenario(&manifest);
         let artifact = write_result(&outcome, &out_dir).expect("write result.json");
         assert!(artifact.exists());
+        // the streaming result writer must reproduce the batch renderer's
+        // bytes exactly, on every golden manifest
+        let streamed = {
+            let mut w = ResultWriter::new(Vec::new(), &manifest).expect("header");
+            for (i, run) in outcome.runs.iter().enumerate() {
+                w.write_run(run, manifest.golden.digests.get(i)).unwrap();
+            }
+            String::from_utf8(w.finish(outcome.pass).unwrap()).unwrap()
+        };
+        assert_eq!(
+            streamed,
+            to_json(&outcome).pretty(),
+            "{}: streamed result.json diverges from the batch renderer",
+            manifest.name
+        );
         for run in &outcome.runs {
             for a in run.assertions.iter().filter(|a| !a.pass) {
                 failures.push(format!(
@@ -93,6 +137,7 @@ fn suite_covers_the_advertised_workload_families() {
         "action = \"node_join\"",
         "kind = \"crash\"",
         "kind = \"loss_burst\"",
+        "mode = \"modelcheck\"",
     ] {
         assert!(text.contains(family), "suite lost its `{family}` coverage");
     }
