@@ -26,8 +26,8 @@ use netsim::mobility::{Highway, RandomWalk, Stationary};
 use netsim::protocol::Beacon;
 use netsim::radio::UnitDisk;
 use netsim::{
-    CanonicalHasher, MobilityModel, NullObserver, Observer, Protocol, SimBuilder, SimConfig,
-    SimTime, Simulator, TraceProbe, ViewProtocol,
+    CanonicalHasher, Contention, ContentionConfig, MobilityModel, NullObserver, Observer, Protocol,
+    SimBuilder, SimConfig, SimTime, Simulator, TraceProbe, ViewProtocol,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -54,6 +54,26 @@ impl MobilityKind {
             MobilityKind::Stationary => "stationary",
             MobilityKind::RandomWalk => "random_walk",
             MobilityKind::Highway => "highway",
+        }
+    }
+}
+
+/// Which channel model the workload routes its broadcasts through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelKind {
+    /// The default per-link Bernoulli channel (zero bookkeeping).
+    Bernoulli,
+    /// The per-cell contention channel at its default parameters — the twin
+    /// rows that price the transmitter-window bookkeeping and cell-load
+    /// scan added for the VANET scenarios.
+    Contention,
+}
+
+impl ChannelKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            ChannelKind::Bernoulli => "bernoulli",
+            ChannelKind::Contention => "contention",
         }
     }
 }
@@ -99,6 +119,7 @@ impl Payload {
 pub struct Workload {
     pub payload: Payload,
     pub mobility: MobilityKind,
+    pub channel: ChannelKind,
     pub nodes: usize,
     pub rounds: u64,
     pub seed: u64,
@@ -106,12 +127,16 @@ pub struct Workload {
 
 impl Workload {
     pub fn label(&self) -> String {
-        format!(
+        let base = format!(
             "{}/{}/{}",
             self.payload.name(),
             self.mobility.name(),
             self.nodes
-        )
+        );
+        match self.channel {
+            ChannelKind::Bernoulli => base,
+            ChannelKind::Contention => format!("{base}/contention"),
+        }
     }
 }
 
@@ -149,6 +174,7 @@ pub fn workload_matrix(quick: bool) -> Vec<Workload> {
                 matrix.push(Workload {
                     payload,
                     mobility,
+                    channel: ChannelKind::Bernoulli,
                     nodes,
                     rounds,
                     seed: 7,
@@ -156,12 +182,26 @@ pub fn workload_matrix(quick: bool) -> Vec<Workload> {
             }
         }
     }
+    // contention twins of every traffic-carrying highway row: same workload
+    // re-run through the per-cell contention channel, so the baseline prices
+    // the channel's bookkeeping against its Bernoulli sibling (discovery
+    // rows carry no broadcasts, so a twin would measure nothing)
+    let twins: Vec<Workload> = matrix
+        .iter()
+        .filter(|w| w.mobility == MobilityKind::Highway && w.payload != Payload::Discovery)
+        .map(|w| Workload {
+            channel: ChannelKind::Contention,
+            ..*w
+        })
+        .collect();
+    matrix.extend(twins);
     if !quick {
         // the conurbation row: the full protocol at 100k nodes, the scale
         // the flat ancestor-list core and zero-copy fan-out target
         matrix.push(Workload {
             payload: Payload::Grp,
             mobility: MobilityKind::RandomWalk,
+            channel: ChannelKind::Bernoulli,
             nodes: 100_000,
             rounds: 2,
             seed: 7,
@@ -210,11 +250,15 @@ fn build_simulator<P: Protocol, F: FnMut(dyngraph::NodeId) -> P>(
         parallel_compute: engine.parallel_compute,
         ..Default::default()
     };
-    SimBuilder::new()
+    let mut builder = SimBuilder::new()
         .config(config)
-        .spatial(Box::new(UnitDisk::new(RADIO_RANGE)), build_mobility(w))
-        .nodes_by_id(w.nodes as u64, make_node)
-        .build()
+        .spatial(Box::new(UnitDisk::new(RADIO_RANGE)), build_mobility(w));
+    if w.channel == ChannelKind::Contention {
+        builder = builder.channel(Box::new(Contention::new(ContentionConfig::new(
+            RADIO_RANGE,
+        ))));
+    }
+    builder.nodes_by_id(w.nodes as u64, make_node).build()
 }
 
 /// Which engine configuration a bench execution runs on.
@@ -407,9 +451,15 @@ pub fn assert_lockstep_parallel_digests_match(w: &Workload) {
             parallel_compute,
             ..Default::default()
         };
-        let mut sim: Simulator<GrpNode> = SimBuilder::new()
+        let mut builder = SimBuilder::new()
             .config(config)
-            .spatial(Box::new(UnitDisk::new(RADIO_RANGE)), build_mobility(w))
+            .spatial(Box::new(UnitDisk::new(RADIO_RANGE)), build_mobility(w));
+        if w.channel == ChannelKind::Contention {
+            builder = builder.channel(Box::new(Contention::new(ContentionConfig::new(
+                RADIO_RANGE,
+            ))));
+        }
+        let mut sim: Simulator<GrpNode> = builder
             .nodes_by_id(w.nodes as u64, |id| GrpNode::new(id, GrpConfig::new(3)))
             .build();
         let mut probe = TraceProbe::new();
@@ -771,6 +821,7 @@ pub fn report_json(results: &[WorkloadResult], quick: bool, unix_secs: u64) -> J
             let mut obj = Json::object()
                 .with("payload", r.workload.payload.name())
                 .with("mobility", r.workload.mobility.name())
+                .with("channel", r.workload.channel.name())
                 .with("nodes", r.workload.nodes as i64)
                 .with("rounds", r.workload.rounds as i64)
                 .with("seed", r.workload.seed as i64)
@@ -820,9 +871,10 @@ pub fn report_json(results: &[WorkloadResult], quick: bool, unix_secs: u64) -> J
 pub fn summary_table(results: &[WorkloadResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<8} {:<12} {:>7} {:>7} {:>12} {:>14} {:>9} {:>8} {:>9} {:>9} {:>9}\n",
+        "{:<8} {:<12} {:<10} {:>7} {:>7} {:>12} {:>14} {:>9} {:>8} {:>9} {:>9} {:>9}\n",
         "payload",
         "mobility",
+        "channel",
         "nodes",
         "rounds",
         "grid ms",
@@ -852,9 +904,10 @@ pub fn summary_table(results: &[WorkloadResult]) -> String {
             .map(|d| format!("{:.1}", d.as_secs_f64() * 1_000.0))
             .unwrap_or_else(|| "-".into());
         out.push_str(&format!(
-            "{:<8} {:<12} {:>7} {:>7} {:>12.1} {:>14.0} {:>9} {:>8} {:>9} {:>9} {:>9}\n",
+            "{:<8} {:<12} {:<10} {:>7} {:>7} {:>12.1} {:>14.0} {:>9} {:>8} {:>9} {:>9} {:>9}\n",
             r.workload.payload.name(),
             r.workload.mobility.name(),
+            r.workload.channel.name(),
             r.workload.nodes,
             r.workload.rounds,
             r.grid.wall.as_secs_f64() * 1_000.0,
@@ -885,6 +938,7 @@ mod tests {
         let w = Workload {
             payload: Payload::Beacon,
             mobility: MobilityKind::RandomWalk,
+            channel: ChannelKind::Bernoulli,
             nodes: 60,
             rounds: 2,
             seed: 3,
@@ -900,6 +954,7 @@ mod tests {
         let w = Workload {
             payload: Payload::Grp,
             mobility: MobilityKind::Highway,
+            channel: ChannelKind::Bernoulli,
             nodes: 40,
             rounds: 2,
             seed: 5,
@@ -913,12 +968,66 @@ mod tests {
     fn matrix_shapes() {
         assert_eq!(
             workload_matrix(false).len(),
-            28,
-            "27 grid rows + the 100k conurbation row"
+            34,
+            "27 grid rows + 6 contention twins + the 100k conurbation row"
         );
-        assert_eq!(workload_matrix(true).len(), 15);
+        assert_eq!(workload_matrix(true).len(), 18, "15 rows + 3 twins");
         assert!(workload_matrix(false).iter().any(|w| w.nodes == 100_000));
         assert!(workload_matrix(true).iter().all(|w| w.nodes <= 1_000));
+        // every contention twin shadows a Bernoulli sibling with identical
+        // coordinates, and only traffic-carrying highway rows are twinned
+        for quick in [false, true] {
+            let matrix = workload_matrix(quick);
+            let twins: Vec<&Workload> = matrix
+                .iter()
+                .filter(|w| w.channel == ChannelKind::Contention)
+                .collect();
+            assert!(!twins.is_empty());
+            for t in twins {
+                assert_eq!(t.mobility, MobilityKind::Highway);
+                assert_ne!(t.payload, Payload::Discovery);
+                assert!(matrix.iter().any(|w| {
+                    w.channel == ChannelKind::Bernoulli
+                        && w.payload == t.payload
+                        && w.mobility == t.mobility
+                        && w.nodes == t.nodes
+                        && w.rounds == t.rounds
+                }));
+            }
+        }
+    }
+
+    #[test]
+    fn contention_twin_is_deterministic_and_digest_distinct() {
+        let bernoulli = Workload {
+            payload: Payload::Beacon,
+            mobility: MobilityKind::Highway,
+            channel: ChannelKind::Bernoulli,
+            nodes: 60,
+            rounds: 2,
+            seed: 3,
+        };
+        let contention = Workload {
+            channel: ChannelKind::Contention,
+            ..bernoulli
+        };
+        // same workload, both channels: the twin rows must measure a real
+        // behavioural difference, reproducibly
+        let a = run_engine(&contention, EngineConfig::GRID, Instrumentation::Trace);
+        let b = run_engine(&contention, EngineConfig::GRID, Instrumentation::Trace);
+        assert_eq!(a.digest, b.digest, "contention rows must be deterministic");
+        let base = run_engine(&bernoulli, EngineConfig::GRID, Instrumentation::Trace);
+        assert_ne!(
+            base.digest, a.digest,
+            "the contention channel must actually change delivery behaviour"
+        );
+        assert!(
+            a.delivered < base.delivered,
+            "contention under highway density loses more frames \
+             ({} delivered vs {})",
+            a.delivered,
+            base.delivered
+        );
     }
 
     #[test]
@@ -926,6 +1035,7 @@ mod tests {
         let w = Workload {
             payload: Payload::Discovery,
             mobility: MobilityKind::RandomWalk,
+            channel: ChannelKind::Bernoulli,
             nodes: 80,
             rounds: 3,
             seed: 11,
@@ -941,6 +1051,7 @@ mod tests {
         let w = Workload {
             payload: Payload::Beacon,
             mobility: MobilityKind::Stationary,
+            channel: ChannelKind::Bernoulli,
             nodes: 30,
             rounds: 1,
             seed: 1,
@@ -980,6 +1091,7 @@ mod tests {
         let w = Workload {
             payload: Payload::Grp,
             mobility: MobilityKind::Stationary,
+            channel: ChannelKind::Bernoulli,
             nodes: 200,
             rounds: 30,
             seed: 7,

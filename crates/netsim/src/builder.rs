@@ -24,6 +24,7 @@
 //! order, so a builder-built simulator is event- and RNG-identical to a
 //! hand-assembled one (the golden trace digests pin this).
 
+use crate::channel::ChannelModel;
 use crate::fault::ScheduledFault;
 use crate::mobility::MobilityModel;
 use crate::protocol::Protocol;
@@ -35,6 +36,7 @@ use dyngraph::{Graph, NodeId};
 pub struct SimBuilder<P: Protocol> {
     config: SimConfig,
     mode: TopologyMode,
+    channel: Option<Box<dyn ChannelModel>>,
     nodes: Vec<P>,
     faults: Vec<ScheduledFault>,
 }
@@ -44,6 +46,7 @@ impl<P: Protocol> Default for SimBuilder<P> {
         SimBuilder {
             config: SimConfig::default(),
             mode: TopologyMode::Explicit(Graph::new()),
+            channel: None,
             nodes: Vec::new(),
             faults: Vec::new(),
         }
@@ -98,6 +101,14 @@ impl<P: Protocol> SimBuilder<P> {
         self
     }
 
+    /// Install a channel model (see [`crate::channel`]). Defaults to
+    /// [`Bernoulli`](crate::channel::Bernoulli), the historical iid-loss
+    /// medium whose traces the golden digests pin.
+    pub fn channel(mut self, channel: Box<dyn ChannelModel>) -> Self {
+        self.channel = Some(channel);
+        self
+    }
+
     /// Add one protocol instance.
     pub fn node(mut self, protocol: P) -> Self {
         self.nodes.push(protocol);
@@ -148,6 +159,10 @@ impl<P: Protocol> SimBuilder<P> {
     /// traces pin).
     pub fn build(self) -> Simulator<P> {
         let mut sim = Simulator::new(self.config, self.mode);
+        if let Some(channel) = self.channel {
+            // consumes no randomness, so the RNG stream is untouched
+            sim.set_channel(channel);
+        }
         sim.add_nodes(self.nodes);
         sim.schedule_faults(self.faults);
         sim

@@ -61,6 +61,7 @@ impl Default for Sha256 {
 }
 
 impl Sha256 {
+    /// A fresh hasher in the FIPS 180-4 initial state.
     pub fn new() -> Self {
         Self::default()
     }
@@ -109,6 +110,7 @@ impl Sha256 {
         self.state[7] = self.state[7].wrapping_add(h);
     }
 
+    /// Absorb `data` into the running hash.
     pub fn update(&mut self, mut data: &[u8]) {
         self.length = self.length.wrapping_add(data.len() as u64);
         if self.buffered > 0 {
@@ -134,6 +136,7 @@ impl Sha256 {
         self.buffered = rest.len();
     }
 
+    /// Pad and produce the 32-byte digest.
     pub fn finalize(mut self) -> [u8; 32] {
         let bit_length = self.length.wrapping_mul(8);
         self.update(&[0x80]);
@@ -242,6 +245,7 @@ impl CanonicalHasher {
     /// Encoding version, hashed into every digest.
     pub const VERSION: u64 = 1;
 
+    /// A fresh hasher, seeded with the encoding [`VERSION`](Self::VERSION).
     pub fn new() -> Self {
         let mut hasher = CanonicalHasher {
             inner: Sha256::new(),
@@ -254,11 +258,13 @@ impl CanonicalHasher {
         self.inner.update(&[tag as u8]);
     }
 
+    /// Hash an unsigned integer (8-byte little-endian, type-tagged).
     pub fn feed_u64(&mut self, value: u64) {
         self.tag(Tag::U64);
         self.inner.update(&value.to_le_bytes());
     }
 
+    /// Hash a signed integer (8-byte little-endian, type-tagged).
     pub fn feed_i64(&mut self, value: i64) {
         self.tag(Tag::I64);
         self.inner.update(&value.to_le_bytes());
@@ -272,23 +278,27 @@ impl CanonicalHasher {
         self.inner.update(&bits.to_le_bytes());
     }
 
+    /// Hash a boolean as one type-tagged byte.
     pub fn feed_bool(&mut self, value: bool) {
         self.tag(Tag::Bool);
         self.inner.update(&[value as u8]);
     }
 
+    /// Hash a length-prefixed byte string.
     pub fn feed_bytes(&mut self, bytes: &[u8]) {
         self.tag(Tag::Bytes);
         self.inner.update(&(bytes.len() as u64).to_le_bytes());
         self.inner.update(bytes);
     }
 
+    /// Hash a length-prefixed UTF-8 string.
     pub fn feed_str(&mut self, s: &str) {
         self.tag(Tag::Str);
         self.inner.update(&(s.len() as u64).to_le_bytes());
         self.inner.update(s.as_bytes());
     }
 
+    /// Hash a simulation time as its tick count.
     pub fn feed_time(&mut self, t: SimTime) {
         self.tag(Tag::Time);
         self.inner.update(&t.ticks().to_le_bytes());
@@ -339,6 +349,7 @@ impl CanonicalHasher {
         self.inner.update(encoding);
     }
 
+    /// Hash the message counters in their declaration order.
     pub fn feed_stats(&mut self, stats: &MessageStats) {
         self.tag(Tag::Stats);
         for v in [
@@ -390,10 +401,12 @@ impl CanonicalHasher {
         self.feed_str(label);
     }
 
+    /// Close a sequence opened by [`begin_list`](Self::begin_list).
     pub fn end_list(&mut self) {
         self.tag(Tag::ListEnd);
     }
 
+    /// Produce the final digest.
     pub fn finalize(self) -> TraceDigest {
         TraceDigest(self.inner.finalize())
     }

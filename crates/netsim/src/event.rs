@@ -22,8 +22,11 @@ pub enum EventKind<M> {
     /// exactly the order the per-neighbour events used to fire in — the
     /// execution schedule, and therefore every trace digest, is unchanged.
     Broadcast {
+        /// The broadcasting node.
         from: NodeId,
+        /// The message every recipient receives.
         message: M,
+        /// Receivers of this delivery sweep, in schedule order.
         recipients: Vec<NodeId>,
     },
     /// Positions advance and the topology is recomputed (spatial mode only).
@@ -35,8 +38,11 @@ pub enum EventKind<M> {
 /// A scheduled event.
 #[derive(Clone, Debug)]
 pub struct Event<M> {
+    /// Absolute activation time.
     pub time: SimTime,
+    /// Tie-breaker: events at the same time fire in scheduling order.
     pub seq: u64,
+    /// What happens when the event fires.
     pub kind: EventKind<M>,
 }
 

@@ -22,17 +22,23 @@ pub enum FaultKind {
     Restart(NodeId),
     /// Drop every message delivery scheduled during the next `duration`
     /// ticks (a radio blackout).
-    LossBurst { duration: u64 },
+    LossBurst {
+        /// Blackout length in ticks.
+        duration: u64,
+    },
 }
 
 /// A fault scheduled at an absolute simulation time.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ScheduledFault {
+    /// When the fault fires.
     pub at: SimTime,
+    /// What happens when it fires.
     pub kind: FaultKind,
 }
 
 impl ScheduledFault {
+    /// Schedule `kind` at absolute time `at`.
     pub fn new(at: SimTime, kind: FaultKind) -> Self {
         ScheduledFault { at, kind }
     }
@@ -45,6 +51,7 @@ pub struct FaultPlan {
 }
 
 impl FaultPlan {
+    /// An empty fault plan.
     pub fn new() -> Self {
         FaultPlan { faults: Vec::new() }
     }

@@ -35,7 +35,10 @@
 //! `ChaCha8Rng`, and observers — which get `&Simulator` only — cannot
 //! perturb the trace.
 
+#![warn(missing_docs)]
+
 pub mod builder;
+pub mod channel;
 pub mod digest;
 pub mod event;
 pub mod fault;
@@ -50,6 +53,7 @@ pub mod time;
 pub mod trace;
 
 pub use builder::SimBuilder;
+pub use channel::{Bernoulli, ChannelModel, Contention, ContentionConfig, LinkEnv, LinkOutcome};
 pub use digest::{CanonicalHasher, NodeSetDigest, TraceDigest};
 pub use event::{Event, EventKind};
 pub use fault::{FaultKind, ScheduledFault};

@@ -1,0 +1,172 @@
+//! Mixed stationary + highway mobility: roadside units along a convoy.
+//!
+//! A VANET is rarely vehicles-only: fixed roadside units (RSUs) line the
+//! road and act as stable group anchors while the convoy streams past. This
+//! model composes a [`Stationary`] line of RSUs with a [`Highway`] convoy:
+//! RSUs take ids `0..n_roadside` and sit at regular intervals on the far
+//! side of the road; vehicles take ids `n_roadside..n_roadside + n`.
+//! Links between an RSU and the convoy churn at the full relative speed of
+//! the vehicles — the mixed workload the paper's group service must ride
+//! through — while RSU–RSU links (when in range) never move.
+
+use super::{Highway, MobilityModel};
+use crate::space::Point;
+use dyngraph::NodeId;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// Roadside units interleaved with a highway convoy.
+#[derive(Clone, Debug)]
+pub struct MixedHighway {
+    /// Ids below this are roadside units; at or above are vehicles.
+    first_vehicle: u64,
+    /// Fixed RSU positions (ids `0..first_vehicle`).
+    roadside: BTreeMap<NodeId, Point>,
+    /// The convoy, running with its own local ids `0..n`; public ids are
+    /// shifted by `first_vehicle` when the maps merge.
+    convoy: Highway,
+    /// Merged view handed to the simulator.
+    positions: BTreeMap<NodeId, Point>,
+}
+
+impl MixedHighway {
+    /// `n_roadside` RSUs every `rsu_spacing` metres at `y = −rsu_setback`
+    /// (just off the road), plus a [`Highway`] convoy of `n` vehicles —
+    /// same parameters as [`Highway::new`]. RSUs repeat along the ring
+    /// road, so the convoy is never out of infrastructure range for long.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        n_roadside: usize,
+        rsu_spacing: f64,
+        rsu_setback: f64,
+        n: usize,
+        lanes: usize,
+        road_length: f64,
+        initial_gap: f64,
+        speed_range: (f64, f64),
+        rng: &mut ChaCha8Rng,
+    ) -> Self {
+        let roadside: BTreeMap<NodeId, Point> = (0..n_roadside)
+            .map(|i| {
+                (
+                    NodeId(i as u64),
+                    Point::new((i as f64 * rsu_spacing) % road_length, -rsu_setback),
+                )
+            })
+            .collect();
+        let convoy = Highway::new(n, lanes, road_length, initial_gap, speed_range, rng);
+        let mut model = MixedHighway {
+            first_vehicle: n_roadside as u64,
+            roadside,
+            convoy,
+            positions: BTreeMap::new(),
+        };
+        model.refresh_positions();
+        model
+    }
+
+    /// Is this id a fixed roadside unit?
+    pub fn is_roadside(&self, node: NodeId) -> bool {
+        node.raw() < self.first_vehicle && self.roadside.contains_key(&node)
+    }
+
+    fn refresh_positions(&mut self) {
+        self.positions = self
+            .roadside
+            .iter()
+            .map(|(&id, &p)| (id, p))
+            .chain(
+                self.convoy
+                    .positions()
+                    .iter()
+                    .map(|(&id, &p)| (NodeId(id.raw() + self.first_vehicle), p)),
+            )
+            .collect();
+    }
+}
+
+impl MobilityModel for MixedHighway {
+    fn positions(&self) -> &BTreeMap<NodeId, Point> {
+        &self.positions
+    }
+
+    fn advance(&mut self, dt: u64, rng: &mut ChaCha8Rng) {
+        self.convoy.advance(dt, rng);
+        self.refresh_positions();
+    }
+
+    fn insert(&mut self, node: NodeId, at: Point) {
+        if node.raw() < self.first_vehicle {
+            self.roadside.insert(node, at);
+        } else {
+            self.convoy
+                .insert(NodeId(node.raw() - self.first_vehicle), at);
+        }
+        self.refresh_positions();
+    }
+
+    fn remove(&mut self, node: NodeId) {
+        if node.raw() < self.first_vehicle {
+            self.roadside.remove(&node);
+        } else {
+            self.convoy.remove(NodeId(node.raw() - self.first_vehicle));
+        }
+        self.positions.remove(&node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mixed(seed: u64) -> MixedHighway {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        MixedHighway::new(4, 250.0, 8.0, 6, 2, 1000.0, 25.0, (0.5, 1.0), &mut rng)
+    }
+
+    #[test]
+    fn id_spaces_are_disjoint_and_complete() {
+        let m = mixed(1);
+        assert_eq!(m.positions().len(), 10);
+        for i in 0..4 {
+            assert!(m.is_roadside(NodeId(i)));
+        }
+        for i in 4..10 {
+            assert!(!m.is_roadside(NodeId(i)));
+        }
+    }
+
+    #[test]
+    fn rsus_stay_put_while_the_convoy_moves() {
+        let mut m = mixed(2);
+        let rsu_before = m.positions()[&NodeId(0)];
+        let veh_before = m.positions()[&NodeId(7)];
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        m.advance(200, &mut rng);
+        assert_eq!(m.positions()[&NodeId(0)], rsu_before);
+        assert_ne!(m.positions()[&NodeId(7)], veh_before);
+    }
+
+    #[test]
+    fn rsus_sit_off_the_road() {
+        let m = mixed(3);
+        for i in 0..4u64 {
+            assert_eq!(m.positions()[&NodeId(i)].y, -8.0);
+        }
+        for i in 4..10u64 {
+            assert!(m.positions()[&NodeId(i)].y >= 0.0, "lanes are at y >= 0");
+        }
+    }
+
+    #[test]
+    fn insert_and_remove_route_by_id_space() {
+        let mut m = mixed(4);
+        m.remove(NodeId(2)); // an RSU
+        m.remove(NodeId(9)); // a vehicle
+        assert_eq!(m.positions().len(), 8);
+        m.insert(NodeId(2), Point::new(500.0, -8.0));
+        assert_eq!(m.positions().len(), 9);
+        assert!(m.is_roadside(NodeId(2)));
+    }
+}

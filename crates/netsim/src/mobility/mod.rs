@@ -2,7 +2,7 @@
 //!
 //! A mobility model owns the node positions and advances them by a time
 //! step; the simulator then asks the radio model for the implied topology.
-//! Four models are provided:
+//! Six models are provided:
 //!
 //! * [`Stationary`] — nodes never move (fixed topologies / stabilization
 //!   experiments);
@@ -10,14 +10,22 @@
 //! * [`RandomWalk`] — independent bounded random steps;
 //! * [`Highway`] — a VANET-style convoy: lanes of vehicles with per-vehicle
 //!   speeds on a one-dimensional road, the emblematic scenario that
-//!   motivates the Dynamic Group Service.
+//!   motivates the Dynamic Group Service;
+//! * [`CityGrid`] — Manhattan streets with a two-phase traffic-light cycle
+//!   producing platooning waves at intersections;
+//! * [`MixedHighway`] — fixed roadside units composed with a [`Highway`]
+//!   convoy streaming past them.
 
+mod city_grid;
 mod highway;
+mod mixed;
 mod stationary;
 mod walk;
 mod waypoint;
 
+pub use city_grid::CityGrid;
 pub use highway::Highway;
+pub use mixed::MixedHighway;
 pub use stationary::Stationary;
 pub use walk::RandomWalk;
 pub use waypoint::RandomWaypoint;

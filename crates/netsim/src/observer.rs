@@ -15,8 +15,8 @@
 //! * this module defines the [`Observer`] trait plus the protocol-agnostic
 //!   built-ins ([`TraceProbe`], [`StatsProbe`], [`NullObserver`]);
 //! * `grp_core::observers` adds the view-aware probes (`SnapshotRecorder`,
-//!   `ConvergenceProbe`, `ContinuityProbe`) on top of [`ViewProtocol`]
-//!   (see [`crate::protocol::ViewProtocol`]);
+//!   `ConvergenceProbe`, `ContinuityProbe`) on top of
+//!   [`ViewProtocol`](crate::protocol::ViewProtocol);
 //! * the harnesses (`scenarios`, `experiments`, `bench`) compose observers
 //!   and never hand-roll capture loops.
 //!
@@ -155,6 +155,7 @@ pub struct TraceProbe {
 }
 
 impl TraceProbe {
+    /// An empty probe.
     pub fn new() -> Self {
         TraceProbe::default()
     }
@@ -191,6 +192,7 @@ pub struct StatsProbe {
 }
 
 impl StatsProbe {
+    /// A probe with zeroed counters.
     pub fn new() -> Self {
         StatsProbe::default()
     }

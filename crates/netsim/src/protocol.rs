@@ -110,6 +110,7 @@ pub struct Beacon {
 }
 
 impl Beacon {
+    /// A beacon instance for node `me` with zeroed counters.
     pub fn new(me: NodeId) -> Self {
         Beacon {
             me,

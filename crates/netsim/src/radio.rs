@@ -12,6 +12,25 @@ use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
 
 /// A radio / vicinity model.
+///
+/// ```
+/// use netsim::radio::{RadioModel, UnitDisk};
+/// use netsim::Point;
+/// use dyngraph::NodeId;
+/// use std::collections::BTreeMap;
+///
+/// let radio = UnitDisk::new(10.0);
+/// assert!(radio.in_vicinity(Point::new(0.0, 0.0), Point::new(6.0, 0.0)));
+/// assert_eq!(radio.max_range(), Some(10.0));
+///
+/// // three nodes on a line, 6 apart: a path topology (0–1, 1–2, not 0–2)
+/// let positions: BTreeMap<NodeId, Point> = (0..3)
+///     .map(|i| (NodeId(i), Point::new(6.0 * i as f64, 0.0)))
+///     .collect();
+/// let g = radio.topology(&positions);
+/// assert!(g.contains_edge(NodeId(0), NodeId(1)));
+/// assert!(!g.contains_edge(NodeId(0), NodeId(2)));
+/// ```
 pub trait RadioModel: Send {
     /// Can a transmission by `sender` be heard at `receiver`'s position?
     fn in_vicinity(&self, sender: Point, receiver: Point) -> bool;
@@ -96,10 +115,12 @@ pub trait RadioModel: Send {
 /// Ideal unit-disk radio: a node hears every transmitter within `range`.
 #[derive(Clone, Copy, Debug)]
 pub struct UnitDisk {
+    /// Vicinity radius in space units.
     pub range: f64,
 }
 
 impl UnitDisk {
+    /// A unit-disk radio with the given vicinity radius.
     pub fn new(range: f64) -> Self {
         UnitDisk { range }
     }
@@ -119,12 +140,14 @@ impl RadioModel for UnitDisk {
 /// collisions and fading under the one-message-channel hypothesis.
 #[derive(Clone, Copy, Debug)]
 pub struct LossyDisk {
+    /// Vicinity radius in space units.
     pub range: f64,
     /// Probability that an individual reception fails, in `[0, 1]`.
     pub loss: f64,
 }
 
 impl LossyDisk {
+    /// A lossy disk radio; `loss` is clamped into `[0, 1]`.
     pub fn new(range: f64, loss: f64) -> Self {
         LossyDisk {
             range,
@@ -152,11 +175,15 @@ impl RadioModel for LossyDisk {
 /// makes long links flakier than short ones, as in a real VANET.
 #[derive(Clone, Copy, Debug)]
 pub struct DistanceLossDisk {
+    /// Vicinity radius in space units.
     pub range: f64,
+    /// Loss probability at the edge of the range, in `[0, 1]`.
     pub edge_loss: f64,
 }
 
 impl DistanceLossDisk {
+    /// A distance-proportional lossy radio; `edge_loss` is clamped into
+    /// `[0, 1]`.
     pub fn new(range: f64, edge_loss: f64) -> Self {
         DistanceLossDisk {
             range,

@@ -16,6 +16,7 @@
 //!   is recomputed by a [`RadioModel`] at every mobility tick; used by the
 //!   VANET-style continuity experiments.
 
+use crate::channel::{Bernoulli, ChannelModel, LinkEnv};
 use crate::event::{Event, EventKind};
 use crate::fault::{FaultKind, ScheduledFault};
 use crate::mobility::MobilityModel;
@@ -38,7 +39,9 @@ pub enum TopologyMode {
     Explicit(Graph),
     /// The topology is derived from positions via a radio model.
     Spatial {
+        /// Decides which positions are in each other's vicinity.
         radio: Box<dyn RadioModel>,
+        /// Owns and advances the node positions.
         mobility: Box<dyn MobilityModel>,
     },
 }
@@ -155,6 +158,9 @@ pub struct Simulator<P: Protocol> {
     /// is never overwritten in place.
     topology: Arc<Graph>,
     index: SpatialIndex,
+    /// The per-link medium model; [`Bernoulli`] by default, which
+    /// reproduces the historical loss behaviour bit-for-bit.
+    channel: Box<dyn ChannelModel>,
     events: BinaryHeap<Event<P::Message>>,
     seq: u64,
     now: SimTime,
@@ -184,6 +190,7 @@ impl<P: Protocol> Simulator<P> {
             mode,
             topology: Arc::new(topology),
             index,
+            channel: Box::new(Bernoulli),
             events: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
@@ -225,6 +232,14 @@ impl<P: Protocol> Simulator<P> {
         for p in protocols {
             self.add_node(p);
         }
+    }
+
+    /// Replace the channel model (default: [`Bernoulli`]). Installing a
+    /// channel consumes no randomness, so it may be done at any point
+    /// before running; swapping it mid-run changes the medium from the next
+    /// send onwards.
+    pub fn set_channel(&mut self, channel: Box<dyn ChannelModel>) {
+        self.channel = channel;
     }
 
     /// Schedule a fault plan (absolute times).
@@ -601,14 +616,28 @@ impl<P: Protocol> Simulator<P> {
         self.stats.broadcasts += 1;
         // Per-neighbour loss decisions happen now, in neighbour order (the
         // RNG consumption order is part of the pinned golden traces); the
-        // survivors ride a single Broadcast sweep event instead of one heap
-        // entry each. In grid mode the neighbours come from the CSR index
-        // (same NodeId-ascending order a materialised Graph iterates in).
+        // survivors ride Broadcast sweep events instead of one heap entry
+        // each — one sweep per distinct extra delay, and the default
+        // Bernoulli channel never adds delay, so it schedules exactly the
+        // single sweep the pre-channel engine did. In grid mode the
+        // neighbours come from the CSR index (same NodeId-ascending order a
+        // materialised Graph iterates in).
         let neighbours: Vec<NodeId> = match &self.index {
             SpatialIndex::Grid { grid, .. } => grid.neighbors(id).collect(),
             _ => self.topology.neighbors(id).collect(),
         };
-        let mut recipients: Vec<NodeId> = Vec::with_capacity(neighbours.len());
+        let (radio, positions): (Option<&dyn RadioModel>, Option<&BTreeMap<NodeId, Point>>) =
+            match &self.mode {
+                TopologyMode::Explicit(_) => (None, None),
+                TopologyMode::Spatial { radio, mobility } => {
+                    (Some(radio.as_ref()), Some(mobility.positions()))
+                }
+            };
+        let sender_pos = positions.and_then(|p| p.get(&id).copied());
+        self.channel.begin_broadcast(now, id, sender_pos);
+        // recipients grouped by extra delay, ascending, so sweep events are
+        // scheduled (and sequence numbers assigned) in delay order
+        let mut groups: BTreeMap<u64, Vec<NodeId>> = BTreeMap::new();
         for to in neighbours {
             if !self.nodes.contains_key(&to) {
                 continue;
@@ -618,33 +647,38 @@ impl<P: Protocol> Simulator<P> {
                 self.stats.dropped += 1;
                 continue;
             }
-            let received = match &self.mode {
-                TopologyMode::Explicit(_) => {
-                    self.config.loss_probability <= 0.0
-                        || !self
-                            .rng
-                            .gen_bool(self.config.loss_probability.clamp(0.0, 1.0))
-                }
-                TopologyMode::Spatial { radio, mobility } => {
-                    let positions = mobility.positions();
-                    match (positions.get(&id), positions.get(&to)) {
-                        (Some(&ps), Some(&pr)) => radio.receives(&mut self.rng, ps, pr),
-                        _ => false,
-                    }
-                }
-            };
-            if received {
-                recipients.push(to);
+            let outcome = self.channel.link(
+                &mut self.rng,
+                &LinkEnv {
+                    now,
+                    sender: id,
+                    receiver: to,
+                    sender_pos,
+                    receiver_pos: positions.and_then(|p| p.get(&to).copied()),
+                    radio,
+                    loss_probability: self.config.loss_probability,
+                },
+            );
+            if outcome.received {
+                groups.entry(outcome.extra_delay).or_default().push(to);
             } else {
                 self.stats.dropped += 1;
             }
         }
-        if !recipients.is_empty() {
+        let sweeps = groups.len();
+        let mut message = Some(message);
+        for (i, (extra_delay, recipients)) in groups.into_iter().enumerate() {
+            // the message moves into the last sweep instead of cloning
+            let msg = if i + 1 == sweeps {
+                message.take().expect("one take per send")
+            } else {
+                message.as_ref().expect("taken only at the end").clone()
+            };
             self.schedule(
-                self.config.delivery_delay,
+                self.config.delivery_delay + extra_delay,
                 EventKind::Broadcast {
                     from: id,
-                    message,
+                    message: msg,
                     recipients,
                 },
             );

@@ -8,7 +8,9 @@ use std::collections::BTreeMap;
 /// A position in the plane (metres, but the unit is arbitrary).
 #[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
 pub struct Point {
+    /// Horizontal coordinate.
     pub x: f64,
+    /// Vertical coordinate.
     pub y: f64,
 }
 
@@ -54,11 +56,24 @@ impl Point {
 /// Cell coordinates of a point.
 type Cell = (i64, i64);
 
-fn cell_of(cell_size: f64, p: Point) -> Cell {
+/// Cell coordinates of `p` on a uniform grid of square cells with side
+/// `cell_size` — the bucketing convention shared by [`SpatialGrid`] and the
+/// contention channel model ([`crate::channel::Contention`]), so both see
+/// the same neighbourhoods.
+///
+/// ```
+/// use netsim::space::{cell_index, Point};
+/// assert_eq!(cell_index(10.0, Point::new(35.0, -0.1)), (3, -1));
+/// ```
+pub fn cell_index(cell_size: f64, p: Point) -> Cell {
     (
         (p.x / cell_size).floor() as i64,
         (p.y / cell_size).floor() as i64,
     )
+}
+
+fn cell_of(cell_size: f64, p: Point) -> Cell {
+    cell_index(cell_size, p)
 }
 
 /// A uniform-grid spatial hash over node positions.
@@ -277,8 +292,7 @@ impl SpatialGrid {
 
     /// Visit every unordered candidate pair `(a, b)` — each pair exactly
     /// once — that could lie within `radius` of each other. See
-    /// [`for_each_candidate_index_pair`](Self::for_each_candidate_index_pair)
-    /// for the coverage guarantee.
+    /// `for_each_candidate_index_pair` for the coverage guarantee.
     pub fn for_each_candidate_pair<F: FnMut(NodeId, Point, NodeId, Point)>(
         &self,
         radius: f64,

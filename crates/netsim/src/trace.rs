@@ -46,8 +46,11 @@ impl MessageStats {
 /// clone.
 #[derive(Clone, Debug)]
 pub struct Snapshot {
+    /// When the snapshot was recorded.
     pub at: SimTime,
+    /// The communication topology at that instant.
     pub topology: Arc<Graph>,
+    /// Cumulative message statistics at that instant.
     pub stats: MessageStats,
 }
 
@@ -58,6 +61,7 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// An empty trace.
     pub fn new() -> Self {
         Trace {
             snapshots: Vec::new(),

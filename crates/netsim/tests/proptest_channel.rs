@@ -1,0 +1,124 @@
+//! Property tests for the contention channel.
+//!
+//! The load-driven loss probability `min(base + load · k, max)` is monotone
+//! non-decreasing in the number of concurrent broadcasters `k`, and
+//! `gen_bool(p)` spends exactly one RNG draw — so for *identically seeded*
+//! RNGs, a link that survives under `m + 1` recorded transmitters must also
+//! survive under the first `m` of them. That pointwise implication is exact
+//! (no statistical tolerance needed) and covers the hidden-terminal rule
+//! too: adding a transmitter can only switch `hidden` on, never off.
+
+use dyngraph::NodeId;
+use netsim::channel::{ChannelModel, Contention, ContentionConfig, LinkEnv};
+use netsim::radio::UnitDisk;
+use netsim::{Point, SimTime};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const RANGE: f64 = 20.0;
+
+/// Deliver one link with the first `m` of `txs` recorded as concurrent
+/// transmitters, using a fresh RNG seeded with `seed`.
+fn deliver(
+    cfg: ContentionConfig,
+    txs: &[(f64, f64)],
+    m: usize,
+    sender: Point,
+    receiver: Point,
+    seed: u64,
+) -> (bool, u64) {
+    let radio = UnitDisk::new(RANGE);
+    let mut ch = Contention::new(cfg);
+    for (i, &(x, y)) in txs[..m].iter().enumerate() {
+        ch.begin_broadcast(SimTime(0), NodeId(100 + i as u64), Some(Point::new(x, y)));
+    }
+    ch.begin_broadcast(SimTime(0), NodeId(0), Some(sender));
+    let env = LinkEnv {
+        now: SimTime(0),
+        sender: NodeId(0),
+        receiver: NodeId(1),
+        sender_pos: Some(sender),
+        receiver_pos: Some(receiver),
+        radio: Some(&radio),
+        loss_probability: 0.0,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let outcome = ch.link(&mut rng, &env);
+    (outcome.received, outcome.extra_delay)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Loss is monotone non-decreasing in the concurrent-broadcaster count:
+    /// against the same RNG seed, reception never *revives* when another
+    /// transmitter joins the window.
+    #[test]
+    fn reception_is_monotone_in_broadcaster_count(
+        txs in proptest::collection::vec((0.0f64..120.0, 0.0f64..120.0), 0..20),
+        sx in 0.0f64..120.0,
+        sy in 0.0f64..120.0,
+        dx in -18.0f64..18.0,
+        dy in -18.0f64..18.0,
+        base_loss in 0.0f64..0.4,
+        load_loss in 0.0f64..0.4,
+        hidden_sel in 0u64..2,
+        jitter in 0u64..10,
+        seed in 0u64..10_000,
+    ) {
+        let hidden_terminal = hidden_sel == 1;
+        let cfg = ContentionConfig {
+            base_loss,
+            load_loss,
+            hidden_terminal,
+            jitter,
+            ..ContentionConfig::new(RANGE)
+        };
+        let sender = Point::new(sx, sy);
+        let receiver = Point::new(sx + dx, sy + dy);
+        let outcomes: Vec<bool> = (0..=txs.len())
+            .map(|m| deliver(cfg, &txs, m, sender, receiver, seed).0)
+            .collect();
+        for (m, pair) in outcomes.windows(2).enumerate() {
+            prop_assert!(
+                pair[1] <= pair[0],
+                "adding transmitter #{} revived a lost link: {:?}",
+                m + 1,
+                outcomes
+            );
+        }
+    }
+
+    /// The distance-dependent jitter never exceeds its configured maximum,
+    /// is zero when disabled, and the whole link decision is a pure
+    /// function of (window state, seed): same inputs, same outcome.
+    #[test]
+    fn jitter_is_bounded_and_links_are_deterministic(
+        txs in proptest::collection::vec((0.0f64..120.0, 0.0f64..120.0), 0..12),
+        sx in 0.0f64..120.0,
+        sy in 0.0f64..120.0,
+        dx in -18.0f64..18.0,
+        dy in -18.0f64..18.0,
+        jitter in 0u64..30,
+        seed in 0u64..10_000,
+    ) {
+        let cfg = ContentionConfig {
+            jitter,
+            ..ContentionConfig::new(RANGE)
+        };
+        let sender = Point::new(sx, sy);
+        let receiver = Point::new(sx + dx, sy + dy);
+        let m = txs.len();
+        let first = deliver(cfg, &txs, m, sender, receiver, seed);
+        let second = deliver(cfg, &txs, m, sender, receiver, seed);
+        prop_assert_eq!(first, second, "same window + seed must reproduce");
+        let (received, extra_delay) = first;
+        if received {
+            prop_assert!(extra_delay <= jitter, "delay {} > jitter cap {}", extra_delay, jitter);
+            if jitter == 0 {
+                prop_assert_eq!(extra_delay, 0);
+            }
+        }
+    }
+}

@@ -118,6 +118,25 @@ pub enum MobilitySpec {
         speed_min: f64,
         speed_max: f64,
     },
+    CityGrid {
+        n: usize,
+        blocks: usize,
+        block_size: f64,
+        speed_min: f64,
+        speed_max: f64,
+        light_period: u64,
+    },
+    MixedHighway {
+        n_roadside: usize,
+        rsu_spacing: f64,
+        rsu_setback: f64,
+        n: usize,
+        lanes: usize,
+        road_length: f64,
+        initial_gap: f64,
+        speed_min: f64,
+        speed_max: f64,
+    },
 }
 
 impl MobilitySpec {
@@ -127,7 +146,9 @@ impl MobilitySpec {
             | MobilitySpec::StationaryUniform { n, .. }
             | MobilitySpec::RandomWalk { n, .. }
             | MobilitySpec::Waypoint { n, .. }
-            | MobilitySpec::Highway { n, .. } => n,
+            | MobilitySpec::Highway { n, .. }
+            | MobilitySpec::CityGrid { n, .. } => n,
+            MobilitySpec::MixedHighway { n_roadside, n, .. } => n_roadside + n,
         }
     }
 }
@@ -140,6 +161,39 @@ pub enum RadioSpec {
     DistanceLoss { range: f64, edge_loss: f64 },
 }
 
+impl RadioSpec {
+    /// The disk range — also the interference cell size of the contention
+    /// channel.
+    pub fn range(&self) -> f64 {
+        match *self {
+            RadioSpec::UnitDisk { range }
+            | RadioSpec::LossyDisk { range, .. }
+            | RadioSpec::DistanceLoss { range, .. } => range,
+        }
+    }
+}
+
+/// The channel (medium) model layered on the radio geometry — the
+/// `[radio] model` key. Defaults to [`ChannelSpec::Bernoulli`], whose
+/// traces the golden digests pin; parameters and formulas are documented
+/// in `docs/CHANNELS.md`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChannelSpec {
+    /// Per-link iid loss — delegates to the radio kind's own reception
+    /// behaviour (the historical default).
+    Bernoulli,
+    /// Shared-medium contention: loss rises with concurrent transmitters
+    /// near the receiver; see `netsim::channel::Contention`.
+    Contention {
+        base_loss: f64,
+        load_loss: f64,
+        max_loss: f64,
+        window: u64,
+        jitter: u64,
+        hidden_terminal: bool,
+    },
+}
+
 /// Either an explicit generator or a mobility + radio pair.
 #[derive(Clone, Debug, PartialEq)]
 pub enum WorkloadSpec {
@@ -147,6 +201,7 @@ pub enum WorkloadSpec {
     Spatial {
         mobility: MobilitySpec,
         radio: RadioSpec,
+        channel: ChannelSpec,
     },
 }
 
@@ -628,6 +683,7 @@ fn parse_workload(root: &BTreeMap<String, Value>) -> Result<WorkloadSpec, Manife
             Ok(WorkloadSpec::Spatial {
                 mobility: parse_mobility(m)?,
                 radio: parse_radio(r)?,
+                channel: parse_channel(r)?,
             })
         }
         (None, Some(_), None) | (None, None, Some(_)) => {
@@ -716,6 +772,25 @@ fn parse_mobility(m: &BTreeMap<String, Value>) -> Result<MobilitySpec, ManifestE
             speed_min: req_f64(m, "speed_min", ctx)?,
             speed_max: req_f64(m, "speed_max", ctx)?,
         }),
+        "city_grid" => Ok(MobilitySpec::CityGrid {
+            n,
+            blocks: req_usize(m, "blocks", ctx)?,
+            block_size: req_f64(m, "block_size", ctx)?,
+            speed_min: req_f64(m, "speed_min", ctx)?,
+            speed_max: req_f64(m, "speed_max", ctx)?,
+            light_period: req_u64(m, "light_period", ctx)?,
+        }),
+        "mixed_highway" => Ok(MobilitySpec::MixedHighway {
+            n_roadside: req_usize(m, "n_roadside", ctx)?,
+            rsu_spacing: req_f64(m, "rsu_spacing", ctx)?,
+            rsu_setback: opt_f64(m, "rsu_setback", 8.0)?,
+            n,
+            lanes: req_usize(m, "lanes", ctx)?,
+            road_length: req_f64(m, "road_length", ctx)?,
+            initial_gap: req_f64(m, "initial_gap", ctx)?,
+            speed_min: req_f64(m, "speed_min", ctx)?,
+            speed_max: req_f64(m, "speed_max", ctx)?,
+        }),
         other => bad(format!("[mobility]: unknown kind `{other}`")),
     }
 }
@@ -739,6 +814,65 @@ fn parse_radio(r: &BTreeMap<String, Value>) -> Result<RadioSpec, ManifestError> 
             edge_loss: req_f64(r, "edge_loss", ctx)?,
         }),
         other => bad(format!("[radio]: unknown kind `{other}`")),
+    }
+}
+
+/// The contention-only `[radio]` keys — listed so a manifest that sets one
+/// under `model = "bernoulli"` is rejected instead of silently ignored.
+const CONTENTION_KEYS: [&str; 6] = [
+    "base_loss",
+    "load_loss",
+    "max_loss",
+    "window",
+    "jitter",
+    "hidden_terminal",
+];
+
+fn parse_channel(r: &BTreeMap<String, Value>) -> Result<ChannelSpec, ManifestError> {
+    let ctx = "[radio]";
+    let model = match r.get("model") {
+        None => "bernoulli",
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| ManifestError("[radio]: `model` must be a string".into()))?,
+    };
+    match model {
+        "bernoulli" => {
+            for key in CONTENTION_KEYS {
+                if r.contains_key(key) {
+                    return bad(format!(
+                        "[radio]: `{key}` requires `model = \"contention\"`"
+                    ));
+                }
+            }
+            Ok(ChannelSpec::Bernoulli)
+        }
+        "contention" => {
+            // defaults mirror netsim::channel::ContentionConfig::new
+            let base_loss = opt_f64(r, "base_loss", 0.02)?;
+            let load_loss = opt_f64(r, "load_loss", 0.08)?;
+            let max_loss = opt_f64(r, "max_loss", 0.95)?;
+            for (key, p) in [
+                ("base_loss", base_loss),
+                ("load_loss", load_loss),
+                ("max_loss", max_loss),
+            ] {
+                if !(0.0..=1.0).contains(&p) {
+                    return bad(format!("[radio]: `{key}` must be a probability in [0, 1]"));
+                }
+            }
+            Ok(ChannelSpec::Contention {
+                base_loss,
+                load_loss,
+                max_loss,
+                window: opt_u64(r, "window", 250, ctx)?,
+                jitter: opt_u64(r, "jitter", 0, ctx)?,
+                hidden_terminal: opt_bool(r, "hidden_terminal", true)?,
+            })
+        }
+        other => bad(format!(
+            "[radio]: unknown model `{other}` (expected \"bernoulli\" or \"contention\")"
+        )),
     }
 }
 
@@ -1170,9 +1304,134 @@ loss = 0.1
                     lanes: 2,
                     ..
                 },
-                radio: RadioSpec::LossyDisk { .. }
+                radio: RadioSpec::LossyDisk { .. },
+                channel: ChannelSpec::Bernoulli,
             }
         ));
+    }
+
+    #[test]
+    fn contention_channel_parses_with_defaults_and_overrides() {
+        let base = r#"
+name = "vanet"
+[mobility]
+kind = "city_grid"
+n = 40
+blocks = 4
+block_size = 120.0
+speed_min = 0.01
+speed_max = 0.02
+light_period = 3000
+[radio]
+kind = "unit_disk"
+range = 45.0
+model = "contention"
+"#;
+        let m = ScenarioManifest::parse(base).expect("parses");
+        let WorkloadSpec::Spatial { channel, radio, .. } = &m.workload else {
+            panic!("spatial workload expected");
+        };
+        assert_eq!(radio.range(), 45.0);
+        assert_eq!(
+            *channel,
+            ChannelSpec::Contention {
+                base_loss: 0.02,
+                load_loss: 0.08,
+                max_loss: 0.95,
+                window: 250,
+                jitter: 0,
+                hidden_terminal: true,
+            }
+        );
+
+        let tuned = format!(
+            "{base}base_loss = 0.01\nload_loss = 0.05\nmax_loss = 0.9\nwindow = 500\njitter = 6\nhidden_terminal = false\n"
+        );
+        let m = ScenarioManifest::parse(&tuned).expect("parses");
+        let WorkloadSpec::Spatial { channel, .. } = &m.workload else {
+            panic!("spatial workload expected");
+        };
+        assert_eq!(
+            *channel,
+            ChannelSpec::Contention {
+                base_loss: 0.01,
+                load_loss: 0.05,
+                max_loss: 0.9,
+                window: 500,
+                jitter: 6,
+                hidden_terminal: false,
+            }
+        );
+    }
+
+    #[test]
+    fn mixed_highway_counts_roadside_and_vehicles() {
+        let m = ScenarioManifest::parse(
+            r#"
+name = "mixed"
+[mobility]
+kind = "mixed_highway"
+n_roadside = 6
+rsu_spacing = 200.0
+n = 30
+lanes = 3
+road_length = 1200.0
+initial_gap = 25.0
+speed_min = 0.01
+speed_max = 0.04
+[radio]
+kind = "unit_disk"
+range = 60.0
+"#,
+        )
+        .expect("parses");
+        assert_eq!(m.workload.node_count(), 36);
+        assert!(matches!(
+            m.workload,
+            WorkloadSpec::Spatial {
+                mobility: MobilitySpec::MixedHighway {
+                    n_roadside: 6,
+                    n: 30,
+                    ..
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn channel_model_validation_rejects_bad_input() {
+        let manifest = |radio: &str| {
+            format!(
+                "name = \"x\"\n[mobility]\nkind = \"stationary_line\"\nn = 3\nspacing = 10.0\n[radio]\nkind = \"unit_disk\"\nrange = 15.0\n{radio}"
+            )
+        };
+        // unknown model
+        let err = ScenarioManifest::parse(&manifest("model = \"csma\"\n")).unwrap_err();
+        assert!(err.to_string().contains("unknown model `csma`"), "{err}");
+        // contention keys without the contention model
+        let err = ScenarioManifest::parse(&manifest("load_loss = 0.1\n")).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("`load_loss` requires `model = \"contention\"`"),
+            "{err}"
+        );
+        // out-of-range probability
+        let err = ScenarioManifest::parse(&manifest("model = \"contention\"\nmax_loss = 1.5\n"))
+            .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("`max_loss` must be a probability in [0, 1]"),
+            "{err}"
+        );
+        // count keys share the uniform error shape
+        let err = ScenarioManifest::parse(&manifest("model = \"contention\"\nwindow = 1.5\n"))
+            .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("[radio]: `window`: expected non-negative integer"),
+            "{err}"
+        );
     }
 
     #[test]

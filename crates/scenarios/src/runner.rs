@@ -14,8 +14,8 @@
 //! convergence + continuity probes) on top of it.
 
 use crate::manifest::{
-    AssertionSpec, ChurnAction, FaultKindSpec, MobilitySpec, RadioSpec, RunMode, ScenarioManifest,
-    StartSpec, TopologySpec, WorkloadSpec,
+    AssertionSpec, ChannelSpec, ChurnAction, FaultKindSpec, MobilitySpec, RadioSpec, RunMode,
+    ScenarioManifest, StartSpec, TopologySpec, WorkloadSpec,
 };
 use dyngraph::{generators, Graph, NodeId, TopologyEvent};
 use grp_core::observers::GrpPipeline;
@@ -25,11 +25,11 @@ use modelcheck::{
     check_corruptions, explore, fresh_net, legitimate_start, snapshot_of, ExploreConfig,
     FaultBudget, GrpChecker, Outcome, Report, Violation,
 };
-use netsim::mobility::{Highway, RandomWalk, RandomWaypoint, Stationary};
+use netsim::mobility::{CityGrid, Highway, MixedHighway, RandomWalk, RandomWaypoint, Stationary};
 use netsim::radio::{DistanceLossDisk, LossyDisk, UnitDisk};
 use netsim::{
-    CanonicalHasher, FaultKind, MessageStats, Observer, ScheduledFault, SimBuilder, SimConfig,
-    SimTime, Simulator, TopologyMode, TraceDigest,
+    CanonicalHasher, ChannelModel, Contention, ContentionConfig, FaultKind, MessageStats, Observer,
+    ScheduledFault, SimBuilder, SimConfig, SimTime, Simulator, TopologyMode, TraceDigest,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -164,10 +164,17 @@ pub fn build_topology(spec: &TopologySpec, seed: u64) -> Graph {
     }
 }
 
-fn build_mode(workload: &WorkloadSpec, seed: u64) -> TopologyMode {
+/// Topology mode plus the channel model a workload asks for. `None` keeps the
+/// simulator's built-in [`netsim::Bernoulli`] default (the legacy behaviour,
+/// byte-identical golden digests).
+fn build_mode(workload: &WorkloadSpec, seed: u64) -> (TopologyMode, Option<Box<dyn ChannelModel>>) {
     match workload {
-        WorkloadSpec::Explicit(spec) => TopologyMode::Explicit(build_topology(spec, seed)),
-        WorkloadSpec::Spatial { mobility, radio } => {
+        WorkloadSpec::Explicit(spec) => (TopologyMode::Explicit(build_topology(spec, seed)), None),
+        WorkloadSpec::Spatial {
+            mobility,
+            radio,
+            channel,
+        } => {
             // placement randomness is separated from the simulator's channel
             // randomness so both streams stay reproducible
             let mut placement_rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5ce0_a71e_5eed);
@@ -218,6 +225,61 @@ fn build_mode(workload: &WorkloadSpec, seed: u64) -> TopologyMode {
                     (speed_min, speed_max),
                     &mut placement_rng,
                 )),
+                MobilitySpec::CityGrid {
+                    n,
+                    blocks,
+                    block_size,
+                    speed_min,
+                    speed_max,
+                    light_period,
+                } => Box::new(CityGrid::new(
+                    n,
+                    blocks,
+                    block_size,
+                    (speed_min, speed_max),
+                    light_period,
+                    &mut placement_rng,
+                )),
+                MobilitySpec::MixedHighway {
+                    n_roadside,
+                    rsu_spacing,
+                    rsu_setback,
+                    n,
+                    lanes,
+                    road_length,
+                    initial_gap,
+                    speed_min,
+                    speed_max,
+                } => Box::new(MixedHighway::new(
+                    n_roadside,
+                    rsu_spacing,
+                    rsu_setback,
+                    n,
+                    lanes,
+                    road_length,
+                    initial_gap,
+                    (speed_min, speed_max),
+                    &mut placement_rng,
+                )),
+            };
+            let channel: Option<Box<dyn ChannelModel>> = match *channel {
+                ChannelSpec::Bernoulli => None,
+                ChannelSpec::Contention {
+                    base_loss,
+                    load_loss,
+                    max_loss,
+                    window,
+                    jitter,
+                    hidden_terminal,
+                } => Some(Box::new(Contention::new(ContentionConfig {
+                    base_loss,
+                    load_loss,
+                    max_loss,
+                    window,
+                    jitter,
+                    hidden_terminal,
+                    ..ContentionConfig::new(radio.range())
+                }))),
             };
             let radio: Box<dyn netsim::RadioModel> = match *radio {
                 RadioSpec::UnitDisk { range } => Box::new(UnitDisk::new(range)),
@@ -226,7 +288,7 @@ fn build_mode(workload: &WorkloadSpec, seed: u64) -> TopologyMode {
                     Box::new(DistanceLossDisk::new(range, edge_loss))
                 }
             };
-            TopologyMode::Spatial { radio, mobility }
+            (TopologyMode::Spatial { radio, mobility }, channel)
         }
     }
 }
@@ -248,7 +310,7 @@ pub fn build_simulator(manifest: &ScenarioManifest, seed: u64) -> Simulator<GrpN
         spatial_index: sim_spec.spatial_index,
         parallel_compute: sim_spec.parallel_compute,
     };
-    let mode = build_mode(&manifest.workload, seed);
+    let (mode, channel) = build_mode(&manifest.workload, seed);
     let node_ids: Vec<NodeId> = match &mode {
         TopologyMode::Explicit(g) => g.node_vec(),
         TopologyMode::Spatial { .. } => (0..manifest.workload.node_count() as u64)
@@ -256,9 +318,11 @@ pub fn build_simulator(manifest: &ScenarioManifest, seed: u64) -> Simulator<GrpN
             .collect(),
     };
     let grp_config = grp_config_of(manifest);
-    SimBuilder::new()
-        .config(config)
-        .mode(mode)
+    let mut builder = SimBuilder::new().config(config).mode(mode);
+    if let Some(channel) = channel {
+        builder = builder.channel(channel);
+    }
+    builder
         .nodes(
             node_ids
                 .iter()

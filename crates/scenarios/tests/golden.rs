@@ -133,6 +133,9 @@ fn suite_covers_the_advertised_workload_families() {
         "kind = \"grid\"",
         "kind = \"random_walk\"",
         "kind = \"highway\"",
+        "kind = \"city_grid\"",
+        "kind = \"mixed_highway\"",
+        "model = \"contention\"",
         "action = \"link_down\"",
         "action = \"node_join\"",
         "kind = \"crash\"",
@@ -140,6 +143,118 @@ fn suite_covers_the_advertised_workload_families() {
         "mode = \"modelcheck\"",
     ] {
         assert!(text.contains(family), "suite lost its `{family}` coverage");
+    }
+}
+
+/// The digests of the 14 simulate manifests that predate the pluggable
+/// channel layer, frozen *in code*. `every_scenario_is_pinned_and_passes`
+/// asserts the runtime digests match each manifest's `[golden]` section;
+/// this table asserts those sections themselves never drift, so together
+/// they guarantee the default `bernoulli` channel stays byte-identical
+/// through any channel-layer refactor. Re-pinning with `--update-golden`
+/// will NOT update this table — that is the point: an intentional
+/// behaviour change to the default channel must edit this test knowingly.
+#[test]
+fn pre_existing_bernoulli_digests_are_frozen() {
+    let frozen: [(&str, &[&str]); 14] = [
+        (
+            "s01_stationary_line.toml",
+            &["0f8e25d88f14a894f326dcd3eb3a8eea25d668fc4d7712716498f36fe0be40c4"],
+        ),
+        (
+            "s02_grid.toml",
+            &[
+                "1bee2a0e85b96ca126a54e08302ee51ac9a07c5a6ad213843221eefa42c08b18",
+                "e8066e7c92712966907efa5e54ab15ed1c9076cfca90e9a48df3202d470ea151",
+            ],
+        ),
+        (
+            "s03_clustered.toml",
+            &["d106ab6bccd14521c6eda54dce408ddeb35467dcd8e9770dd462e98620f82f95"],
+        ),
+        (
+            "s04_erdos_renyi.toml",
+            &[
+                "2fbeef1808da921ebb74fbf5479c632a9d650bd24f8c0c9be6a7bd393ff80e55",
+                "d6a76c7f7cfb284af407329af4735b54849b33f86ad83649c84ecc7ffaaebc91",
+            ],
+        ),
+        (
+            "s05_random_geometric.toml",
+            &[
+                "0c8279133578d6cc3e4fea5690425ddd2e79b3ba0f0222450c78d4cdf8c1fbab",
+                "6224930c857d0debc040eb1509f5842ea6a35aa0cd7b5b0b5f1fc17915fcb6c7",
+                "36a31947a1a315dcd3e4b79ba4326935f501ee32bb1fe576c520ed1aab6d67df",
+            ],
+        ),
+        (
+            "s06_lossy_channel.toml",
+            &["70e9c437f300db8d21aee798e07b83c920ca50a320dc08a4109a317e92b3aa25"],
+        ),
+        (
+            "s07_partition_merge.toml",
+            &["9a141dcf97cd9c21a47772f1245a9b67823b18d1b2c722cb2b28131bda33d95d"],
+        ),
+        (
+            "s08_churn_join_leave.toml",
+            &["dec2d804092ff97aaa6f4055009a70d71e0b116da4dac7e446d12cdf860131a9"],
+        ),
+        (
+            "s09_faults.toml",
+            &["2828bde27dbe2463de2b4a8e5ce3bbca0efb59e016379cdd835553fe110de41f"],
+        ),
+        (
+            "s10_random_walk.toml",
+            &["cde36c665b1225714de1adb7445df8bd2f653e6349f39bb6facef4141241c5e5"],
+        ),
+        (
+            "s11_highway.toml",
+            &["110a5edf8787127eda9e6592a3685fe180aaa6fe7517da2d58e1cbf47ec50825"],
+        ),
+        (
+            "s12_quarantine_ablation.toml",
+            &["fb97a5e71b9a155e5fd75bddc14957e0b8e62ece7a8f8cc7c23ee339923e016f"],
+        ),
+        (
+            "s13_metropolis_10k.toml",
+            &["6a855371ea89d457bbefbb568795d1ff16006a4b478a05752b74d8791491d1e8"],
+        ),
+        (
+            "s14_conurbation_100k.toml",
+            &["f1f6043a08b916c481b9aeee6e87980b27318aa56070d6c0eb4dc8307d3013e2"],
+        ),
+    ];
+    for (file, digests) in frozen {
+        let manifest = ScenarioManifest::load(&suite_dir().join(file))
+            .unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert_eq!(
+            manifest.golden.digests, digests,
+            "{file}: pinned bernoulli digests drifted from the frozen table \
+             — the default channel's behaviour changed"
+        );
+    }
+}
+
+/// The new contention-channel scenarios are as reproducible as everything
+/// else: two executions of the same manifest + seed give byte-identical
+/// digests, even though the channel adds per-cell load and hidden-terminal
+/// state of its own.
+#[test]
+fn contention_scenarios_are_deterministic() {
+    for file in [
+        "s15_city_grid_contention.toml",
+        "s17_mixed_highway_rsu.toml",
+    ] {
+        let manifest = ScenarioManifest::load(&suite_dir().join(file))
+            .unwrap_or_else(|e| panic!("{file}: {e}"));
+        let seed = manifest.sim.seeds[0];
+        let first = run_seed(&manifest, seed, None);
+        let second = run_seed(&manifest, seed, None);
+        assert_eq!(
+            first.digest, second.digest,
+            "{file}: contention channel broke digest determinism"
+        );
+        assert_eq!(first.stats, second.stats);
     }
 }
 

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Intra-repo markdown link checker.
+
+Walks every first-party .md file (vendor/ and target/ excluded), extracts
+inline links and reference definitions, and fails if a relative link
+points at a file that does not exist in the repository. External links
+(http/https/mailto) are deliberately NOT fetched: this repo builds
+offline, and CI must not depend on third-party uptime. Anchors are
+stripped — the check is file-existence, not heading-existence.
+
+Usage: python3 scripts/check_markdown_links.py [repo_root]
+Exit code 0 iff every relative link resolves.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "target", "vendor", "results", "bench-results", "node_modules"}
+# [text](target) — stops at the first unescaped ')'; tolerates titles
+INLINE = re.compile(r"\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+# [ref]: target
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def strip_code(text):
+    # drop fenced code blocks and inline code spans: links inside them are
+    # examples, not navigation
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def check(root):
+    failures = []
+    for path in sorted(md_files(root)):
+        with open(path, encoding="utf-8") as f:
+            text = strip_code(f.read())
+        targets = INLINE.findall(text) + REFDEF.findall(text)
+        for target in targets:
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target.split("#", 1)[0])
+            )
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(path, root)
+                failures.append(f"{rel}: broken link `{target}` -> {resolved}")
+    return failures
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    failures = check(root)
+    for line in failures:
+        print(f"BROKEN  {line}")
+    checked = len(list(md_files(root)))
+    if failures:
+        print(f"{len(failures)} broken link(s) across {checked} markdown files")
+        return 1
+    print(f"all relative links resolve across {checked} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
