@@ -22,6 +22,8 @@
 //! [`grp_core::predicates::GroupMembership`], so every experiment and metric
 //! of the evaluation applies to them unchanged.
 
+#![forbid(unsafe_code)]
+
 pub mod ball;
 pub mod discovery;
 pub mod khop;

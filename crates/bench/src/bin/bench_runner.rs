@@ -14,6 +14,8 @@
 //! artifact. Exit code 0 iff every workload completed (and every digest
 //! pair agreed).
 
+#![forbid(unsafe_code)]
+
 use bench::perf::{report_json, run_workload, summary_table, workload_matrix};
 use std::path::PathBuf;
 use std::process::ExitCode;

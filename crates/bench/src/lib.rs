@@ -6,6 +6,8 @@
 //! mobility (Figure 2 / E4), the predicate checkers, raw simulator
 //! throughput and the GRP-vs-baseline comparison (Figure 3 / E5).
 
+#![forbid(unsafe_code)]
+
 use dyngraph::Graph;
 use grp_core::GrpNode;
 use netsim::Simulator;

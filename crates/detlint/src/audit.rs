@@ -1,0 +1,230 @@
+//! `--rng-audit`: inventory every draw site on the shared simulator RNG.
+//!
+//! The ROADMAP's deterministic-parallel-event-loop refactor has to give
+//! each node its own seeded ChaCha stream; the prerequisite is knowing
+//! every place the *shared* RNG is consumed today. This pass produces that
+//! worklist: every direct draw (`rng.gen_bool(…)`, `self.rng.gen_range(…)`)
+//! and every handoff that lends the RNG to a callee
+//! (`radio.receives(&mut rng, …)`), with file, line, receiver chain and
+//! method. It is an inventory, not a gate — the exit code is always 0.
+
+use crate::config::Config;
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::scan::source_files;
+use std::fmt;
+use std::path::Path;
+
+/// Methods of the `Rng` trait (and the shim's surface) that consume the
+/// stream when called on an RNG receiver.
+const DRAW_METHODS: &[&str] = &[
+    "gen",
+    "gen_bool",
+    "gen_range",
+    "gen_ratio",
+    "sample",
+    "fill",
+    "fill_bytes",
+    "next_u32",
+    "next_u64",
+    "shuffle",
+    "choose",
+];
+
+/// One RNG consumption site.
+#[derive(Clone, Debug)]
+pub struct RngSite {
+    pub path: String,
+    pub line: usize,
+    /// `draw` for a direct method call on an RNG, `handoff` for lending
+    /// `&mut rng` to a callee.
+    pub kind: SiteKind,
+    /// What the site looks like: `self.rng.gen_bool` or `link(&mut self.rng)`.
+    pub detail: String,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SiteKind {
+    Draw,
+    Handoff,
+}
+
+impl fmt::Display for SiteKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SiteKind::Draw => "draw",
+            SiteKind::Handoff => "handoff",
+        })
+    }
+}
+
+/// Does this receiver chain look like an RNG binding? The repo's naming is
+/// uniform (`rng`, `self.rng`, `walk_rng`, …) and the audit is advisory,
+/// so a suffix match is the right precision/recall trade.
+fn rng_ish(chain: &str) -> bool {
+    chain
+        .rsplit('.')
+        .next()
+        .is_some_and(|last| last == "rng" || last.ends_with("_rng"))
+}
+
+/// Walk back from `code[i]` (exclusive) collecting a `a.b.c` receiver
+/// chain of idents joined by dots.
+fn receiver_chain(code: &[&Token], i: usize) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    let mut j = i;
+    loop {
+        if j == 0 || code[j - 1].kind != TokenKind::Ident {
+            break;
+        }
+        parts.push(&code[j - 1].text);
+        if j >= 2 && code[j - 2].is_punct('.') {
+            j -= 2;
+        } else {
+            break;
+        }
+    }
+    parts.reverse();
+    parts.join(".")
+}
+
+/// Inventory the RNG consumption sites of every file under the
+/// `[rng_audit].paths` prefixes.
+pub fn rng_audit(root: &Path, cfg: &Config) -> std::io::Result<Vec<RngSite>> {
+    let audit_cfg = Config {
+        include: cfg.rng_audit_paths.clone(),
+        ..cfg.clone()
+    };
+    let files = source_files(root, &audit_cfg)?;
+    let mut sites = Vec::new();
+    for rel in &files {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        let tokens = tokenize(&text);
+        let code: Vec<&Token> = tokens
+            .iter()
+            .filter(|t| t.kind != TokenKind::LineComment)
+            .collect();
+        for (i, tok) in code.iter().enumerate() {
+            // direct draw: `<chain>.method(` or `<chain>.gen::<T>(`
+            if tok.kind == TokenKind::Ident
+                && DRAW_METHODS.contains(&tok.text.as_str())
+                && i > 0
+                && code[i - 1].is_punct('.')
+                && code
+                    .get(i + 1)
+                    .is_some_and(|t| t.is_punct('(') || t.is_punct(':'))
+            {
+                let chain = receiver_chain(&code, i - 1);
+                if rng_ish(&chain) {
+                    sites.push(RngSite {
+                        path: rel.clone(),
+                        line: tok.line,
+                        kind: SiteKind::Draw,
+                        detail: format!("{chain}.{}", tok.text),
+                    });
+                    continue;
+                }
+                // `slice.choose(&mut rng)`-style draws consume the stream
+                // too; they surface below as handoffs of the argument
+            }
+            // handoff: `callee(… &mut <chain> …)` — an RNG chain in
+            // argument position, passed by value or by &mut
+            if tok.kind == TokenKind::Ident {
+                let chain_end = {
+                    // find the end of a dotted chain starting here
+                    let mut j = i;
+                    while code.get(j + 1).is_some_and(|t| t.is_punct('.'))
+                        && code.get(j + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+                    {
+                        j += 2;
+                    }
+                    j
+                };
+                let chain = receiver_chain(&code, chain_end + 1);
+                if !rng_ish(&chain) {
+                    continue;
+                }
+                // skip if this chain is a draw receiver (handled above), a
+                // declaration (`let rng = …`), or a parameter/field
+                // declaration (`rng: &mut ChaCha8Rng`) — only call
+                // arguments are consumption sites
+                let next_is_call = code
+                    .get(chain_end + 1)
+                    .is_some_and(|t| t.is_punct('.') || t.is_punct('=') || t.is_punct(':'));
+                let prev = code.get(i.wrapping_sub(1)).copied();
+                let arg_position =
+                    prev.is_some_and(|t| t.is_punct('(') || t.is_punct(',') || t.is_ident("mut"));
+                if arg_position && !next_is_call {
+                    // name the callee: walk back to `ident (` before the
+                    // argument list this chain sits in
+                    let callee = callee_of(&code, i);
+                    sites.push(RngSite {
+                        path: rel.clone(),
+                        line: tok.line,
+                        kind: SiteKind::Handoff,
+                        detail: format!("{}(… {chain} …)", callee.unwrap_or("?".into())),
+                    });
+                }
+            }
+        }
+    }
+    Ok(sites)
+}
+
+/// Best-effort name of the function whose argument list encloses `code[i]`:
+/// walk back to the unmatched `(` and take the dotted chain before it.
+fn callee_of(code: &[&Token], i: usize) -> Option<String> {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if code[j].is_punct(')') {
+            depth += 1;
+        } else if code[j].is_punct('(') {
+            if depth == 0 {
+                let chain = receiver_chain(code, j);
+                return if chain.is_empty() { None } else { Some(chain) };
+            }
+            depth -= 1;
+        }
+    }
+    None
+}
+
+/// Render the inventory as the aligned text report `--rng-audit` prints.
+pub fn render(sites: &[RngSite]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let draws = sites.iter().filter(|s| s.kind == SiteKind::Draw).count();
+    let handoffs = sites.len() - draws;
+    let files: std::collections::BTreeSet<&str> = sites.iter().map(|s| s.path.as_str()).collect();
+    let width = sites
+        .iter()
+        .map(|s| s.path.len() + 1 + s.line.to_string().len())
+        .max()
+        .unwrap_or(0);
+    for s in sites {
+        let loc = format!("{}:{}", s.path, s.line);
+        let _ = writeln!(out, "{loc:width$}  {:7}  {}", s.kind.to_string(), s.detail);
+    }
+    let _ = writeln!(
+        out,
+        "\n{} shared-RNG consumption sites ({draws} draws, {handoffs} handoffs) across {} files",
+        sites.len(),
+        files.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_ish_matches_repo_naming() {
+        assert!(rng_ish("rng"));
+        assert!(rng_ish("self.rng"));
+        assert!(rng_ish("walk_rng"));
+        assert!(!rng_ish("range"));
+        assert!(!rng_ish("self.wiring"));
+    }
+}

@@ -1,0 +1,331 @@
+//! A minimal token-level scanner for Rust source.
+//!
+//! `detlint` needs just enough lexical structure to match patterns like
+//! `.unwrap()`, `Instant::now`, or `for _ in &map` without being fooled by
+//! comments, doc-tests, or string literals that merely *mention* those
+//! spellings. This is not a full Rust lexer: numbers, operators and
+//! punctuation other than the handful the rules inspect are folded into
+//! [`TokenKind::Punct`], and macro bodies are scanned like ordinary code
+//! (which is what we want — `assert!(map.iter()...)` is still iteration).
+//!
+//! What it does get right, because the rules depend on it:
+//!
+//! * line (`//`) and nested block (`/* */`) comments are skipped, but line
+//!   comments are *kept* as [`TokenKind::LineComment`] tokens so the
+//!   suppression pass can find `detlint::allow(...)` annotations;
+//! * string literals — plain, byte, and raw with any `#` depth — are
+//!   skipped entirely;
+//! * char literals are distinguished from lifetimes, so `'a'` does not
+//!   swallow source and `<'a>` does not open a phantom literal;
+//! * every token carries its 1-based source line for reporting.
+
+/// The classes of token the rules care about.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `for`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `(`, `&`, `{`, …).
+    Punct,
+    /// A `//` comment, with its full text (including the slashes).
+    LineComment,
+}
+
+/// One token with its source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Identifier text, punctuation char, or full comment text.
+    pub text: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Is this a punctuation token with exactly this char?
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+}
+
+/// Tokenize `source`. Never fails: unterminated constructs consume to the
+/// end of input (the compiler will reject such files anyway; the linter
+/// just needs to not panic or mis-pair).
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = chars.len();
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                let start = i;
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::LineComment,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                // nested block comment
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => i = skip_string(&chars, i, &mut line),
+            'r' | 'b' if starts_raw_or_byte_string(&chars, i) => {
+                i = skip_raw_or_byte_string(&chars, i, &mut line)
+            }
+            '\'' => i = skip_char_or_lifetime(&chars, i, &mut line, &mut tokens),
+            c if c == '_' || c.is_alphanumeric() => {
+                let start = i;
+                while i < n && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                // numeric literals are noise for every rule; drop them
+                if !text.starts_with(|ch: char| ch.is_ascii_digit()) {
+                    tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text,
+                        line,
+                    });
+                }
+            }
+            c => {
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Does `chars[i..]` start a raw string (`r"`, `r#`), byte string (`b"`),
+/// or raw byte string (`br"`, `br#`)? Plain identifiers starting with `r`
+/// or `b` must fall through to ident lexing.
+fn starts_raw_or_byte_string(chars: &[char], i: usize) -> bool {
+    let n = chars.len();
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if j < n && chars[j] == 'r' {
+            j += 1;
+        }
+    } else if chars[j] == 'r' {
+        j += 1;
+    } else {
+        return false;
+    }
+    while j < n && chars[j] == '#' {
+        j += 1;
+    }
+    // a raw form needs at least one `#` or a quote right away; `b"` and
+    // `r"` hit the quote directly
+    j < n && chars[j] == '"'
+}
+
+/// Skip a plain or byte string starting at the prefix (`"`/`b"`/`r#"`…).
+fn skip_raw_or_byte_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    let n = chars.len();
+    let mut raw = false;
+    if chars[i] == 'b' {
+        i += 1;
+    }
+    if i < n && chars[i] == 'r' {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < n && chars[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert!(i < n && chars[i] == '"');
+    i += 1; // opening quote
+    if raw {
+        // raw: ends at `"` followed by `hashes` `#`s; no escapes
+        while i < n {
+            if chars[i] == '\n' {
+                *line += 1;
+                i += 1;
+            } else if chars[i] == '"'
+                && chars[i + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&c| c == '#')
+                    .count()
+                    == hashes
+            {
+                return i + 1 + hashes;
+            } else {
+                i += 1;
+            }
+        }
+        n
+    } else {
+        skip_string_body(chars, i, line)
+    }
+}
+
+/// Skip a `"`-opened string from its opening quote.
+fn skip_string(chars: &[char], i: usize, line: &mut usize) -> usize {
+    skip_string_body(chars, i + 1, line)
+}
+
+/// Skip an escaped string body; `i` points just past the opening quote.
+fn skip_string_body(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    let n = chars.len();
+    while i < n {
+        match chars[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Disambiguate a `'`: char literal (skipped) vs lifetime (emitted as a
+/// punct `'` followed by its ident, which no rule currently inspects).
+fn skip_char_or_lifetime(
+    chars: &[char],
+    i: usize,
+    line: &mut usize,
+    tokens: &mut Vec<Token>,
+) -> usize {
+    let n = chars.len();
+    // escaped char literal: '\n', '\'', '\u{…}'
+    if i + 1 < n && chars[i + 1] == '\\' {
+        let mut j = i + 2;
+        while j < n && chars[j] != '\'' {
+            j += 1;
+        }
+        return (j + 1).min(n);
+    }
+    // plain char literal: 'x' — exactly one char then a closing quote
+    if i + 2 < n && chars[i + 2] == '\'' {
+        return i + 3;
+    }
+    // lifetime: keep going as ident lexing; emit the quote as punct
+    tokens.push(Token {
+        kind: TokenKind::Punct,
+        text: "'".to_string(),
+        line: *line,
+    });
+    i + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let src = r##"
+            // mentions unwrap() in a comment
+            /* and Instant::now in /* a nested */ block */
+            let s = "thread_rng() in a string";
+            let r = r#"SystemTime in a raw string"#;
+            let b = b"from_entropy";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        for bad in [
+            "unwrap",
+            "Instant",
+            "thread_rng",
+            "SystemTime",
+            "from_entropy",
+        ] {
+            assert!(!ids.contains(&bad.to_string()), "{bad} leaked from literal");
+        }
+    }
+
+    #[test]
+    fn line_comments_are_retained_with_text() {
+        let toks = tokenize("x(); // detlint::allow(D004): fine\ny();");
+        let comment = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::LineComment)
+            .unwrap();
+        assert!(comment.text.contains("detlint::allow(D004)"));
+        assert_eq!(comment.line, 1);
+    }
+
+    #[test]
+    fn char_literals_do_not_swallow_source() {
+        let ids = idents("let c = 'a'; let n = '\\n'; danger();");
+        assert!(ids.contains(&"danger".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(ids.contains(&"str".to_string()));
+        assert!(ids.contains(&"f".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a();\n\"two\nlines\";\nb();";
+        let toks = tokenize(src);
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn raw_string_hash_depth_is_respected() {
+        let src = r####"let x = r##"has "# inside"##; after();"####;
+        let ids = idents(src);
+        assert!(ids.contains(&"after".to_string()));
+        assert!(!ids.contains(&"inside".to_string()));
+    }
+}

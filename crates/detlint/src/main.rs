@@ -1,0 +1,97 @@
+//! CLI for the determinism linter. `--check` is the CI gate; `--rng-audit`
+//! prints the shared-RNG draw-site inventory (always exit 0).
+
+#![forbid(unsafe_code)]
+
+use detlint::audit::{render, rng_audit};
+use detlint::config::Config;
+use detlint::scan::run_check;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+detlint — determinism linter for this repository
+
+USAGE:
+    detlint [--check] [--rng-audit] [--root DIR] [--config FILE]
+
+MODES:
+    (default) / --check   lint all first-party sources; exit 1 on findings
+    --rng-audit           inventory shared-RNG draw/handoff sites; exit 0
+
+OPTIONS:
+    --root DIR            repository root to scan (default: .)
+    --config FILE         config path (default: <root>/detlint.toml)
+";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut audit_mode = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {}
+            "--rng-audit" => audit_mode = true,
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root needs a value"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage_error("--config needs a value"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let config_path = config_path.unwrap_or_else(|| root.join("detlint.toml"));
+    let cfg = match Config::load(&config_path) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if audit_mode {
+        return match rng_audit(&root, &cfg) {
+            Ok(sites) => {
+                print!("{}", render(&sites));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("detlint: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match run_check(&root, &cfg) {
+        Ok((findings, scanned)) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                println!("detlint: clean — {scanned} files, 0 findings");
+                ExitCode::SUCCESS
+            } else {
+                println!("detlint: {} finding(s) in {scanned} files", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("detlint: {msg}\n\n{USAGE}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,10 @@
+use std::collections::HashMap;
+
+pub fn checksum(map: &HashMap<u64, u64>) -> u64 {
+    let mut sum = 0;
+    // detlint::allow(D001): summation is order-independent
+    for value in map.values() {
+        sum += value;
+    }
+    sum
+}

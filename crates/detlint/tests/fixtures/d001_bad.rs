@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn checksum(map: &HashMap<u64, u64>) -> u64 {
+    let mut sum = 0;
+    for value in map.values() {
+        sum += value;
+    }
+    sum
+}

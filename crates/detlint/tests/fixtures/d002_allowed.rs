@@ -1,0 +1,4 @@
+// detlint::allow(D002): measures the harness, never simulation state
+pub fn elapsed_ms(start: std::time::Instant) -> u128 {
+    start.elapsed().as_millis()
+}

@@ -1,0 +1,3 @@
+pub fn elapsed_ms(start: std::time::Instant) -> u128 {
+    start.elapsed().as_millis()
+}

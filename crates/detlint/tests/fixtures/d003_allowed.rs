@@ -1,0 +1,5 @@
+pub fn roll() -> u32 {
+    // detlint::allow(D003): demo-only entropy, never feeds a digest
+    let mut rng = rand::thread_rng();
+    rand::Rng::gen_range(&mut rng, 0..6)
+}

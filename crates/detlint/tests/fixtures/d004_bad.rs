@@ -1,0 +1,3 @@
+pub fn head(values: &[u64]) -> u64 {
+    *values.first().unwrap()
+}

@@ -1,0 +1,4 @@
+pub fn reinterpret(x: u64) -> i64 {
+    // detlint::allow(D005): bit-exact cast, no aliasing or lifetime risk
+    unsafe { std::mem::transmute(x) }
+}

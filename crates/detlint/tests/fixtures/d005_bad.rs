@@ -1,0 +1,3 @@
+pub fn reinterpret(x: u64) -> i64 {
+    unsafe { std::mem::transmute(x) }
+}

@@ -27,6 +27,8 @@
 //! assert_eq!(g.diameter(), Some(2));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod algo;
 pub mod dynamic;
 pub mod generators;

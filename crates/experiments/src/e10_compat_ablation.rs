@@ -82,6 +82,7 @@ pub fn run(scale: Scale) -> ExperimentOutput {
     );
     for &(left, tail, overlap, dmax) in &cases {
         let topology = shortcut_topology(left, tail, overlap);
+        // detlint::allow(D004): shortcut_topology builds a connected graph
         let diameter = topology.diameter().expect("connected scenario");
         let full_rate = seeds
             .par_iter()

@@ -15,6 +15,8 @@
 //! evaluation (`cargo run -p experiments --release -- all`), the quick
 //! smoke-check used by integration tests, and the Criterion benches.
 
+#![forbid(unsafe_code)]
+
 pub mod e10_compat_ablation;
 pub mod e1_convergence;
 pub mod e2_formation;

@@ -63,6 +63,7 @@ impl GrpRun {
 
     /// The final snapshot.
     pub fn last(&self) -> &SystemSnapshot {
+        // detlint::allow(D004): every constructor records the initial snapshot
         self.snapshots.last().expect("at least one snapshot")
     }
 }
@@ -145,6 +146,7 @@ fn grp_run_from(pipeline: GrpPipeline, sim: &Simulator<GrpNode>) -> GrpRun {
         snapshots: recorder.into_snapshots(),
         detector: convergence
             .map(ConvergenceProbe::into_detector)
+            // detlint::allow(D004): run_grp_on builds its pipeline with_convergence
             .expect("pipeline built with convergence"),
     }
 }

@@ -61,6 +61,8 @@
 //! assert_eq!(snapshot.group_count(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod adapter;
 pub mod ancestor_list;
 pub mod checks;

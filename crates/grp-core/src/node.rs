@@ -188,6 +188,7 @@ impl GrpNode {
         if self.cached_message.is_none() {
             self.cached_message = Some(self.build_message());
         }
+        // detlint::allow(D004): filled by the branch above when empty
         self.cached_message.clone().expect("just built")
     }
 

@@ -89,6 +89,7 @@ impl SnapshotRecorder {
             snapshot: SystemSnapshot::from_shared(sim.topology_shared(), views),
             stats: sim.stats(),
         });
+        // detlint::allow(D004): pushed by the statement directly above
         self.rounds.last().expect("just pushed")
     }
 

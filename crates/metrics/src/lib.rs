@@ -10,6 +10,8 @@
 //!   every experiment prints the rows of the table or the series of the
 //!   figure it reproduces ([`table`]).
 
+#![forbid(unsafe_code)]
+
 pub mod churn;
 pub mod series;
 pub mod stats;

@@ -33,7 +33,7 @@ impl Summary {
         let mean = samples.iter().sum::<f64>() / count as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
         let mut sorted: Vec<f64> = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Summary {
             count,
             mean,

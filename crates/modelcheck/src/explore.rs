@@ -412,6 +412,8 @@ fn find_cycle(recs: &[StateRec]) -> Option<(usize, Vec<Choice>)> {
             .succs
             .iter()
             .find(|&&(_, s)| remaining[s])
+            // detlint::allow(D004): Kahn peeling only leaves states whose
+            // out-degree within the residue is ≥ 1, so the find cannot miss
             .expect("residue state must have a successor in the residue");
         walk.push((cur, choice));
         cur = next;

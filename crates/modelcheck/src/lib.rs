@@ -29,6 +29,8 @@
 //! the fact — see the [`state`] module docs — so every cycle the explorer
 //! reports is an execution the simulator could actually produce.
 
+#![forbid(unsafe_code)]
+
 pub mod explore;
 pub mod grp;
 pub mod state;

@@ -281,13 +281,18 @@ impl<P: CanonicalState> McNet<P> {
                 self.drops_used += 1;
             }
             Choice::Duplicate { from, to } => {
+                // detlint::allow(D004): apply's documented contract — callers
+                // check is_enabled first, so the channel exists
                 let queue = self.channels.get_mut(&(from, to)).expect("enabled");
+                // detlint::allow(D004): empty channels are removed eagerly
                 let copy = queue.front().expect("non-empty").clone();
                 queue.push_back(copy);
                 self.dups_used += 1;
             }
             Choice::Compute { node } => {
                 let round = self.rounds.get(&node).copied().unwrap_or(0);
+                // detlint::allow(D004): apply's documented contract — Compute
+                // is only enabled for nodes in the net
                 let proto = self.nodes.get_mut(&node).expect("enabled");
                 proto.on_compute(SimTime(0));
                 let broadcast = proto.on_send(SimTime(0));
@@ -325,7 +330,10 @@ impl<P: CanonicalState> McNet<P> {
     }
 
     fn pop_channel(&mut self, from: NodeId, to: NodeId) -> P::Message {
+        // detlint::allow(D004): apply's documented contract — callers check
+        // is_enabled first, so the channel exists
         let queue = self.channels.get_mut(&(from, to)).expect("enabled");
+        // detlint::allow(D004): empty channels are removed eagerly below
         let msg = queue.pop_front().expect("non-empty");
         if queue.is_empty() {
             self.channels.remove(&(from, to));

@@ -61,7 +61,7 @@ use crate::time::SimTime;
 use dyngraph::NodeId;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Everything a channel model may inspect when deciding one link of a
 /// broadcast sweep. Built by the simulator per `(sender, neighbour)` pair.
@@ -238,6 +238,15 @@ struct RecentTx {
 /// simulation RNG, so runs are reproducible per seed; the determinism
 /// regression tests pin this.
 ///
+/// Internally the window is *cell-bucketed*: alongside the expiry deque,
+/// the channel keeps live transmission counts per cell and per
+/// `(cell, sender)`, maintained incrementally as transmissions enter and
+/// leave the window. A link decision then reads the nine cells around the
+/// receiver instead of walking every windowed transmission — O(1) per
+/// link instead of O(window). The counts are held in `HashMap`s but only
+/// ever read by key (never iterated), so hash order cannot perturb the
+/// decision stream and the pinned digests are unchanged.
+///
 /// ```
 /// use netsim::channel::{ChannelModel, Contention, ContentionConfig, LinkEnv};
 /// use netsim::radio::UnitDisk;
@@ -275,6 +284,12 @@ pub struct Contention {
     cfg: ContentionConfig,
     /// Sliding window of transmissions, oldest first.
     recent: VecDeque<RecentTx>,
+    /// Live transmissions per interference cell. Keyed lookup only —
+    /// D001 forbids iterating it, and nothing does.
+    cell_load: HashMap<(i64, i64), u32>,
+    /// Live transmissions per (cell, sender) — subtracted from the cell
+    /// total so a node never contends with itself.
+    sender_load: HashMap<((i64, i64), NodeId), u32>,
 }
 
 impl Contention {
@@ -288,6 +303,8 @@ impl Contention {
         Contention {
             cfg,
             recent: VecDeque::new(),
+            cell_load: HashMap::new(),
+            sender_load: HashMap::new(),
         }
     }
 
@@ -307,41 +324,80 @@ impl Contention {
     /// *other* transmitters within one cell ring of the receiver and
     /// `hidden` reports whether any of them is outside the sender's own
     /// ring.
+    ///
+    /// Reads the nine bucket counts around `rcell` — equivalent to (and
+    /// pinned against) walking the whole window, because every windowed
+    /// transmission in a cell contributes exactly its count and all
+    /// transmissions in one cell share the same `near` verdicts.
     fn observe(&self, sender: NodeId, sender_cell: (i64, i64), rcell: (i64, i64)) -> (u32, bool) {
         let near = |a: (i64, i64), b: (i64, i64)| (a.0 - b.0).abs() <= 1 && (a.1 - b.1).abs() <= 1;
         let mut load = 0u32;
         let mut hidden = false;
-        for tx in &self.recent {
-            if tx.sender == sender {
-                continue; // a node does not interfere with itself
-            }
-            if near(tx.cell, rcell) {
-                load += 1;
-                if !near(tx.cell, sender_cell) {
-                    hidden = true;
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let cell = (rcell.0 + dx, rcell.1 + dy);
+                let total = self.cell_load.get(&cell).copied().unwrap_or(0);
+                if total == 0 {
+                    continue;
+                }
+                // a node does not interfere with itself
+                let own = self.sender_load.get(&(cell, sender)).copied().unwrap_or(0);
+                let foreign = total - own;
+                if foreign > 0 {
+                    load += foreign;
+                    if !near(cell, sender_cell) {
+                        hidden = true;
+                    }
                 }
             }
         }
         (load, hidden)
+    }
+
+    /// Count a transmission into the cell buckets.
+    fn bucket_add(&mut self, tx: &RecentTx) {
+        *self.cell_load.entry(tx.cell).or_insert(0) += 1;
+        *self.sender_load.entry((tx.cell, tx.sender)).or_insert(0) += 1;
+    }
+
+    /// Count an expired transmission out of the cell buckets. Zeroed
+    /// entries are removed so the maps track the live window, not every
+    /// cell the workload ever touched.
+    fn bucket_remove(&mut self, tx: &RecentTx) {
+        if let Some(count) = self.cell_load.get_mut(&tx.cell) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                self.cell_load.remove(&tx.cell);
+            }
+        }
+        if let Some(count) = self.sender_load.get_mut(&(tx.cell, tx.sender)) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                self.sender_load.remove(&(tx.cell, tx.sender));
+            }
+        }
     }
 }
 
 impl ChannelModel for Contention {
     fn begin_broadcast(&mut self, now: SimTime, sender: NodeId, pos: Option<Point>) {
         let window = self.cfg.window;
-        while let Some(front) = self.recent.front() {
+        while let Some(front) = self.recent.front().copied() {
             if now.ticks().saturating_sub(front.at.ticks()) > window {
                 self.recent.pop_front();
+                self.bucket_remove(&front);
             } else {
                 break;
             }
         }
         if let Some(p) = pos {
-            self.recent.push_back(RecentTx {
+            let tx = RecentTx {
                 at: now,
                 sender,
                 cell: cell_index(self.cfg.range, p),
-            });
+            };
+            self.recent.push_back(tx);
+            self.bucket_add(&tx);
         }
     }
 

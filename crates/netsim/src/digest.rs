@@ -69,6 +69,7 @@ impl Sha256 {
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
+            // detlint::allow(D004): chunks_exact(4) yields 4-byte slices
             w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
         }
         for i in 16..64 {
@@ -129,6 +130,7 @@ impl Sha256 {
         }
         let mut blocks = data.chunks_exact(64);
         for block in &mut blocks {
+            // detlint::allow(D004): chunks_exact(64) yields 64-byte slices
             self.compress(block.try_into().expect("64-byte block"));
         }
         let rest = blocks.remainder();

@@ -36,6 +36,7 @@
 //! perturb the trace.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod builder;
 pub mod channel;

@@ -167,6 +167,7 @@ impl MobilityModel for CityGrid {
         let side = self.side;
         let ids: Vec<NodeId> = self.vehicles.keys().copied().collect();
         for id in ids {
+            // detlint::allow(D004): ids were collected from this very map
             let v = *self.vehicles.get(&id).expect("known vehicle");
             let step = v.speed * dt as f64;
             let moved = if self.green(v.axis, time) {
@@ -185,6 +186,7 @@ impl MobilityModel for CityGrid {
                     (v.offset - step).max(line)
                 }
             };
+            // detlint::allow(D004): ids were collected from this very map
             self.vehicles.get_mut(&id).expect("known vehicle").offset = moved;
         }
         self.time = self.time.saturating_add(dt);

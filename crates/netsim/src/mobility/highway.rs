@@ -99,9 +99,11 @@ impl MobilityModel for Highway {
         let ids: Vec<NodeId> = self.offsets.keys().copied().collect();
         for id in ids {
             let speed = self.speeds[&id];
+            // detlint::allow(D004): ids were collected from this very map
             let off = self.offsets.get_mut(&id).expect("known vehicle");
             *off = (*off + speed * dt as f64) % self.road_length;
             if self.lane_change_prob > 0.0 && rng.gen_bool(self.lane_change_prob) {
+                // detlint::allow(D004): lane_of is keyed identically to offsets
                 let lane = self.lane_of.get_mut(&id).expect("known vehicle");
                 *lane = (*lane + 1) % self.lanes;
             }

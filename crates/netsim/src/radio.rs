@@ -98,6 +98,8 @@ pub trait RadioModel: Send {
     fn refresh_grid_topology(&self, grid: &mut SpatialGrid) {
         let range = self
             .max_range()
+            // detlint::allow(D004): documented API precondition — the
+            // simulator only routes bounded-range models through the grid
             .expect("refresh_grid_topology requires a bounded-range radio model");
         grid.rebuild_topology(range, |pa, pb| {
             self.in_vicinity(pa, pb) && self.in_vicinity(pb, pa)

@@ -353,6 +353,7 @@ impl<P: Protocol> Simulator<P> {
             if ev.time > deadline {
                 break;
             }
+            // detlint::allow(D004): the while-let peek guarantees non-empty
             let ev = self.events.pop().expect("peeked");
             self.now = ev.time;
             if self.config.parallel_compute {
@@ -368,6 +369,7 @@ impl<P: Protocol> Simulator<P> {
                         {
                             break;
                         }
+                        // detlint::allow(D004): the while-let peek guarantees non-empty
                         match self.events.pop().expect("peeked").kind {
                             EventKind::ComputeTimer(next_id) => batch.push(next_id),
                             _ => unreachable!("peeked a compute timer"),
@@ -670,8 +672,10 @@ impl<P: Protocol> Simulator<P> {
         for (i, (extra_delay, recipients)) in groups.into_iter().enumerate() {
             // the message moves into the last sweep instead of cloning
             let msg = if i + 1 == sweeps {
+                // detlint::allow(D004): taken exactly once, on the last sweep
                 message.take().expect("one take per send")
             } else {
+                // detlint::allow(D004): only the final iteration takes it
                 message.as_ref().expect("taken only at the end").clone()
             };
             self.schedule(

@@ -80,6 +80,7 @@ impl Cluster {
 
         let mut handles = Vec::new();
         for id in topology.nodes() {
+            // detlint::allow(D004): the loop above created one per node id
             let rx = receivers.remove(&id).expect("receiver for every node");
             let senders = Arc::clone(&senders);
             let stop = Arc::clone(&stop);
@@ -202,6 +203,7 @@ fn node_loop(
             let mut published = published.lock();
             published
                 .views
+                // detlint::allow(D004): the comparison above fills it when None
                 .insert(id, Arc::clone(last_view.as_ref().expect("just set")));
             *published.rounds.entry(id).or_insert(0) += 1;
             next_compute += config.compute_period;

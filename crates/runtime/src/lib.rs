@@ -19,6 +19,8 @@
 //! cluster.shutdown();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod link;
 

@@ -22,6 +22,8 @@
 //! schemas, and `tests/scenarios/` at the workspace root for the curated
 //! suite.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 pub mod manifest;
 pub mod result;

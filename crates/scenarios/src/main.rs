@@ -21,6 +21,8 @@
 //! failing *behavioural* assertion still fails the process — a broken run
 //! is never silently pinned over.
 
+#![forbid(unsafe_code)]
+
 use scenarios::{discover_manifests, passes_ignoring_golden, run_suite, suite_dir};
 use std::path::PathBuf;
 use std::process::ExitCode;

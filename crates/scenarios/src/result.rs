@@ -220,6 +220,7 @@ pub fn stream_scenario<W: io::Write>(
     }
     let out = writer
         .take()
+        // detlint::allow(D004): the closure above only borrows the writer
         .expect("writer is only taken here")
         .finish(outcome.pass)?;
     Ok((outcome, out))

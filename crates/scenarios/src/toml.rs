@@ -323,7 +323,9 @@ fn push_array_table(
     path: &[String],
     line_no: usize,
 ) -> Result<(), ParseError> {
-    let (last, parents) = path.split_last().expect("checked non-empty");
+    let Some((last, parents)) = path.split_last() else {
+        return err(line_no, "empty table header");
+    };
     let parent = navigate(root, parents, line_no)?;
     let entry = parent
         .entry(last.clone())

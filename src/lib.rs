@@ -5,6 +5,8 @@
 //! examples under `examples/`. Re-exports are provided so the examples and
 //! docs can use one import root when convenient.
 
+#![forbid(unsafe_code)]
+
 pub use baselines;
 pub use dyngraph;
 pub use experiments;
