@@ -2,11 +2,15 @@
 //! repo's `BENCH_<date>.json` baseline.
 //!
 //! ```text
-//! bench-runner [--quick] [--out DIR]
+//! bench-runner [--quick] [--out DIR] [--filter SUBSTR]
 //! ```
 //!
 //! * `--quick` drops the 10k row and halves the rounds (the CI profile);
-//! * `--out DIR` chooses where `BENCH_<date>.json` lands (default `.`).
+//! * `--out DIR` chooses where `BENCH_<date>.json` lands (default `.`);
+//! * `--filter SUBSTR` runs only the rows whose label contains `SUBSTR`
+//!   (e.g. `--filter grp/random_walk/100000`) — for iterating on one row
+//!   without paying for the whole matrix. A filtered run still writes the
+//!   JSON artifact, so don't commit one as the baseline.
 //!
 //! Every workload runs the engine twice up to the brute-force ceiling —
 //! spatial grid and all-pairs scan — asserting the two trace digests are
@@ -25,6 +29,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut out_dir = PathBuf::from(".");
+    let mut filter: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -36,8 +41,15 @@ fn main() -> ExitCode {
                 };
                 out_dir = PathBuf::from(dir);
             }
+            "--filter" => {
+                let Some(substr) = iter.next() else {
+                    eprintln!("--filter requires a label substring argument");
+                    return ExitCode::from(2);
+                };
+                filter = Some(substr.clone());
+            }
             "--help" | "-h" => {
-                println!("usage: bench-runner [--quick] [--out DIR]");
+                println!("usage: bench-runner [--quick] [--out DIR] [--filter SUBSTR]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -47,7 +59,14 @@ fn main() -> ExitCode {
         }
     }
 
-    let matrix = workload_matrix(quick);
+    let mut matrix = workload_matrix(quick);
+    if let Some(substr) = &filter {
+        matrix.retain(|w| w.label().contains(substr.as_str()));
+        if matrix.is_empty() {
+            eprintln!("--filter `{substr}` matches no workload label");
+            return ExitCode::from(2);
+        }
+    }
     let mut results = Vec::with_capacity(matrix.len());
     for w in &matrix {
         eprintln!("running {} ({} rounds)...", w.label(), w.rounds);

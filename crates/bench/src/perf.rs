@@ -27,7 +27,7 @@ use netsim::protocol::Beacon;
 use netsim::radio::UnitDisk;
 use netsim::{
     CanonicalHasher, Contention, ContentionConfig, MobilityModel, NullObserver, Observer, Protocol,
-    SimBuilder, SimConfig, SimTime, Simulator, TraceProbe, ViewProtocol,
+    RngStreams, SimBuilder, SimConfig, SimTime, Simulator, TraceProbe, ViewProtocol,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -206,6 +206,18 @@ pub fn workload_matrix(quick: bool) -> Vec<Workload> {
             rounds: 2,
             seed: 7,
         });
+        // the megacity profile row: engine throughput at 1M nodes, one
+        // round of beacon traffic — the scale the calendar queue and
+        // per-node RNG streams target (GRP at this size is blocked on the
+        // hash-consed interning item in ROADMAP.md, not on the engine)
+        matrix.push(Workload {
+            payload: Payload::Beacon,
+            mobility: MobilityKind::RandomWalk,
+            channel: ChannelKind::Bernoulli,
+            nodes: 1_000_000,
+            rounds: 1,
+            seed: 7,
+        });
     }
     matrix
 }
@@ -248,6 +260,8 @@ fn build_simulator<P: Protocol, F: FnMut(dyngraph::NodeId) -> P>(
         mobility_period: 100,
         spatial_index: engine.spatial_index,
         parallel_compute: engine.parallel_compute,
+        rng_streams: engine.rng_streams,
+        parallel_transport: engine.parallel_transport,
         ..Default::default()
     };
     let mut builder = SimBuilder::new()
@@ -266,24 +280,53 @@ fn build_simulator<P: Protocol, F: FnMut(dyngraph::NodeId) -> P>(
 pub struct EngineConfig {
     pub spatial_index: bool,
     pub parallel_compute: bool,
+    pub rng_streams: RngStreams,
+    pub parallel_transport: bool,
 }
 
 impl EngineConfig {
-    /// The primary configuration: grid index, sequential compute.
+    /// The primary configuration: grid index, sequential compute, the
+    /// legacy shared RNG stream — the regime every pre-migration baseline
+    /// row was recorded under, kept as the comparable reference.
     pub const GRID: EngineConfig = EngineConfig {
         spatial_index: true,
         parallel_compute: false,
+        rng_streams: RngStreams::Legacy,
+        parallel_transport: false,
     };
     /// The historical all-pairs neighbour scan.
     pub const BRUTE: EngineConfig = EngineConfig {
         spatial_index: false,
         parallel_compute: false,
+        rng_streams: RngStreams::Legacy,
+        parallel_transport: false,
     };
     /// Grid index with batched parallel compute — must be digest-identical
     /// to [`GRID`](Self::GRID); every GRP row cross-checks it.
     pub const PARALLEL: EngineConfig = EngineConfig {
         spatial_index: true,
         parallel_compute: true,
+        rng_streams: RngStreams::Legacy,
+        parallel_transport: false,
+    };
+    /// The per-node-stream regime on the bucketed calendar engine,
+    /// transport sequential: the baseline half of the transport twin. Its
+    /// digest differs from [`GRID`](Self::GRID) — per-node streams are a
+    /// different (one-time re-pinned) randomness regime.
+    pub const STREAMS: EngineConfig = EngineConfig {
+        spatial_index: true,
+        parallel_compute: false,
+        rng_streams: RngStreams::PerNode,
+        parallel_transport: false,
+    };
+    /// Per-node streams with the send/delivery fan-out on — must be
+    /// digest-identical to [`STREAMS`](Self::STREAMS); every traffic row
+    /// cross-checks it (the thread count is a pure wall-clock knob).
+    pub const TRANSPORT: EngineConfig = EngineConfig {
+        spatial_index: true,
+        parallel_compute: false,
+        rng_streams: RngStreams::PerNode,
+        parallel_transport: true,
     };
 }
 
@@ -356,6 +399,8 @@ pub fn run_engine(w: &Workload, engine: EngineConfig, instr: Instrumentation) ->
                 mobility_period: 100,
                 spatial_index: engine.spatial_index,
                 parallel_compute: engine.parallel_compute,
+                rng_streams: engine.rng_streams,
+                parallel_transport: engine.parallel_transport,
                 ..Default::default()
             };
             let sim: Simulator<Beacon> = SimBuilder::new()
@@ -693,6 +738,15 @@ pub struct WorkloadResult {
     /// digest is asserted identical to `grid` — the sequential-vs-parallel
     /// guard CI runs on every bench invocation.
     pub parallel: Option<EngineRun>,
+    /// Traffic rows (beacon + GRP): the per-node-stream calendar engine
+    /// with sequential transport — the baseline half of the transport
+    /// twin. Not digest-comparable to `grid` (different randomness
+    /// regime, re-pinned once; see docs/DETERMINISM.md).
+    pub streams: Option<EngineRun>,
+    /// Traffic rows: per-node streams with `parallel_transport` on; its
+    /// digest is asserted identical to `streams` — the transport
+    /// fan-out guard CI runs on every bench invocation.
+    pub transport: Option<EngineRun>,
     /// GRP rows: wall-clock spent inside the protocol handlers (compute /
     /// send / receive), isolating protocol work from engine work.
     pub protocol: Option<Duration>,
@@ -720,6 +774,40 @@ impl WorkloadResult {
             self.grid.wall.as_secs_f64() / bare
         } else {
             1.0
+        }
+    }
+
+    /// Legacy-engine wall time over batched-engine (`transport`) wall
+    /// time, when the transport twin ran: how much faster the row runs on
+    /// the calendar-queue engine than on the legacy shared-stream engine.
+    /// This is the headline column of the stream migration — on a
+    /// single-core host the gain is purely algorithmic (bucket lifting +
+    /// batched sweeps); extra cores add on top via `par_map`.
+    pub fn engine_speedup(&self) -> Option<f64> {
+        self.transport.as_ref().map(|t| {
+            let tw = t.wall.as_secs_f64();
+            if tw > 0.0 {
+                self.grid.wall.as_secs_f64() / tw
+            } else {
+                f64::INFINITY
+            }
+        })
+    }
+
+    /// Sequential-transport wall time over parallel-transport wall time
+    /// within the per-node regime (1.0 on a single-core host, where the
+    /// fan-out runs inline).
+    pub fn transport_speedup(&self) -> Option<f64> {
+        match (&self.streams, &self.transport) {
+            (Some(s), Some(t)) => {
+                let tw = t.wall.as_secs_f64();
+                Some(if tw > 0.0 {
+                    s.wall.as_secs_f64() / tw
+                } else {
+                    f64::INFINITY
+                })
+            }
+            _ => None,
         }
     }
 }
@@ -761,6 +849,23 @@ pub fn run_workload(w: &Workload) -> WorkloadResult {
             assert_lockstep_parallel_digests_match(w);
         }
     }
+    // the transport twin: the same row on the per-node-stream calendar
+    // engine, sequentially and with the send/delivery fan-out on, digests
+    // asserted identical within the pair. Discovery rows are skipped —
+    // they carry no traffic, so the twin would measure nothing.
+    let (streams, transport) = if w.payload == Payload::Discovery {
+        (None, None)
+    } else {
+        let s = run_engine(w, EngineConfig::STREAMS, Instrumentation::Trace);
+        let t = run_engine(w, EngineConfig::TRANSPORT, Instrumentation::Trace);
+        assert_eq!(
+            s.digest,
+            t.digest,
+            "{}: parallel transport changed the trace digest",
+            w.label()
+        );
+        (Some(s), Some(t))
+    };
     let protocol = (w.payload == Payload::Grp).then(|| run_protocol_probe(w));
     let snapshot = (w.payload == Payload::Grp && w.nodes <= SNAPSHOT_RACE_CEILING)
         .then(|| run_snapshot_race(w));
@@ -770,6 +875,8 @@ pub fn run_workload(w: &Workload) -> WorkloadResult {
         brute,
         bare,
         parallel,
+        streams,
+        transport,
         protocol,
         snapshot,
     }
@@ -842,6 +949,23 @@ pub fn report_json(results: &[WorkloadResult], quick: bool, unix_secs: u64) -> J
                 Some(p) => obj.with("parallel", engine_json(p)),
                 None => obj.with("parallel", Json::Null),
             };
+            obj = match &r.streams {
+                Some(s) => obj.with("streams", engine_json(s)),
+                None => obj.with("streams", Json::Null),
+            };
+            obj = match &r.transport {
+                Some(t) => obj.with("transport", engine_json(t)),
+                None => obj.with("transport", Json::Null),
+            };
+            obj = obj
+                .with(
+                    "engine_speedup",
+                    r.engine_speedup().map(Json::Float).unwrap_or(Json::Null),
+                )
+                .with(
+                    "transport_speedup",
+                    r.transport_speedup().map(Json::Float).unwrap_or(Json::Null),
+                );
             obj = match &r.protocol {
                 Some(d) => obj.with("protocol_ms", d.as_secs_f64() * 1_000.0),
                 None => obj.with("protocol_ms", Json::Null),
@@ -857,7 +981,7 @@ pub fn report_json(results: &[WorkloadResult], quick: bool, unix_secs: u64) -> J
         })
         .collect();
     Json::object()
-        .with("schema", 3i64)
+        .with("schema", 4i64)
         .with("date", format!("{y:04}-{m:02}-{d:02}"))
         .with("unix_time", unix_secs as i64)
         .with("quick", quick)
@@ -871,7 +995,7 @@ pub fn report_json(results: &[WorkloadResult], quick: bool, unix_secs: u64) -> J
 pub fn summary_table(results: &[WorkloadResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<8} {:<12} {:<10} {:>7} {:>7} {:>12} {:>14} {:>9} {:>8} {:>9} {:>9} {:>9}\n",
+        "{:<8} {:<12} {:<10} {:>7} {:>7} {:>12} {:>14} {:>9} {:>8} {:>9} {:>11} {:>9} {:>9} {:>9}\n",
         "payload",
         "mobility",
         "channel",
@@ -882,6 +1006,8 @@ pub fn summary_table(results: &[WorkloadResult]) -> String {
         "speedup",
         "obs ovh",
         "par ms",
+        "engine spd",
+        "tx spd",
         "proto ms",
         "snap spd"
     ));
@@ -899,12 +1025,20 @@ pub fn summary_table(results: &[WorkloadResult]) -> String {
             .as_ref()
             .map(|p| format!("{:.1}", p.wall.as_secs_f64() * 1_000.0))
             .unwrap_or_else(|| "-".into());
+        let engine = r
+            .engine_speedup()
+            .map(|s| format!("{s:.2}x"))
+            .unwrap_or_else(|| "-".into());
+        let tx = r
+            .transport_speedup()
+            .map(|s| format!("{s:.2}x"))
+            .unwrap_or_else(|| "-".into());
         let proto = r
             .protocol
             .map(|d| format!("{:.1}", d.as_secs_f64() * 1_000.0))
             .unwrap_or_else(|| "-".into());
         out.push_str(&format!(
-            "{:<8} {:<12} {:<10} {:>7} {:>7} {:>12.1} {:>14.0} {:>9} {:>8} {:>9} {:>9} {:>9}\n",
+            "{:<8} {:<12} {:<10} {:>7} {:>7} {:>12.1} {:>14.0} {:>9} {:>8} {:>9} {:>11} {:>9} {:>9} {:>9}\n",
             r.workload.payload.name(),
             r.workload.mobility.name(),
             r.workload.channel.name(),
@@ -915,6 +1049,8 @@ pub fn summary_table(results: &[WorkloadResult]) -> String {
             speedup,
             format!("{:.2}x", r.observer_overhead()),
             par,
+            engine,
+            tx,
             proto,
             snap
         ));
@@ -968,11 +1104,18 @@ mod tests {
     fn matrix_shapes() {
         assert_eq!(
             workload_matrix(false).len(),
-            34,
-            "27 grid rows + 6 contention twins + the 100k conurbation row"
+            35,
+            "27 grid rows + 6 contention twins + the 100k conurbation row \
+             + the 1M megacity profile row"
         );
         assert_eq!(workload_matrix(true).len(), 18, "15 rows + 3 twins");
         assert!(workload_matrix(false).iter().any(|w| w.nodes == 100_000));
+        assert!(
+            workload_matrix(false)
+                .iter()
+                .any(|w| w.nodes == 1_000_000 && w.payload == Payload::Beacon && w.rounds == 1),
+            "the 1M profile row must stay in the full matrix"
+        );
         assert!(workload_matrix(true).iter().all(|w| w.nodes <= 1_000));
         // every contention twin shadows a Bernoulli sibling with identical
         // coordinates, and only traffic-carrying highway rows are twinned
@@ -1044,6 +1187,41 @@ mod tests {
         let brute = result.brute.expect("twin runs at small sizes");
         assert_eq!(result.grid.digest, brute.digest);
         assert_eq!(result.grid.broadcasts, 0, "discovery rows carry no traffic");
+        assert!(
+            result.streams.is_none() && result.transport.is_none(),
+            "discovery rows skip the transport twin"
+        );
+    }
+
+    /// The transport twin's two invariants: `parallel_transport` never
+    /// moves a digest within the per-node regime, and the per-node regime
+    /// really is a different randomness stream from the legacy engine
+    /// (otherwise the twin would silently measure the same run twice).
+    /// Contention + highway is deliberately the nastiest combination —
+    /// shared channel window state plus per-sender stream handoffs.
+    #[test]
+    fn transport_twin_matches_streams_and_differs_from_legacy() {
+        let w = Workload {
+            payload: Payload::Grp,
+            mobility: MobilityKind::Highway,
+            channel: ChannelKind::Contention,
+            nodes: 60,
+            rounds: 2,
+            seed: 3,
+        };
+        let result = run_workload(&w);
+        let streams = result.streams.as_ref().expect("traffic rows run the twin");
+        let transport = result
+            .transport
+            .as_ref()
+            .expect("traffic rows run the twin");
+        assert_eq!(streams.digest, transport.digest);
+        assert_ne!(
+            streams.digest, result.grid.digest,
+            "per-node streams are a re-pinned randomness regime, not the legacy stream"
+        );
+        assert!(result.transport_speedup().is_some());
+        assert!(result.engine_speedup().is_some());
     }
 
     #[test]
@@ -1067,6 +1245,10 @@ mod tests {
             "\"bare\"",
             "\"observer_overhead\"",
             "\"snapshot\"",
+            "\"streams\"",
+            "\"transport\"",
+            "\"engine_speedup\"",
+            "\"transport_speedup\"",
         ] {
             assert!(doc.contains(key), "missing {key} in {doc}");
         }

@@ -42,7 +42,7 @@ pub struct RngSite {
     pub detail: String,
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum SiteKind {
     Draw,
     Handoff,
@@ -190,6 +190,70 @@ fn callee_of(code: &[&Token], i: usize) -> Option<String> {
     None
 }
 
+/// Serialize the inventory in the checked-in baseline format: one
+/// `path:line kind detail` line per site, in scan order. Lines starting
+/// with `#` and blank lines are ignored by [`parse_baseline`], so the
+/// checked-in file can carry a regeneration hint in a header comment.
+pub fn serialize_baseline(sites: &[RngSite]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for s in sites {
+        let _ = writeln!(out, "{}:{} {} {}", s.path, s.line, s.kind, s.detail);
+    }
+    out
+}
+
+/// Parse a baseline file written by [`serialize_baseline`].
+pub fn parse_baseline(text: &str) -> Result<Vec<RngSite>, String> {
+    let mut sites = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = || format!("baseline line {}: malformed `{raw}`", lineno + 1);
+        let mut fields = line.splitn(3, ' ');
+        let loc = fields.next().ok_or_else(err)?;
+        let kind = match fields.next() {
+            Some("draw") => SiteKind::Draw,
+            Some("handoff") => SiteKind::Handoff,
+            _ => return Err(err()),
+        };
+        let detail = fields.next().ok_or_else(err)?.to_string();
+        let (path, line_str) = loc.rsplit_once(':').ok_or_else(err)?;
+        let line = line_str.parse::<usize>().map_err(|_| err())?;
+        sites.push(RngSite {
+            path: path.to_string(),
+            line,
+            kind,
+            detail,
+        });
+    }
+    Ok(sites)
+}
+
+/// Sites in `current` not covered by `baseline`. Coverage is a multiset
+/// match on `(path, kind, detail)` — line numbers drift with unrelated
+/// edits and must not fail the gate; a *new* draw or handoff (or a second
+/// copy of an existing one) must.
+pub fn new_sites<'a>(current: &'a [RngSite], baseline: &[RngSite]) -> Vec<&'a RngSite> {
+    let mut allowed: std::collections::BTreeMap<(&str, SiteKind, &str), usize> =
+        std::collections::BTreeMap::new();
+    for s in baseline {
+        *allowed
+            .entry((s.path.as_str(), s.kind, s.detail.as_str()))
+            .or_insert(0) += 1;
+    }
+    let mut fresh = Vec::new();
+    for s in current {
+        match allowed.get_mut(&(s.path.as_str(), s.kind, s.detail.as_str())) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => fresh.push(s),
+        }
+    }
+    fresh
+}
+
 /// Render the inventory as the aligned text report `--rng-audit` prints.
 pub fn render(sites: &[RngSite]) -> String {
     use std::fmt::Write;
@@ -226,5 +290,65 @@ mod tests {
         assert!(rng_ish("walk_rng"));
         assert!(!rng_ish("range"));
         assert!(!rng_ish("self.wiring"));
+    }
+
+    fn site(path: &str, line: usize, kind: SiteKind, detail: &str) -> RngSite {
+        RngSite {
+            path: path.to_string(),
+            line,
+            kind,
+            detail: detail.to_string(),
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_serialize_and_parse() {
+        let sites = vec![
+            site(
+                "crates/netsim/src/sim.rs",
+                10,
+                SiteKind::Draw,
+                "self.rng.gen_bool",
+            ),
+            site(
+                "crates/netsim/src/sim.rs",
+                20,
+                SiteKind::Handoff,
+                "channel.link(… rng …)",
+            ),
+        ];
+        let text = format!("# header comment\n\n{}", serialize_baseline(&sites));
+        let parsed = parse_baseline(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].path, sites[0].path);
+        assert_eq!(parsed[0].line, 10);
+        assert_eq!(parsed[0].kind, SiteKind::Draw);
+        assert_eq!(parsed[1].detail, sites[1].detail);
+    }
+
+    #[test]
+    fn malformed_baseline_lines_are_rejected() {
+        assert!(parse_baseline("no-colon draw x").is_err());
+        assert!(parse_baseline("a.rs:12 frobnicate x").is_err());
+        assert!(parse_baseline("a.rs:notaline draw x").is_err());
+    }
+
+    #[test]
+    fn new_sites_ignores_line_drift_but_catches_additions() {
+        let baseline = vec![site("a.rs", 10, SiteKind::Draw, "rng.gen_bool")];
+        // same site, different line: covered
+        let drifted = vec![site("a.rs", 42, SiteKind::Draw, "rng.gen_bool")];
+        assert!(new_sites(&drifted, &baseline).is_empty());
+        // a second copy of the same draw is a new site
+        let doubled = vec![
+            site("a.rs", 42, SiteKind::Draw, "rng.gen_bool"),
+            site("a.rs", 99, SiteKind::Draw, "rng.gen_bool"),
+        ];
+        let fresh = new_sites(&doubled, &baseline);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].line, 99);
+        // a different detail in the same file is a new site
+        let changed = vec![site("a.rs", 10, SiteKind::Handoff, "f(… rng …)")];
+        assert_eq!(new_sites(&changed, &baseline).len(), 1);
     }
 }

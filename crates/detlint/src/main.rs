@@ -1,9 +1,11 @@
 //! CLI for the determinism linter. `--check` is the CI gate; `--rng-audit`
-//! prints the shared-RNG draw-site inventory (always exit 0).
+//! prints the shared-RNG draw-site inventory, and `--baseline FILE` turns
+//! that inventory into a second gate: sites not present in the checked-in
+//! baseline fail the run by name.
 
 #![forbid(unsafe_code)]
 
-use detlint::audit::{render, rng_audit};
+use detlint::audit::{new_sites, parse_baseline, render, rng_audit, serialize_baseline};
 use detlint::config::Config;
 use detlint::scan::run_check;
 use std::path::PathBuf;
@@ -13,11 +15,18 @@ const USAGE: &str = "\
 detlint — determinism linter for this repository
 
 USAGE:
-    detlint [--check] [--rng-audit] [--root DIR] [--config FILE]
+    detlint [--check] [--rng-audit] [--baseline FILE [--update-baseline]]
+            [--root DIR] [--config FILE]
 
 MODES:
     (default) / --check   lint all first-party sources; exit 1 on findings
     --rng-audit           inventory shared-RNG draw/handoff sites; exit 0
+    --rng-audit --baseline FILE
+                          compare the inventory against FILE; exit 1 naming
+                          every site the baseline does not cover (line
+                          numbers may drift; path/kind/detail may not)
+    --rng-audit --baseline FILE --update-baseline
+                          rewrite FILE from the current inventory
 
 OPTIONS:
     --root DIR            repository root to scan (default: .)
@@ -28,11 +37,18 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut config_path: Option<PathBuf> = None;
     let mut audit_mode = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => {}
             "--rng-audit" => audit_mode = true,
+            "--baseline" => match args.next() {
+                Some(v) => baseline_path = Some(PathBuf::from(v)),
+                None => return usage_error("--baseline needs a value"),
+            },
+            "--update-baseline" => update_baseline = true,
             "--root" => match args.next() {
                 Some(v) => root = PathBuf::from(v),
                 None => return usage_error("--root needs a value"),
@@ -48,6 +64,12 @@ fn main() -> ExitCode {
             other => return usage_error(&format!("unknown argument `{other}`")),
         }
     }
+    if baseline_path.is_some() && !audit_mode {
+        return usage_error("--baseline only applies to --rng-audit");
+    }
+    if update_baseline && baseline_path.is_none() {
+        return usage_error("--update-baseline needs --baseline FILE");
+    }
 
     let config_path = config_path.unwrap_or_else(|| root.join("detlint.toml"));
     let cfg = match Config::load(&config_path) {
@@ -59,16 +81,70 @@ fn main() -> ExitCode {
     };
 
     if audit_mode {
-        return match rng_audit(&root, &cfg) {
-            Ok(sites) => {
-                print!("{}", render(&sites));
-                ExitCode::SUCCESS
-            }
+        let sites = match rng_audit(&root, &cfg) {
+            Ok(sites) => sites,
             Err(e) => {
                 eprintln!("detlint: {e}");
-                ExitCode::FAILURE
+                return ExitCode::FAILURE;
             }
         };
+        let Some(baseline_path) = baseline_path else {
+            print!("{}", render(&sites));
+            return ExitCode::SUCCESS;
+        };
+        if update_baseline {
+            let header = "\
+# Shared-RNG consumption baseline — the sites `detlint --rng-audit` is\n\
+# allowed to find. CI fails on any site not listed here (matched on\n\
+# path/kind/detail; line numbers are informational and may drift).\n\
+# Regenerate after an intentional change with:\n\
+#   cargo run -p detlint -- --rng-audit --baseline rng-audit.baseline --update-baseline\n";
+            let body = format!("{header}{}", serialize_baseline(&sites));
+            return match std::fs::write(&baseline_path, body) {
+                Ok(()) => {
+                    println!(
+                        "detlint: wrote {} site(s) to {}",
+                        sites.len(),
+                        baseline_path.display()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("detlint: cannot write {}: {e}", baseline_path.display());
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        let baseline = match std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))
+            .and_then(|text| parse_baseline(&text))
+        {
+            Ok(baseline) => baseline,
+            Err(e) => {
+                eprintln!("detlint: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let fresh = new_sites(&sites, &baseline);
+        if fresh.is_empty() {
+            println!(
+                "detlint: rng audit clean — {} site(s), all covered by {}",
+                sites.len(),
+                baseline_path.display()
+            );
+            return ExitCode::SUCCESS;
+        }
+        for s in &fresh {
+            println!("NEW {}:{} {} {}", s.path, s.line, s.kind, s.detail);
+        }
+        println!(
+            "detlint: {} shared-RNG site(s) not in {} — draw from the per-node \
+             streams (netsim::NodeStreams) instead, or regenerate the baseline \
+             with --update-baseline if the site is deliberate",
+            fresh.len(),
+            baseline_path.display()
+        );
+        return ExitCode::FAILURE;
     }
 
     match run_check(&root, &cfg) {

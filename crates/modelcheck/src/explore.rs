@@ -631,6 +631,49 @@ mod tests {
         }
     }
 
+    /// The crash budget cannot be pinned exhaustively (unlike the drop and
+    /// duplicate budgets mc04 proves out): during a crash window the
+    /// survivor ages its peer out of the group and pumps its priority
+    /// "oldness" clock, and after the reboot adversarial interleavings can
+    /// re-trigger that in-group → alone transition, so each pump is a
+    /// canonically distinct non-goal state and the reachable set never
+    /// closes. This test pins the honest verdict instead: the search
+    /// degrades to `BoundsExceeded`, and every random walk launched from
+    /// the cut frontier still reaches legitimacy — evidence, not proof.
+    #[test]
+    fn crash_budget_is_depth_unbounded() {
+        let config = GrpConfig::new(2);
+        let net = legitimate_start(complete(2), &config, 64).expect("warmup");
+        let checker = GrpChecker::new(2);
+        let explore_config = ExploreConfig {
+            depth: 24,
+            max_states: 10_000,
+            budget: FaultBudget {
+                max_crashes: 1,
+                ..Default::default()
+            },
+            walks: 8,
+            walk_depth: 512,
+            seed: 1,
+        };
+        let report = explore(&net, &checker, &explore_config);
+        match report.outcome {
+            Outcome::BoundsExceeded {
+                frontier,
+                walks_run,
+                walks_reached_goal,
+            } => {
+                assert!(frontier > 0, "the crash frontier never closes");
+                assert_eq!(walks_run, 8);
+                assert_eq!(
+                    walks_reached_goal, walks_run,
+                    "every probe walk must recover legitimacy"
+                );
+            }
+            other => panic!("expected bounds exceeded, got {other:?}"),
+        }
+    }
+
     #[test]
     fn bounds_exceeded_reports_frontier_and_walks() {
         let net = corrupted_triangle();

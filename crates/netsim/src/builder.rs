@@ -80,6 +80,22 @@ impl<P: Protocol> SimBuilder<P> {
         self
     }
 
+    /// Select the randomness regime (see [`SimConfig::rng_streams`]):
+    /// the legacy shared stream, or one deterministic stream per
+    /// `(node, purpose)`.
+    pub fn rng_streams(mut self, streams: crate::rng::RngStreams) -> Self {
+        self.config.rng_streams = streams;
+        self
+    }
+
+    /// Toggle parallel execution of same-instant send and delivery batches
+    /// (see [`SimConfig::parallel_transport`]); requires the per-node RNG
+    /// regime, and traces are byte-identical either way there.
+    pub fn parallel_transport(mut self, enabled: bool) -> Self {
+        self.config.parallel_transport = enabled;
+        self
+    }
+
     /// Explicit topology mode: the harness provides (and may later mutate)
     /// the communication graph.
     pub fn explicit(mut self, topology: Graph) -> Self {

@@ -110,7 +110,7 @@ impl LinkOutcome {
 
 /// The per-transmission medium model; see the [module docs](self) for the
 /// split of responsibilities between radio and channel.
-pub trait ChannelModel: Send {
+pub trait ChannelModel: Send + Sync {
     /// Called once per broadcast, before any [`link`](Self::link) decision
     /// of that sweep: the channel may record the transmission (the
     /// contention model feeds its medium-load window here). `pos` is the
@@ -124,7 +124,7 @@ pub trait ChannelModel: Send {
     /// ascending NodeId order — the RNG consumption order is part of the
     /// pinned golden traces, so implementations must consume randomness as
     /// a pure function of `env` and their own deterministic state.
-    fn link(&mut self, rng: &mut ChaCha8Rng, env: &LinkEnv<'_>) -> LinkOutcome;
+    fn link(&self, rng: &mut ChaCha8Rng, env: &LinkEnv<'_>) -> LinkOutcome;
 }
 
 /// The historical iid-loss channel (the default).
@@ -139,7 +139,7 @@ pub trait ChannelModel: Send {
 pub struct Bernoulli;
 
 impl ChannelModel for Bernoulli {
-    fn link(&mut self, rng: &mut ChaCha8Rng, env: &LinkEnv<'_>) -> LinkOutcome {
+    fn link(&self, rng: &mut ChaCha8Rng, env: &LinkEnv<'_>) -> LinkOutcome {
         let received = match env.radio {
             None => {
                 env.loss_probability <= 0.0 || !rng.gen_bool(env.loss_probability.clamp(0.0, 1.0))
@@ -401,7 +401,7 @@ impl ChannelModel for Contention {
         }
     }
 
-    fn link(&mut self, rng: &mut ChaCha8Rng, env: &LinkEnv<'_>) -> LinkOutcome {
+    fn link(&self, rng: &mut ChaCha8Rng, env: &LinkEnv<'_>) -> LinkOutcome {
         // positions are mandatory: the contention model is spatial-only
         // (manifests enforce this; a missing position drops the link, the
         // same posture the spatial Bernoulli path takes)
@@ -464,7 +464,7 @@ mod tests {
     fn bernoulli_explicit_zero_loss_skips_rng() {
         let mut a = ChaCha8Rng::seed_from_u64(5);
         let mut b = ChaCha8Rng::seed_from_u64(5);
-        let mut ch = Bernoulli;
+        let ch = Bernoulli;
         let e = LinkEnv {
             now: SimTime(0),
             sender: NodeId(0),
@@ -481,7 +481,7 @@ mod tests {
 
     #[test]
     fn bernoulli_explicit_matches_direct_draw() {
-        let mut ch = Bernoulli;
+        let ch = Bernoulli;
         let e = LinkEnv {
             now: SimTime(0),
             sender: NodeId(0),
@@ -505,7 +505,7 @@ mod tests {
     #[test]
     fn bernoulli_spatial_delegates_to_radio() {
         let radio = LossyDisk::new(10.0, 0.5);
-        let mut ch = Bernoulli;
+        let ch = Bernoulli;
         let e = env(0, 1, Point::ORIGIN, Point::new(3.0, 0.0), &radio);
         let mut via_channel = ChaCha8Rng::seed_from_u64(21);
         let mut direct = ChaCha8Rng::seed_from_u64(21);
@@ -519,7 +519,7 @@ mod tests {
     #[test]
     fn bernoulli_spatial_without_positions_drops() {
         let radio = UnitDisk::new(10.0);
-        let mut ch = Bernoulli;
+        let ch = Bernoulli;
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let e = LinkEnv {
             receiver_pos: None,
@@ -543,6 +543,24 @@ mod tests {
         ch.begin_broadcast(SimTime(0), NodeId(0), Some(Point::ORIGIN));
         let e = env(0, 1, Point::ORIGIN, Point::new(4.0, 0.0), &radio);
         assert!(ch.link(&mut rng, &e).received);
+    }
+
+    #[test]
+    fn contention_window_boundary_is_inclusive() {
+        // The sliding window keeps a transmission whose age is *exactly*
+        // `window` and expires it only at age `window + 1` (the expiry
+        // test is `now - at > window`). Pinned: the boundary semantics
+        // feed the golden digests of every contention scenario, so an
+        // off-by-one here is a silent digest migration.
+        let mut ch = quiet_contention(10.0);
+        let window = ch.cfg.window;
+        ch.begin_broadcast(SimTime(0), NodeId(0), Some(Point::ORIGIN));
+        assert_eq!(ch.window_len(), 1);
+        // a position-less begin_broadcast only runs the expiry sweep
+        ch.begin_broadcast(SimTime(window), NodeId(1), None);
+        assert_eq!(ch.window_len(), 1, "age == window is still in the window");
+        ch.begin_broadcast(SimTime(window + 1), NodeId(1), None);
+        assert_eq!(ch.window_len(), 0, "age > window has expired");
     }
 
     #[test]
@@ -675,7 +693,7 @@ mod tests {
 
     #[test]
     fn contention_without_positions_drops() {
-        let mut ch = quiet_contention(10.0);
+        let ch = quiet_contention(10.0);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let e = LinkEnv {
             now: SimTime(0),

@@ -7,6 +7,7 @@
 use crate::time::SimTime;
 use dyngraph::NodeId;
 use std::cmp::Ordering;
+use std::collections::{BTreeMap, VecDeque};
 
 /// What happens when an event fires.
 #[derive(Clone, Debug)]
@@ -71,6 +72,84 @@ impl<M> Ord for Event<M> {
     }
 }
 
+/// A bucketed calendar queue: pending events grouped by activation
+/// instant, FIFO within an instant.
+///
+/// The simulator only ever pushes with a globally monotone sequence
+/// number, so the FIFO order inside each bucket *is* ascending-`seq`
+/// order — popping events one at a time through [`peek`](Self::peek) /
+/// [`pop`](Self::pop) reproduces the `(time, seq)` order of the
+/// `BinaryHeap` it replaced exactly. The structural win is
+/// [`pop_bucket`](Self::pop_bucket): the per-node engine lifts a whole
+/// same-instant batch out in one operation and shards it across workers,
+/// something a heap can only do by popping and re-inspecting every entry.
+#[derive(Debug)]
+pub struct CalendarQueue<M> {
+    buckets: BTreeMap<SimTime, VecDeque<Event<M>>>,
+    len: usize,
+}
+
+impl<M> Default for CalendarQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> CalendarQueue<M> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append an event to its instant's bucket. Callers must push with
+    /// monotonically increasing `seq` (the simulator's `schedule` does) for
+    /// the FIFO-within-bucket order to equal the `(time, seq)` total order.
+    pub fn push(&mut self, event: Event<M>) {
+        self.buckets.entry(event.time).or_default().push_back(event);
+        self.len += 1;
+    }
+
+    /// The earliest pending event, if any.
+    pub fn peek(&self) -> Option<&Event<M>> {
+        self.buckets.values().next().and_then(VecDeque::front)
+    }
+
+    /// Remove and return the earliest pending event.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        let (&time, bucket) = self.buckets.iter_mut().next()?;
+        let event = bucket.pop_front();
+        if bucket.is_empty() {
+            self.buckets.remove(&time);
+        }
+        if event.is_some() {
+            self.len -= 1;
+        }
+        event
+    }
+
+    /// Remove and return the entire earliest bucket: every pending event
+    /// sharing the earliest activation instant, in scheduling order.
+    pub fn pop_bucket(&mut self) -> Option<(SimTime, VecDeque<Event<M>>)> {
+        let (&time, _) = self.buckets.iter().next()?;
+        let bucket = self.buckets.remove(&time)?;
+        self.len -= bucket.len();
+        Some((time, bucket))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +183,49 @@ mod tests {
         assert_eq!(heap.pop().unwrap().seq, 2);
         assert_eq!(heap.pop().unwrap().seq, 5);
         assert_eq!(heap.pop().unwrap().seq, 9);
+    }
+
+    #[test]
+    fn calendar_pop_matches_heap_order_under_monotone_seq() {
+        // the engine's invariant: seq strictly increases across pushes,
+        // whatever the target times are
+        let pushes = [(30u64, 1u64), (10, 2), (30, 3), (10, 4), (20, 5)];
+        let mut heap = BinaryHeap::new();
+        let mut cal = CalendarQueue::new();
+        for &(t, s) in &pushes {
+            heap.push(ev(t, s));
+            cal.push(ev(t, s));
+        }
+        assert_eq!(cal.len(), pushes.len());
+        while let Some(expected) = heap.pop() {
+            let got = cal.pop().expect("same length");
+            assert_eq!((got.time, got.seq), (expected.time, expected.seq));
+        }
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn calendar_peek_is_the_next_pop() {
+        let mut cal = CalendarQueue::new();
+        cal.push(ev(20, 1));
+        cal.push(ev(10, 2));
+        assert_eq!(cal.peek().map(|e| e.seq), Some(2));
+        assert_eq!(cal.pop().map(|e| e.seq), Some(2));
+        assert_eq!(cal.peek().map(|e| e.seq), Some(1));
+    }
+
+    #[test]
+    fn pop_bucket_lifts_a_whole_instant_in_schedule_order() {
+        let mut cal = CalendarQueue::new();
+        cal.push(ev(10, 1));
+        cal.push(ev(20, 2));
+        cal.push(ev(10, 3));
+        let (time, bucket) = cal.pop_bucket().expect("non-empty");
+        assert_eq!(time, SimTime(10));
+        assert_eq!(bucket.iter().map(|e| e.seq).collect::<Vec<_>>(), [1, 3]);
+        assert_eq!(cal.len(), 1);
+        let (time, bucket) = cal.pop_bucket().expect("second bucket");
+        assert_eq!((time, bucket.len()), (SimTime(20), 1));
+        assert!(cal.pop_bucket().is_none());
     }
 }

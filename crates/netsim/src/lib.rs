@@ -31,9 +31,13 @@
 //! `docs/ARCHITECTURE.md` at the workspace root).
 //!
 //! The simulator is fully deterministic for a given seed: the event queue is
-//! ordered by (time, sequence number), all randomness flows from a single
-//! `ChaCha8Rng`, and observers — which get `&Simulator` only — cannot
-//! perturb the trace.
+//! a calendar of `(time, sequence number)`-ordered buckets, and all
+//! randomness flows from `ChaCha8` streams derived from the run seed — one
+//! shared stream in the legacy regime, or one independently-seeded stream
+//! per `(node, purpose)` under [`rng::RngStreams::PerNode`], which lets
+//! same-instant sends and deliveries fan out across worker threads without
+//! the schedule touching any draw. Observers — which get `&Simulator` only —
+//! cannot perturb the trace either way.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -48,6 +52,7 @@ pub mod node;
 pub mod observer;
 pub mod protocol;
 pub mod radio;
+pub mod rng;
 pub mod sim;
 pub mod space;
 pub mod time;
@@ -63,6 +68,7 @@ pub use node::SimNode;
 pub use observer::{NullObserver, Observer, StatsProbe, TraceProbe};
 pub use protocol::{CanonicalState, Protocol, ViewProtocol};
 pub use radio::RadioModel;
+pub use rng::{stream_seed, NodeStreams, RngStreams};
 pub use sim::{SimConfig, Simulator, TopologyMode};
 pub use space::Point;
 pub use time::SimTime;

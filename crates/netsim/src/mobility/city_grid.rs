@@ -153,14 +153,11 @@ impl CityGrid {
             })
             .collect();
     }
-}
 
-impl MobilityModel for CityGrid {
-    fn positions(&self) -> &BTreeMap<NodeId, Point> {
-        &self.positions
-    }
-
-    fn advance(&mut self, dt: u64, _rng: &mut ChaCha8Rng) {
+    /// Advance the deterministic traffic-light kinematics by `dt` — the
+    /// shared body of both `advance` entry points (this model draws no
+    /// randomness in either RNG regime).
+    fn step(&mut self, dt: u64) {
         // the light phase is sampled once per tick (mobility ticks are much
         // shorter than a light half-cycle in any sensible configuration)
         let time = self.time;
@@ -191,6 +188,22 @@ impl MobilityModel for CityGrid {
         }
         self.time = self.time.saturating_add(dt);
         self.refresh_positions();
+    }
+}
+
+impl MobilityModel for CityGrid {
+    fn positions(&self) -> &BTreeMap<NodeId, Point> {
+        &self.positions
+    }
+
+    fn advance(&mut self, dt: u64, _rng: &mut ChaCha8Rng) {
+        self.step(dt);
+    }
+
+    fn advance_streams(&mut self, dt: u64, _streams: &mut crate::rng::NodeStreams) {
+        // traffic-light kinematics are fully deterministic: no draws in
+        // either regime, so both advance entry points share one body
+        self.step(dt);
     }
 
     fn insert(&mut self, node: NodeId, at: Point) {

@@ -8,6 +8,7 @@
 //! the number of nodes constant throughout an experiment.
 
 use super::MobilityModel;
+use crate::rng::{NodeStreams, TAG_MOBILITY};
 use crate::space::Point;
 use dyngraph::NodeId;
 use rand::Rng;
@@ -88,6 +89,35 @@ impl Highway {
     pub fn speed(&self, node: NodeId) -> f64 {
         self.speeds[&node]
     }
+
+    /// Per-node-stream advance with the vehicles' *public* ids shifted by
+    /// `id_offset`: a composing model ([`super::MixedHighway`]) runs the
+    /// convoy on local ids `0..n` but must key the streams by the ids the
+    /// simulator sees, or a vehicle's draws would collide with whatever
+    /// node occupies the unshifted id.
+    pub(crate) fn advance_streams_offset(
+        &mut self,
+        dt: u64,
+        streams: &mut NodeStreams,
+        id_offset: u64,
+    ) {
+        let ids: Vec<NodeId> = self.offsets.keys().copied().collect();
+        for id in ids {
+            let speed = self.speeds[&id];
+            // detlint::allow(D004): ids were collected from this very map
+            let off = self.offsets.get_mut(&id).expect("known vehicle");
+            *off = (*off + speed * dt as f64) % self.road_length;
+            if self.lane_change_prob > 0.0 {
+                let rng = streams.stream(NodeId(id.raw() + id_offset), TAG_MOBILITY);
+                if rng.gen_bool(self.lane_change_prob) {
+                    // detlint::allow(D004): lane_of is keyed identically to offsets
+                    let lane = self.lane_of.get_mut(&id).expect("known vehicle");
+                    *lane = (*lane + 1) % self.lanes;
+                }
+            }
+        }
+        self.refresh_positions();
+    }
 }
 
 impl MobilityModel for Highway {
@@ -109,6 +139,10 @@ impl MobilityModel for Highway {
             }
         }
         self.refresh_positions();
+    }
+
+    fn advance_streams(&mut self, dt: u64, streams: &mut NodeStreams) {
+        self.advance_streams_offset(dt, streams, 0);
     }
 
     fn insert(&mut self, node: NodeId, at: Point) {

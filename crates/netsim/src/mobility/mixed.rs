@@ -10,6 +10,7 @@
 //! through — while RSU–RSU links (when in range) never move.
 
 use super::{Highway, MobilityModel};
+use crate::rng::NodeStreams;
 use crate::space::Point;
 use dyngraph::NodeId;
 use rand_chacha::ChaCha8Rng;
@@ -92,6 +93,13 @@ impl MobilityModel for MixedHighway {
 
     fn advance(&mut self, dt: u64, rng: &mut ChaCha8Rng) {
         self.convoy.advance(dt, rng);
+        self.refresh_positions();
+    }
+
+    fn advance_streams(&mut self, dt: u64, streams: &mut NodeStreams) {
+        // key the convoy's streams by the public (shifted) vehicle ids
+        self.convoy
+            .advance_streams_offset(dt, streams, self.first_vehicle);
         self.refresh_positions();
     }
 

@@ -30,18 +30,28 @@ pub use stationary::Stationary;
 pub use walk::RandomWalk;
 pub use waypoint::RandomWaypoint;
 
+use crate::rng::NodeStreams;
 use crate::space::Point;
 use dyngraph::NodeId;
 use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
 
 /// A model that owns and advances node positions.
-pub trait MobilityModel: Send {
+pub trait MobilityModel: Send + Sync {
     /// Current position of every node.
     fn positions(&self) -> &BTreeMap<NodeId, Point>;
 
     /// Advance all positions by `dt` ticks.
     fn advance(&mut self, dt: u64, rng: &mut ChaCha8Rng);
+
+    /// Advance all positions by `dt` ticks drawing from per-node streams
+    /// (the [`RngStreams::PerNode`](crate::rng::RngStreams::PerNode)
+    /// regime): every draw a node's motion needs must come from that node's
+    /// own [`TAG_MOBILITY`](crate::rng::TAG_MOBILITY) stream, so a
+    /// trajectory is a pure function of
+    /// `(run_seed, node_id)` and the model's deterministic state — never of
+    /// how many *other* nodes exist or move.
+    fn advance_streams(&mut self, dt: u64, streams: &mut NodeStreams);
 
     /// Add a node at a position (used when nodes join at runtime).
     fn insert(&mut self, node: NodeId, at: Point);

@@ -43,6 +43,8 @@ impl MobilityModel for Stationary {
 
     fn advance(&mut self, _dt: u64, _rng: &mut ChaCha8Rng) {}
 
+    fn advance_streams(&mut self, _dt: u64, _streams: &mut crate::rng::NodeStreams) {}
+
     fn insert(&mut self, node: NodeId, at: Point) {
         self.positions.insert(node, at);
     }

@@ -1,6 +1,7 @@
 //! Bounded random-walk mobility.
 
 use super::MobilityModel;
+use crate::rng::{NodeStreams, TAG_MOBILITY};
 use crate::space::Point;
 use dyngraph::NodeId;
 use rand::Rng;
@@ -56,6 +57,16 @@ impl MobilityModel for RandomWalk {
     fn advance(&mut self, dt: u64, rng: &mut ChaCha8Rng) {
         let amplitude = self.max_step * dt as f64;
         for pos in self.positions.values_mut() {
+            let dx = rng.gen_range(-amplitude..=amplitude);
+            let dy = rng.gen_range(-amplitude..=amplitude);
+            *pos = Point::new(pos.x + dx, pos.y + dy).clamp_to(self.width, self.height);
+        }
+    }
+
+    fn advance_streams(&mut self, dt: u64, streams: &mut NodeStreams) {
+        let amplitude = self.max_step * dt as f64;
+        for (&id, pos) in self.positions.iter_mut() {
+            let rng = streams.stream(id, TAG_MOBILITY);
             let dx = rng.gen_range(-amplitude..=amplitude);
             let dy = rng.gen_range(-amplitude..=amplitude);
             *pos = Point::new(pos.x + dx, pos.y + dy).clamp_to(self.width, self.height);

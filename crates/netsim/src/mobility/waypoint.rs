@@ -5,6 +5,7 @@
 //! new destination (no pause time, the worst case for topology churn).
 
 use super::{random_point, MobilityModel};
+use crate::rng::{NodeStreams, TAG_MOBILITY};
 use crate::space::Point;
 use dyngraph::NodeId;
 use rand::Rng;
@@ -71,6 +72,36 @@ impl MobilityModel for RandomWaypoint {
             let mut target = self.targets[&id];
             let mut budget = speed * dt as f64;
             // a fast node may reach several waypoints within one tick
+            while budget > 0.0 {
+                let d = pos.distance(&target);
+                if d <= budget {
+                    pos = target;
+                    budget -= d;
+                    target = random_point(rng, self.width, self.height);
+                    if d == 0.0 {
+                        break;
+                    }
+                } else {
+                    pos = pos.step_towards(&target, budget);
+                    budget = 0.0;
+                }
+            }
+            self.positions.insert(id, pos);
+            self.targets.insert(id, target);
+        }
+    }
+
+    fn advance_streams(&mut self, dt: u64, streams: &mut NodeStreams) {
+        // same kinematics as `advance`, but each node's waypoint draws come
+        // from its own stream: the number of draws depends only on that
+        // node's speed and distances, never on the rest of the population
+        let ids: Vec<NodeId> = self.positions.keys().copied().collect();
+        for id in ids {
+            let rng = streams.stream(id, TAG_MOBILITY);
+            let speed = self.speeds[&id];
+            let mut pos = self.positions[&id];
+            let mut target = self.targets[&id];
+            let mut budget = speed * dt as f64;
             while budget > 0.0 {
                 let d = pos.distance(&target);
                 if d <= budget {

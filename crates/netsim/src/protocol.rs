@@ -17,9 +17,11 @@ use rand_chacha::ChaCha8Rng;
 /// synchronisation.
 ///
 /// [`SimConfig::parallel_compute`]: crate::sim::SimConfig::parallel_compute
-pub trait Protocol: Send {
-    /// The messages broadcast to the neighbourhood.
-    type Message: Clone + std::fmt::Debug;
+pub trait Protocol: Send + Sync {
+    /// The messages broadcast to the neighbourhood. `Send` because a
+    /// parallel delivery batch moves each recipient's copy into the worker
+    /// that applies it.
+    type Message: Clone + std::fmt::Debug + Send;
 
     /// Identity of the node running this instance.
     fn id(&self) -> NodeId;

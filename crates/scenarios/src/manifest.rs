@@ -278,6 +278,16 @@ pub struct SimSpec {
     /// digests pin it — so the flag is purely a wall-clock knob for the
     /// XL scenarios.
     pub parallel_compute: bool,
+    /// Randomness regime: `"per-node"` (default) seeds one independent
+    /// ChaCha8 stream per `(node, purpose)` from the run seed, making the
+    /// trace a pure function of the schedule; `"legacy"` replays the
+    /// historical single shared stream (the pre-migration digests).
+    pub rng_streams: netsim::RngStreams,
+    /// Shard same-instant send/delivery batches across worker threads
+    /// (default on). Only meaningful — and only permitted — under the
+    /// per-node regime, where traces are byte-identical either way; it is
+    /// purely a wall-clock knob, like [`parallel_compute`](Self::parallel_compute).
+    pub parallel_transport: bool,
 }
 
 impl Default for SimSpec {
@@ -293,6 +303,8 @@ impl Default for SimSpec {
             stagger_phases: true,
             spatial_index: true,
             parallel_compute: false,
+            rng_streams: netsim::RngStreams::PerNode,
+            parallel_transport: true,
         }
     }
 }
@@ -557,6 +569,13 @@ impl ScenarioManifest {
                 if !report.continuity && assertions.view_continuity.is_some() {
                     return bad("[report]: `continuity = false` disables the probe that \
                          `view_continuity` asserts on — enable it or drop the assertion");
+                }
+                // Legacy replays draw every random decision from one shared
+                // stream in schedule order — there is nothing to shard.
+                if sim.rng_streams == netsim::RngStreams::Legacy && sim.parallel_transport {
+                    return bad("[sim]: `parallel_transport = true` requires \
+                         `rng_streams = \"per-node\"` — the legacy shared stream \
+                         is consumed in schedule order and cannot shard");
                 }
             }
         }
@@ -989,6 +1008,21 @@ fn parse_sim(value: Option<&Value>) -> Result<SimSpec, ManifestError> {
             seeds
         }
     };
+    let rng_streams = match t.get("rng_streams") {
+        None => default.rng_streams,
+        Some(v) => match v.as_str() {
+            Some("per-node") => netsim::RngStreams::PerNode,
+            Some("legacy") => netsim::RngStreams::Legacy,
+            _ => {
+                return bad("`rng_streams` must be \"per-node\" or \"legacy\"");
+            }
+        },
+    };
+    // transport sharding defaults on, except under the legacy regime where
+    // it cannot apply (an explicit `parallel_transport = true` there is
+    // rejected in manifest validation)
+    let transport_default =
+        default.parallel_transport && rng_streams == netsim::RngStreams::PerNode;
     Ok(SimSpec {
         seeds,
         rounds: opt_u64(t, "rounds", default.rounds, ctx)?,
@@ -1000,6 +1034,8 @@ fn parse_sim(value: Option<&Value>) -> Result<SimSpec, ManifestError> {
         stagger_phases: opt_bool(t, "stagger_phases", default.stagger_phases)?,
         spatial_index: opt_bool(t, "spatial_index", default.spatial_index)?,
         parallel_compute: opt_bool(t, "parallel_compute", default.parallel_compute)?,
+        rng_streams,
+        parallel_transport: opt_bool(t, "parallel_transport", transport_default)?,
     })
 }
 
@@ -1188,9 +1224,52 @@ n = 4
         assert_eq!(m.protocol.dmax, 3);
         assert_eq!(m.sim.seeds, vec![1]);
         assert_eq!(m.sim.rounds, 60);
+        assert_eq!(m.sim.rng_streams, netsim::RngStreams::PerNode);
+        assert!(m.sim.parallel_transport);
         assert_eq!(m.workload.node_count(), 4);
         assert!(m.faults.is_empty() && m.churn.is_empty());
         assert_eq!(m.assertions, AssertionSpec::default());
+    }
+
+    #[test]
+    fn rng_streams_parses_both_regimes_and_rejects_junk() {
+        let with_sim = |body: &str| {
+            format!(
+                "schema = 1\nname = \"rng\"\n\n[sim]\n{body}\n\n[topology]\nkind = \"path\"\nn = 3\n"
+            )
+        };
+        let m = ScenarioManifest::parse(&with_sim("rng_streams = \"per-node\"")).expect("parses");
+        assert_eq!(m.sim.rng_streams, netsim::RngStreams::PerNode);
+        assert!(m.sim.parallel_transport);
+
+        // legacy implies the transport default flips off — the manifest
+        // stays valid without an explicit parallel_transport = false
+        let m = ScenarioManifest::parse(&with_sim("rng_streams = \"legacy\"")).expect("parses");
+        assert_eq!(m.sim.rng_streams, netsim::RngStreams::Legacy);
+        assert!(!m.sim.parallel_transport);
+
+        let err = ScenarioManifest::parse(&with_sim("rng_streams = \"chacha\"")).unwrap_err();
+        assert!(err.0.contains("per-node"), "{}", err.0);
+    }
+
+    #[test]
+    fn legacy_regime_rejects_explicit_parallel_transport() {
+        let err = ScenarioManifest::parse(
+            r#"
+schema = 1
+name = "conflict"
+
+[sim]
+rng_streams = "legacy"
+parallel_transport = true
+
+[topology]
+kind = "path"
+n = 3
+"#,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("parallel_transport"), "{}", err.0);
     }
 
     #[test]

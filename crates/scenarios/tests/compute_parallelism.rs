@@ -38,6 +38,42 @@ fn parallel_compute_leaves_scenario_digests_identical() {
     }
 }
 
+/// The tentpole invariant of the per-node stream migration: with
+/// `rng_streams = "per-node"`, sharding the same-instant send/delivery
+/// batches across worker threads must leave every digest byte-identical,
+/// because every random decision is drawn from the stream of the node it
+/// concerns, never from a shared cursor. Covers explicit topologies,
+/// spatial mobility and the contention channel (s15–s17 family).
+#[test]
+fn parallel_transport_leaves_scenario_digests_identical() {
+    for name in [
+        "s01_stationary_line.toml",
+        "s02_grid.toml",
+        "s09_faults.toml",
+        "s10_random_walk.toml",
+        "s15_city_grid_contention.toml",
+        "s16_metro_commuters.toml",
+        "s17_mixed_highway_rsu.toml",
+    ] {
+        let parallel = load(name);
+        let mut sequential = parallel.clone();
+        assert!(
+            parallel.sim.parallel_transport,
+            "{name}: golden manifests must exercise the parallel transport default"
+        );
+        sequential.sim.parallel_transport = false;
+        let seed = parallel.sim.seeds[0];
+        let a = run_seed(&parallel, seed, None);
+        let b = run_seed(&sequential, seed, None);
+        assert_eq!(
+            a.digest, b.digest,
+            "{name}: parallel transport changed the trace digest"
+        );
+        assert_eq!(a.final_snapshot, b.final_snapshot);
+        assert_eq!(a.stats, b.stats);
+    }
+}
+
 #[test]
 fn pipeline_jobs_do_not_change_probe_verdicts() {
     let manifest = load("s07_partition_merge.toml");
