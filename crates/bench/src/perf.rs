@@ -19,15 +19,17 @@
 //!   historical deep-clone-everything capture, timed inside the observer
 //!   hook; this is the row that pins the observer redesign's speedup.
 
-use grp_core::observers::SnapshotRecorder;
+use dyngraph::NodeId;
+use grp_core::observers::{GrpPipeline, SnapshotRecorder};
 use grp_core::predicates::SystemSnapshot;
 use grp_core::{GrpConfig, GrpNode};
 use netsim::mobility::{Highway, RandomWalk, Stationary};
 use netsim::protocol::Beacon;
 use netsim::radio::UnitDisk;
 use netsim::{
-    CanonicalHasher, Contention, ContentionConfig, MobilityModel, NullObserver, Observer, Protocol,
-    RngStreams, SimBuilder, SimConfig, SimTime, Simulator, TraceProbe, ViewProtocol,
+    CanonicalHasher, Contention, ContentionConfig, FaultKind, MobilityModel, NullObserver,
+    Observer, Protocol, RngStreams, ScheduledFault, SimBuilder, SimConfig, SimTime, Simulator,
+    TraceProbe, ViewProtocol,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -724,9 +726,94 @@ pub fn run_snapshot_race(w: &Workload) -> SnapshotRace {
     }
 }
 
+/// Resilience twin of a GRP row: the identical workload re-run under a
+/// fixed adversarial fault schedule (crash → stale restart → state
+/// corruption → partition → heal → loss burst, all at deterministic
+/// fractions of the horizon) with the MTTR/availability probe attached.
+/// The row answers "what does recovery cost at this scale" alongside the
+/// raw-throughput columns, and tracks the fault-path overhead over time.
+#[derive(Clone, Copy, Debug)]
+pub struct RobustnessRun {
+    pub wall: Duration,
+    /// Fraction of observed rounds that were legitimate.
+    pub availability: f64,
+    /// Mean rounds-to-recover over the recovered faults, if any.
+    pub mean_mttr_rounds: Option<f64>,
+    /// Slowest single recovery, if any.
+    pub max_mttr_rounds: Option<u64>,
+    /// Faults the run ended without recovering from.
+    pub unrecovered: usize,
+    /// Faults injected.
+    pub faults: usize,
+}
+
+/// Largest node count the robustness twin runs at (one extra full GRP
+/// execution per row; the fault path's scaling story is pinned by 10k).
+const ROBUSTNESS_CEILING: usize = 10_000;
+
+/// The fixed adversarial schedule for a workload: every fault kind the
+/// engine supports except the spatially-bound region blackout, at
+/// deterministic fractions of the run horizon.
+fn robustness_schedule(w: &Workload) -> Vec<ScheduledFault> {
+    let horizon = w.rounds * SimConfig::default().compute_period;
+    let at = |percent: u64| SimTime(horizon * percent / 100);
+    let victim = NodeId((w.nodes as u64) / 3);
+    let pivot = (w.nodes as u64) / 2;
+    vec![
+        ScheduledFault::new(at(25), FaultKind::Crash(victim)),
+        ScheduledFault::new(at(45), FaultKind::RestartStale(victim)),
+        ScheduledFault::new(at(55), FaultKind::CorruptState(NodeId(0))),
+        ScheduledFault::new(
+            at(65),
+            FaultKind::Partition {
+                groups: vec![
+                    (0..pivot).map(NodeId).collect(),
+                    (pivot..w.nodes as u64).map(NodeId).collect(),
+                ],
+            },
+        ),
+        ScheduledFault::new(at(80), FaultKind::Heal),
+        ScheduledFault::new(
+            at(85),
+            FaultKind::LossBurst {
+                duration: horizon / 20,
+            },
+        ),
+    ]
+}
+
+/// Run the robustness twin: the grid engine under the adversarial
+/// schedule, measured by the resilience probe.
+pub fn run_robustness(w: &Workload) -> RobustnessRun {
+    let dmax = 3;
+    let mut sim = build_simulator(w, EngineConfig::GRID, |id| {
+        GrpNode::new(id, GrpConfig::new(dmax))
+    });
+    let schedule = robustness_schedule(w);
+    let faults = schedule.len();
+    sim.schedule_faults(schedule);
+    let mut pipeline = GrpPipeline::new().with_resilience(dmax);
+    let start = Instant::now();
+    sim.run_rounds_observed(w.rounds, &mut pipeline);
+    let wall = start.elapsed();
+    let stats = pipeline
+        .resilience
+        .expect("the pipeline was built with the resilience probe")
+        .into_stats();
+    RobustnessRun {
+        wall,
+        availability: stats.availability(),
+        mean_mttr_rounds: stats.mean_mttr_rounds(),
+        max_mttr_rounds: stats.max_mttr_rounds(),
+        unrecovered: stats.unrecovered(),
+        faults,
+    }
+}
+
 /// Grid run plus the twins: the all-pairs engine (below the ceiling), the
 /// uninstrumented bare run, and — on GRP rows — the parallel-compute twin,
-/// the protocol-time probe and the snapshot-capture race.
+/// the protocol-time probe, the snapshot-capture race and the robustness
+/// (adversarial-faults) twin.
 #[derive(Clone, Debug)]
 pub struct WorkloadResult {
     pub workload: Workload,
@@ -751,6 +838,9 @@ pub struct WorkloadResult {
     /// send / receive), isolating protocol work from engine work.
     pub protocol: Option<Duration>,
     pub snapshot: Option<SnapshotRace>,
+    /// GRP rows up to [`ROBUSTNESS_CEILING`]: the adversarial-faults twin
+    /// with its MTTR / availability verdict.
+    pub robustness: Option<RobustnessRun>,
 }
 
 impl WorkloadResult {
@@ -869,6 +959,8 @@ pub fn run_workload(w: &Workload) -> WorkloadResult {
     let protocol = (w.payload == Payload::Grp).then(|| run_protocol_probe(w));
     let snapshot = (w.payload == Payload::Grp && w.nodes <= SNAPSHOT_RACE_CEILING)
         .then(|| run_snapshot_race(w));
+    let robustness =
+        (w.payload == Payload::Grp && w.nodes <= ROBUSTNESS_CEILING).then(|| run_robustness(w));
     WorkloadResult {
         workload: *w,
         grid,
@@ -879,6 +971,7 @@ pub fn run_workload(w: &Workload) -> WorkloadResult {
         transport,
         protocol,
         snapshot,
+        robustness,
     }
 }
 
@@ -906,6 +999,24 @@ fn engine_json(run: &EngineRun) -> Json {
         .with("broadcasts", run.broadcasts as i64)
         .with("delivered", run.delivered as i64)
         .with("digest", run.digest.as_str())
+}
+
+fn robustness_json(run: &RobustnessRun) -> Json {
+    Json::object()
+        .with("wall_ms", run.wall.as_secs_f64() * 1_000.0)
+        .with("availability", run.availability)
+        .with(
+            "mean_mttr_rounds",
+            run.mean_mttr_rounds.map(Json::Float).unwrap_or(Json::Null),
+        )
+        .with(
+            "max_mttr_rounds",
+            run.max_mttr_rounds
+                .map(|m| Json::Int(m as i64))
+                .unwrap_or(Json::Null),
+        )
+        .with("unrecovered", run.unrecovered as i64)
+        .with("faults", run.faults as i64)
 }
 
 fn snapshot_json(race: &SnapshotRace) -> Json {
@@ -974,6 +1085,10 @@ pub fn report_json(results: &[WorkloadResult], quick: bool, unix_secs: u64) -> J
                 Some(race) => obj.with("snapshot", snapshot_json(race)),
                 None => obj.with("snapshot", Json::Null),
             };
+            obj = match &r.robustness {
+                Some(run) => obj.with("robustness", robustness_json(run)),
+                None => obj.with("robustness", Json::Null),
+            };
             obj.with(
                 "speedup",
                 r.speedup().map(Json::Float).unwrap_or(Json::Null),
@@ -981,7 +1096,8 @@ pub fn report_json(results: &[WorkloadResult], quick: bool, unix_secs: u64) -> J
         })
         .collect();
     Json::object()
-        .with("schema", 4i64)
+        // schema 5 added the `robustness` twin (availability / MTTR)
+        .with("schema", 5i64)
         .with("date", format!("{y:04}-{m:02}-{d:02}"))
         .with("unix_time", unix_secs as i64)
         .with("quick", quick)
@@ -995,7 +1111,7 @@ pub fn report_json(results: &[WorkloadResult], quick: bool, unix_secs: u64) -> J
 pub fn summary_table(results: &[WorkloadResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<8} {:<12} {:<10} {:>7} {:>7} {:>12} {:>14} {:>9} {:>8} {:>9} {:>11} {:>9} {:>9} {:>9}\n",
+        "{:<8} {:<12} {:<10} {:>7} {:>7} {:>12} {:>14} {:>9} {:>8} {:>9} {:>11} {:>9} {:>9} {:>9} {:>7} {:>8}\n",
         "payload",
         "mobility",
         "channel",
@@ -1009,7 +1125,9 @@ pub fn summary_table(results: &[WorkloadResult]) -> String {
         "engine spd",
         "tx spd",
         "proto ms",
-        "snap spd"
+        "snap spd",
+        "avail",
+        "mttr"
     ));
     for r in results {
         let speedup = r
@@ -1037,8 +1155,17 @@ pub fn summary_table(results: &[WorkloadResult]) -> String {
             .protocol
             .map(|d| format!("{:.1}", d.as_secs_f64() * 1_000.0))
             .unwrap_or_else(|| "-".into());
+        let avail = r
+            .robustness
+            .map(|rb| format!("{:.3}", rb.availability))
+            .unwrap_or_else(|| "-".into());
+        let mttr = r
+            .robustness
+            .and_then(|rb| rb.mean_mttr_rounds)
+            .map(|m| format!("{m:.1}"))
+            .unwrap_or_else(|| "-".into());
         out.push_str(&format!(
-            "{:<8} {:<12} {:<10} {:>7} {:>7} {:>12.1} {:>14.0} {:>9} {:>8} {:>9} {:>11} {:>9} {:>9} {:>9}\n",
+            "{:<8} {:<12} {:<10} {:>7} {:>7} {:>12.1} {:>14.0} {:>9} {:>8} {:>9} {:>11} {:>9} {:>9} {:>9} {:>7} {:>8}\n",
             r.workload.payload.name(),
             r.workload.mobility.name(),
             r.workload.channel.name(),
@@ -1052,7 +1179,9 @@ pub fn summary_table(results: &[WorkloadResult]) -> String {
             engine,
             tx,
             proto,
-            snap
+            snap,
+            avail,
+            mttr
         ));
     }
     out
@@ -1249,10 +1378,49 @@ mod tests {
             "\"transport\"",
             "\"engine_speedup\"",
             "\"transport_speedup\"",
+            "\"robustness\"",
         ] {
             assert!(doc.contains(key), "missing {key} in {doc}");
         }
+        assert!(doc.contains("\"schema\": 5"));
         assert!(doc.contains("2025-07-31"));
+    }
+
+    /// The robustness twin injects its whole schedule and reports sane
+    /// recovery metrics: availability is a probability, nothing recovers
+    /// in negative time, and the twin only runs on GRP rows.
+    #[test]
+    fn robustness_twin_reports_recovery_metrics() {
+        let w = Workload {
+            payload: Payload::Grp,
+            mobility: MobilityKind::Stationary,
+            channel: ChannelKind::Bernoulli,
+            nodes: 30,
+            rounds: 40,
+            seed: 7,
+        };
+        let run = run_robustness(&w);
+        assert_eq!(run.faults, 6, "the fixed schedule injects 6 faults");
+        // a random spatial arena may never satisfy whole-system
+        // legitimacy inside the horizon, so 0.0 is a valid verdict
+        assert!(
+            (0.0..=1.0).contains(&run.availability),
+            "availability {} out of range",
+            run.availability
+        );
+        assert!(run.unrecovered <= run.faults);
+        if let (Some(mean), Some(max)) = (run.mean_mttr_rounds, run.max_mttr_rounds) {
+            assert!(mean <= max as f64, "mean MTTR above max MTTR");
+        }
+
+        let beacon = Workload {
+            payload: Payload::Beacon,
+            ..w
+        };
+        assert!(
+            run_workload(&beacon).robustness.is_none(),
+            "non-GRP rows carry no robustness twin"
+        );
     }
 
     /// The redesign's headline claim, pinned at unit-test scale: recording

@@ -5,12 +5,16 @@
 //! send timer broadcasts `listv` with priorities — exactly the event handlers
 //! of the GRP algorithm listing.
 
-use crate::message::GrpMessage;
+use crate::ancestor_list::AncestorList;
+use crate::marks::Mark;
+use crate::message::{GrpMessage, PriorityInfo};
 use crate::node::GrpNode;
+use crate::priority::Priority;
 use dyngraph::NodeId;
 use netsim::{CanonicalHasher, CanonicalState, Protocol, SimTime};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 impl Protocol for GrpNode {
     type Message = GrpMessage;
@@ -45,6 +49,28 @@ impl Protocol for GrpNode {
             .collect();
         let scrambled_priority = rng.gen_range(0..1000);
         self.corrupt(&ghosts, scrambled_priority);
+    }
+
+    fn corrupt_message(&mut self, msg: &mut GrpMessage, rng: &mut ChaCha8Rng) {
+        // the paper's "message" half of transient faults: splice a ghost
+        // into the quoted ancestors' list and scramble the advertised
+        // group priority. Strictly copy-on-write — both payloads are
+        // `Arc`-shared with the sender's cached broadcast, which must
+        // survive intact (the fault hit the wire, not the sender).
+        // Ghost range 300_000..400_000 is distinct from `corrupt_state`'s
+        // 100_000..200_000 so tests can tell which fault planted a ghost.
+        let ghost = NodeId(rng.gen_range(300_000..400_000));
+        let mut levels = msg.list.to_levels();
+        if levels.is_empty() {
+            levels.push(vec![(ghost, Mark::Clear)]);
+        } else {
+            let level = rng.gen_range(0..levels.len());
+            levels[level].push((ghost, Mark::Clear));
+        }
+        msg.list = Arc::new(AncestorList::from_levels(levels));
+        let scrambled = Priority::new(rng.gen_range(0..1000), ghost);
+        Arc::make_mut(&mut msg.priorities).insert(ghost, PriorityInfo::solo(scrambled));
+        msg.group_priority = Priority::min_of(msg.group_priority, scrambled);
     }
 
     fn reset(&mut self) {
@@ -122,5 +148,30 @@ mod tests {
         let node = GrpNode::new(NodeId(1), GrpConfig::new(2));
         let msg = node.build_message();
         assert_eq!(GrpNode::message_size(&msg), msg.wire_size());
+    }
+
+    /// In-flight corruption plants a ghost in the quoted list and never
+    /// writes through the `Arc`s shared with the sender's cached message.
+    #[test]
+    fn corrupt_message_is_copy_on_write() {
+        let mut node = GrpNode::new(NodeId(1), GrpConfig::new(2));
+        let original = node.build_message();
+        let mut in_flight = original.clone();
+        assert!(Arc::ptr_eq(&in_flight.list, &original.list));
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        node.corrupt_message(&mut in_flight, &mut rng);
+        let ghosts: Vec<u64> = in_flight
+            .list
+            .all_nodes()
+            .iter()
+            .map(|n| n.raw())
+            .filter(|id| (300_000..400_000).contains(id))
+            .collect();
+        assert_eq!(ghosts.len(), 1, "one ghost spliced into the payload");
+        assert!(in_flight.priorities.contains_key(&NodeId(ghosts[0])));
+        // the sender's copy survives byte-for-byte
+        assert_eq!(original, node.build_message());
+        assert!(!Arc::ptr_eq(&in_flight.list, &original.list));
+        assert!(!original.list.contains(NodeId(ghosts[0])));
     }
 }

@@ -82,8 +82,8 @@ pub use marks::Mark;
 pub use message::{GrpMessage, PriorityInfo};
 pub use node::GrpNode;
 pub use observers::{
-    ContinuityProbe, ContinuityStats, ConvergenceProbe, GrpPipeline, RecordedRound,
-    SnapshotRecorder,
+    ContinuityProbe, ContinuityStats, ConvergenceProbe, FaultRecovery, GrpPipeline, RecordedRound,
+    ResilienceProbe, ResilienceStats, SnapshotRecorder, RECOVERY_BUCKETS,
 };
 pub use predicates::SystemSnapshot;
 pub use priority::Priority;

@@ -22,7 +22,8 @@ use crate::predicates::{pi_c, pi_t_violations_jobs, SystemSnapshot};
 use crate::stabilization::ConvergenceDetector;
 use dyngraph::{Graph, NodeId};
 use netsim::{
-    CanonicalHasher, MessageStats, NodeSetDigest, Observer, SimTime, Simulator, ViewProtocol,
+    CanonicalHasher, MessageStats, NodeSetDigest, Observer, ScheduledFault, SimTime, Simulator,
+    ViewProtocol,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
@@ -344,6 +345,173 @@ impl<P: ViewProtocol> Observer<P> for ContinuityProbe {
     }
 }
 
+/// Upper bounds of the recovery-histogram buckets, in observed rounds: a
+/// recovery of `r` rounds falls into the first bucket with `r <= bound`.
+/// The last bucket catches everything slower than 32 rounds.
+pub const RECOVERY_BUCKETS: [u64; 7] = [1, 2, 4, 8, 16, 32, u64::MAX];
+
+/// One injected fault and how the system recovered from it.
+#[derive(Clone, Debug)]
+pub struct FaultRecovery {
+    /// The fault, in its textual campaign form (`crash 3`, `heal`, …).
+    pub kind: String,
+    /// When the fault fired.
+    pub at: SimTime,
+    /// Rounds observed before the fault fired.
+    pub injected_after_round: u64,
+    /// Observed rounds from injection until the first legitimate round
+    /// (so a fault the system shrugs off scores 1); `None` when the run
+    /// ended before legitimacy returned.
+    pub rounds_to_recover: Option<u64>,
+    /// When that first legitimate round closed.
+    pub recovered_at: Option<SimTime>,
+}
+
+/// The resilience accounting of one run: availability plus per-fault
+/// time-to-reconverge ([`FaultRecovery`]).
+#[derive(Clone, Debug, Default)]
+pub struct ResilienceStats {
+    /// Rounds whose legitimacy was evaluated.
+    pub rounds_observed: u64,
+    /// Of those, how many were legitimate.
+    pub legitimate_rounds: u64,
+    /// Every injected fault, in injection order.
+    pub faults: Vec<FaultRecovery>,
+}
+
+impl ResilienceStats {
+    /// Fraction of observed rounds that were legitimate (1.0 for an empty
+    /// run — nothing was unavailable).
+    pub fn availability(&self) -> f64 {
+        if self.rounds_observed == 0 {
+            1.0
+        } else {
+            self.legitimate_rounds as f64 / self.rounds_observed as f64
+        }
+    }
+
+    /// Mean rounds-to-recover over the recovered faults.
+    pub fn mean_mttr_rounds(&self) -> Option<f64> {
+        let recovered: Vec<u64> = self
+            .faults
+            .iter()
+            .filter_map(|f| f.rounds_to_recover)
+            .collect();
+        if recovered.is_empty() {
+            None
+        } else {
+            Some(recovered.iter().sum::<u64>() as f64 / recovered.len() as f64)
+        }
+    }
+
+    /// Slowest recovery, in rounds.
+    pub fn max_mttr_rounds(&self) -> Option<u64> {
+        self.faults.iter().filter_map(|f| f.rounds_to_recover).max()
+    }
+
+    /// Faults the run ended without recovering from.
+    pub fn unrecovered(&self) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| f.rounds_to_recover.is_none())
+            .count()
+    }
+
+    /// Recovery histogram over [`RECOVERY_BUCKETS`]: `counts[i]` is the
+    /// number of recovered faults whose rounds-to-recover fall in bucket
+    /// `i`. Unrecovered faults are not counted (see
+    /// [`unrecovered`](Self::unrecovered)).
+    pub fn recovery_histogram(&self) -> [u64; RECOVERY_BUCKETS.len()] {
+        let mut counts = [0u64; RECOVERY_BUCKETS.len()];
+        for rounds in self.faults.iter().filter_map(|f| f.rounds_to_recover) {
+            let bucket = RECOVERY_BUCKETS
+                .iter()
+                .position(|&bound| rounds <= bound)
+                // detlint::allow(D004): the last bucket bound is u64::MAX
+                .expect("u64::MAX bound catches everything");
+            counts[bucket] += 1;
+        }
+        counts
+    }
+}
+
+/// Measures how badly a fault schedule hurts the run: per-fault MTTR
+/// (rounds from injection to the first legitimate round), availability
+/// (fraction of legitimate rounds) and a recovery histogram.
+///
+/// The probe is an *observer* — it reads snapshots and fault
+/// notifications, draws no randomness, and therefore never perturbs the
+/// execution: a manifest produces the same trace digest with or without
+/// resilience measurement.
+#[derive(Clone, Debug)]
+pub struct ResilienceProbe {
+    dmax: usize,
+    jobs: usize,
+    stats: ResilienceStats,
+}
+
+impl ResilienceProbe {
+    pub fn new(dmax: usize) -> Self {
+        ResilienceProbe {
+            dmax,
+            jobs: 1,
+            stats: ResilienceStats::default(),
+        }
+    }
+
+    /// Fan the legitimacy checks across `jobs` worker threads; the
+    /// accounting is identical for every job count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Record an injected fault (the pipelined path).
+    pub fn note_fault(&mut self, fault: &ScheduledFault) {
+        self.stats.faults.push(FaultRecovery {
+            kind: fault.kind.to_string(),
+            at: fault.at,
+            injected_after_round: self.stats.rounds_observed,
+            rounds_to_recover: None,
+            recovered_at: None,
+        });
+    }
+
+    /// Record one already-captured snapshot (the pipelined path).
+    pub fn record(&mut self, at: SimTime, snapshot: &SystemSnapshot) {
+        self.stats.rounds_observed += 1;
+        if snapshot.legitimate_jobs(self.dmax, self.jobs) {
+            self.stats.legitimate_rounds += 1;
+            let closed = self.stats.rounds_observed;
+            for fault in &mut self.stats.faults {
+                if fault.rounds_to_recover.is_none() {
+                    fault.rounds_to_recover = Some(closed - fault.injected_after_round);
+                    fault.recovered_at = Some(at);
+                }
+            }
+        }
+    }
+
+    pub fn stats(&self) -> &ResilienceStats {
+        &self.stats
+    }
+
+    pub fn into_stats(self) -> ResilienceStats {
+        self.stats
+    }
+}
+
+impl<P: ViewProtocol> Observer<P> for ResilienceProbe {
+    fn on_round_end(&mut self, _round: u64, sim: &Simulator<P>) {
+        let snapshot = SystemSnapshot::from_simulator(sim);
+        self.record(sim.now(), &snapshot);
+    }
+
+    fn on_fault(&mut self, fault: &ScheduledFault, _sim: &Simulator<P>) {
+        self.note_fault(fault);
+    }
+}
+
 /// The standard harness composition: one copy-on-write capture per round,
 /// fed to every enabled probe. Used by the scenario conformance runner and
 /// the experiment harness; builds incrementally via the `with_*` methods.
@@ -352,6 +520,7 @@ pub struct GrpPipeline {
     pub recorder: SnapshotRecorder,
     pub convergence: Option<ConvergenceProbe>,
     pub continuity: Option<ContinuityProbe>,
+    pub resilience: Option<ResilienceProbe>,
 }
 
 impl GrpPipeline {
@@ -372,6 +541,12 @@ impl GrpPipeline {
         self
     }
 
+    /// Also stream per-fault MTTR / availability accounting.
+    pub fn with_resilience(mut self, dmax: usize) -> Self {
+        self.resilience = Some(ResilienceProbe::new(dmax));
+        self
+    }
+
     /// Fan the enabled probes' predicate evaluation (per-node ΠS/ΠT, per-
     /// pair ΠM) across `jobs` worker threads. Probe outputs are identical
     /// for every job count — the per-item predicates are pure functions of
@@ -384,6 +559,9 @@ impl GrpPipeline {
         if let Some(probe) = self.continuity.take() {
             self.continuity = Some(probe.with_jobs(jobs));
         }
+        if let Some(probe) = self.resilience.take() {
+            self.resilience = Some(probe.with_jobs(jobs));
+        }
         self
     }
 }
@@ -392,11 +570,21 @@ impl<P: ViewProtocol> Observer<P> for GrpPipeline {
     fn on_round_end(&mut self, _round: u64, sim: &Simulator<P>) {
         let round = self.recorder.capture(sim);
         let snapshot = &round.snapshot;
+        let at = round.at;
         if let Some(probe) = &mut self.convergence {
             probe.record(snapshot);
         }
         if let Some(probe) = &mut self.continuity {
             probe.record(snapshot);
+        }
+        if let Some(probe) = &mut self.resilience {
+            probe.record(at, snapshot);
+        }
+    }
+
+    fn on_fault(&mut self, fault: &ScheduledFault, _sim: &Simulator<P>) {
+        if let Some(probe) = &mut self.resilience {
+            probe.note_fault(fault);
         }
     }
 }
@@ -461,6 +649,84 @@ mod tests {
             streamed.pi_c_held_given_pi_t,
             recomputed.pi_c_held_given_pi_t
         );
+    }
+
+    #[test]
+    fn resilience_probe_measures_recovery_from_a_corruption() {
+        use netsim::FaultKind;
+        let mut sim = grp_sim(4, 7);
+        // let the system converge, then corrupt a node's state mid-run
+        sim.schedule_faults(vec![ScheduledFault::new(
+            SimTime(40_000),
+            FaultKind::CorruptState(NodeId(2)),
+        )]);
+        let mut pipeline = GrpPipeline::new().with_resilience(3);
+        sim.run_rounds_observed(80, &mut pipeline);
+        let stats = pipeline.resilience.as_ref().unwrap().stats();
+        assert_eq!(stats.rounds_observed, 80);
+        assert_eq!(stats.faults.len(), 1);
+        let fault = &stats.faults[0];
+        assert_eq!(fault.kind, "corrupt 2");
+        assert_eq!(fault.at, SimTime(40_000));
+        let mttr = fault.rounds_to_recover.expect("the system reconverges");
+        assert!(mttr >= 1);
+        assert_eq!(stats.unrecovered(), 0);
+        assert_eq!(stats.max_mttr_rounds(), Some(mttr));
+        assert_eq!(stats.recovery_histogram().iter().sum::<u64>(), 1);
+        // the corruption made at least one round illegitimate… unless the
+        // ghost was purged within the same compute period; availability is
+        // a fraction of observed rounds either way
+        assert!(stats.availability() <= 1.0 && stats.availability() > 0.5);
+    }
+
+    #[test]
+    fn resilience_probe_reports_unrecovered_faults() {
+        use netsim::FaultKind;
+        let mut sim = grp_sim(4, 8);
+        // crash a middle node and never restart it: the path is severed,
+        // ΠA can still hold per component, but corrupt the survivor too
+        // close to the end of the run for recovery
+        sim.schedule_faults(vec![ScheduledFault::new(
+            SimTime(79_500),
+            FaultKind::CorruptState(NodeId(1)),
+        )]);
+        let mut pipeline = GrpPipeline::new().with_resilience(3);
+        sim.run_rounds_observed(80, &mut pipeline);
+        let stats = pipeline.resilience.as_ref().unwrap().stats();
+        assert_eq!(stats.faults.len(), 1);
+        assert_eq!(
+            stats.unrecovered(),
+            1,
+            "no legitimate round fits between the corruption and the end: {:?}",
+            stats.faults
+        );
+        assert_eq!(stats.mean_mttr_rounds(), None);
+    }
+
+    #[test]
+    fn recovery_histogram_buckets_by_rounds() {
+        let mut stats = ResilienceStats::default();
+        for (i, rounds) in [1u64, 2, 2, 5, 33, 100].iter().enumerate() {
+            stats.faults.push(FaultRecovery {
+                kind: format!("crash {i}"),
+                at: SimTime(i as u64),
+                injected_after_round: 0,
+                rounds_to_recover: Some(*rounds),
+                recovered_at: Some(SimTime(i as u64 + rounds)),
+            });
+        }
+        stats.faults.push(FaultRecovery {
+            kind: "crash 99".into(),
+            at: SimTime(99),
+            injected_after_round: 0,
+            rounds_to_recover: None,
+            recovered_at: None,
+        });
+        assert_eq!(stats.recovery_histogram(), [1, 2, 0, 1, 0, 0, 2]);
+        assert_eq!(stats.unrecovered(), 1);
+        assert_eq!(stats.max_mttr_rounds(), Some(100));
+        let mean = stats.mean_mttr_rounds().unwrap();
+        assert!((mean - 143.0 / 6.0).abs() < 1e-9);
     }
 
     #[test]

@@ -183,6 +183,57 @@ pub fn check_corruptions(
     cases
 }
 
+/// One pair-corruption case: the unordered pair of simultaneously
+/// corrupted nodes, which catalogue variant hit each, and the explorer's
+/// conclusion.
+pub struct PairCorruptionCase {
+    pub node: NodeId,
+    pub partner: NodeId,
+    pub variant: String,
+    pub partner_variant: String,
+    pub report: Report,
+}
+
+/// Run the explorer once per unordered node pair `(a, b)` (a < b) and per
+/// combination of catalogue variants from
+/// [`GrpNode::enumerate_corruptions`] on each victim: both corrupted
+/// states are installed *simultaneously* before exploration starts, the
+/// adversarial analogue of two independent transient faults landing in
+/// the same instant. The catalogue and pair orders are deterministic, so
+/// the sequence of reports is too. Quadratic in nodes times catalogue
+/// size squared — intended for the small topologies the `modelcheck`
+/// scenario mode explores.
+pub fn check_pair_corruptions(
+    base: &McNet<GrpNode>,
+    checker: &GrpChecker,
+    config: &ExploreConfig,
+) -> Vec<PairCorruptionCase> {
+    let universe: Vec<NodeId> = base.nodes.keys().copied().collect();
+    let mut cases = Vec::new();
+    for (i, &a) in universe.iter().enumerate() {
+        let a_variants = base.nodes[&a].enumerate_corruptions(&universe);
+        for &b in &universe[i + 1..] {
+            let b_variants = base.nodes[&b].enumerate_corruptions(&universe);
+            for (a_name, a_corrupted) in &a_variants {
+                for (b_name, b_corrupted) in &b_variants {
+                    let mut net = base.clone();
+                    net.nodes.insert(a, a_corrupted.clone());
+                    net.nodes.insert(b, b_corrupted.clone());
+                    let report = explore(&net, checker, config);
+                    cases.push(PairCorruptionCase {
+                        node: a,
+                        partner: b,
+                        variant: a_name.clone(),
+                        partner_variant: b_name.clone(),
+                        report,
+                    });
+                }
+            }
+        }
+    }
+    cases
+}
+
 /// A lasso found by iterating the synchronous schedule: `stem_rounds`
 /// rounds reach the cycle entry, the following `period_rounds` rounds
 /// return to it. `trace` is the full flat choice sequence (replayable from
@@ -290,6 +341,49 @@ mod tests {
             check_corruptions(&base, &checker, &ExploreConfig::default())
                 .into_iter()
                 .map(|c| (c.node, c.variant, c.report.visited))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn triangle_pair_corruptions_all_reconverge() {
+        let config = GrpConfig::new(2);
+        let base = legitimate_start(complete(3), &config, 64).expect("warmup");
+        let checker = GrpChecker::new(2);
+        let cases = check_pair_corruptions(&base, &checker, &ExploreConfig::default());
+        assert_eq!(cases.len(), 27, "3 pairs x 3x3 variant combinations");
+        for case in &cases {
+            assert!(case.node < case.partner, "pairs are unordered, a < b");
+            assert!(
+                case.report.converged(),
+                "pair ({}, {}) variants ({}, {}) did not converge: {:?}",
+                case.node.raw(),
+                case.partner.raw(),
+                case.variant,
+                case.partner_variant,
+                case.report.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn pair_corruption_catalogue_is_deterministic() {
+        let config = GrpConfig::new(2);
+        let base = legitimate_start(complete(3), &config, 64).expect("warmup");
+        let run = || {
+            let checker = GrpChecker::new(2);
+            check_pair_corruptions(&base, &checker, &ExploreConfig::default())
+                .into_iter()
+                .map(|c| {
+                    (
+                        c.node,
+                        c.partner,
+                        c.variant,
+                        c.partner_variant,
+                        c.report.visited,
+                    )
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());

@@ -39,7 +39,7 @@ pub use explore::{
     explore, verify_trace, Checker, ExploreConfig, Outcome, Report, Trace, Violation,
 };
 pub use grp::{
-    check_corruptions, find_synchronous_lasso, fresh_net, legitimate_start, snapshot_of,
-    synchronous_round, CorruptionCase, GrpChecker, SyncLasso,
+    check_corruptions, check_pair_corruptions, find_synchronous_lasso, fresh_net, legitimate_start,
+    snapshot_of, synchronous_round, CorruptionCase, GrpChecker, PairCorruptionCase, SyncLasso,
 };
 pub use state::{parse_trace, replay, Choice, FaultBudget, McNet, CHANNEL_CAP};

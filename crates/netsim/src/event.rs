@@ -148,6 +148,33 @@ impl<M> CalendarQueue<M> {
         self.len -= bucket.len();
         Some((time, bucket))
     }
+
+    /// Apply `f` to the payload of every queued [`EventKind::Broadcast`]
+    /// sent by `from`, in `(time, seq)` order — the mutation hook behind
+    /// [`FaultKind::CorruptMessage`](crate::fault::FaultKind): an
+    /// in-flight message is exactly a broadcast sweep still sitting in
+    /// this queue. Returns how many payloads were visited. Iteration rides
+    /// the `BTreeMap` bucket order, so the visit order (and therefore any
+    /// RNG the callback consumes) is deterministic.
+    pub fn corrupt_broadcasts_from(&mut self, from: NodeId, f: &mut dyn FnMut(&mut M)) -> usize {
+        let mut visited = 0;
+        for bucket in self.buckets.values_mut() {
+            for event in bucket.iter_mut() {
+                if let EventKind::Broadcast {
+                    from: sender,
+                    message,
+                    ..
+                } = &mut event.kind
+                {
+                    if *sender == from {
+                        f(message);
+                        visited += 1;
+                    }
+                }
+            }
+        }
+        visited
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +239,43 @@ mod tests {
         assert_eq!(cal.peek().map(|e| e.seq), Some(2));
         assert_eq!(cal.pop().map(|e| e.seq), Some(2));
         assert_eq!(cal.peek().map(|e| e.seq), Some(1));
+    }
+
+    #[test]
+    fn corrupt_broadcasts_from_visits_only_the_senders_payloads_in_order() {
+        let bcast = |time: u64, seq: u64, from: u64, payload: u64| Event {
+            time: SimTime(time),
+            seq,
+            kind: EventKind::Broadcast {
+                from: NodeId(from),
+                message: payload,
+                recipients: vec![NodeId(99)],
+            },
+        };
+        let mut cal = CalendarQueue::new();
+        cal.push(bcast(30, 1, 7, 300));
+        cal.push(bcast(10, 2, 7, 100));
+        cal.push(bcast(20, 3, 8, 200));
+        cal.push(Event {
+            time: SimTime(10),
+            seq: 4,
+            kind: EventKind::SendTimer(NodeId(7)),
+        });
+        let mut seen = Vec::new();
+        let visited = cal.corrupt_broadcasts_from(NodeId(7), &mut |m: &mut u64| {
+            seen.push(*m);
+            *m += 1;
+        });
+        assert_eq!(visited, 2);
+        assert_eq!(seen, [100, 300], "visited in (time, seq) order");
+        // the payloads were mutated in place; node 8's was untouched
+        let mut payloads = Vec::new();
+        while let Some(e) = cal.pop() {
+            if let EventKind::Broadcast { from, message, .. } = e.kind {
+                payloads.push((from.raw(), message));
+            }
+        }
+        assert_eq!(payloads, [(7, 101), (8, 200), (7, 301)]);
     }
 
     #[test]

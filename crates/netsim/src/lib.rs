@@ -62,7 +62,7 @@ pub use builder::SimBuilder;
 pub use channel::{Bernoulli, ChannelModel, Contention, ContentionConfig, LinkEnv, LinkOutcome};
 pub use digest::{CanonicalHasher, NodeSetDigest, TraceDigest};
 pub use event::{Event, EventKind};
-pub use fault::{FaultKind, ScheduledFault};
+pub use fault::{FaultKind, Region, ScheduledFault};
 pub use mobility::MobilityModel;
 pub use node::SimNode;
 pub use observer::{NullObserver, Observer, StatsProbe, TraceProbe};

@@ -52,6 +52,17 @@ pub trait Protocol: Send + Sync {
         let _ = rng;
     }
 
+    /// Corrupt one of this node's *in-flight* messages — the "message"
+    /// half of the paper's transient faults
+    /// ([`FaultKind::CorruptMessage`](crate::fault::FaultKind)). The
+    /// message is a queued broadcast payload that has left the sender but
+    /// not yet reached any receiver; implementations must mutate the
+    /// message only (copy-on-write any shared payload — never the sender's
+    /// own state through a shared `Arc`). The default does nothing.
+    fn corrupt_message(&mut self, msg: &mut Self::Message, rng: &mut ChaCha8Rng) {
+        let _ = (msg, rng);
+    }
+
     /// Reset the node to its initial (post-boot) state — used to model a
     /// crash/restart. The default does nothing.
     fn reset(&mut self) {}
@@ -206,6 +217,14 @@ pub(crate) mod test_support {
         fn corrupt_state(&mut self, rng: &mut ChaCha8Rng) {
             use rand::Rng;
             self.known.insert(NodeId(rng.gen_range(1000..2000)));
+        }
+
+        fn corrupt_message(&mut self, msg: &mut Self::Message, rng: &mut ChaCha8Rng) {
+            use rand::Rng;
+            // a ghost identity floods outward from the corrupted payload;
+            // distinct range from corrupt_state so tests can tell which
+            // fault planted a given ghost
+            msg.insert(NodeId(rng.gen_range(3000..4000)));
         }
 
         fn reset(&mut self) {

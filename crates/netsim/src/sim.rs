@@ -18,7 +18,7 @@
 
 use crate::channel::{Bernoulli, ChannelModel, LinkEnv};
 use crate::event::{CalendarQueue, Event, EventKind};
-use crate::fault::{FaultKind, ScheduledFault};
+use crate::fault::{FaultKind, Region, ScheduledFault};
 use crate::mobility::MobilityModel;
 use crate::node::SimNode;
 use crate::observer::{NullObserver, Observer};
@@ -179,6 +179,18 @@ impl SpatialIndex {
     }
 }
 
+/// One receiver's batch of same-instant deliveries, `(sender, message)`
+/// pairs in arrival order.
+type Inbox<P> = Vec<(NodeId, <P as Protocol>::Message)>;
+
+/// One transport worker's input: the sender's resident channel stream plus
+/// each of its queued broadcasts as `(pending index, sender, position,
+/// neighbours)`.
+type SweepInput<'a> = (
+    ChaCha8Rng,
+    Vec<(usize, NodeId, Option<Point>, &'a [NodeId])>,
+);
+
 /// The discrete-event simulator.
 pub struct Simulator<P: Protocol> {
     config: SimConfig,
@@ -204,8 +216,52 @@ pub struct Simulator<P: Protocol> {
     stats: MessageStats,
     faults: Vec<ScheduledFault>,
     loss_burst_until: SimTime,
+    /// Active [`FaultKind::Partition`]: node → group index. Nodes absent
+    /// from the map form one implicit residual group (`get` returns `None`
+    /// for all of them, and `None == None`). `None` means no partition.
+    partition: Option<BTreeMap<NodeId, usize>>,
+    /// Active [`FaultKind::RegionBlackout`]s as `(region, until)`; expired
+    /// entries are pruned whenever a new one is installed.
+    region_blackouts: Vec<(Region, SimTime)>,
     events_processed: u64,
     rounds_completed: u64,
+}
+
+/// The link-blocking fault state active at one instant, captured by value
+/// and by shared reference so the staged parallel-transport path can move
+/// it into `par_map` workers exactly like `loss_burst_until` historically
+/// was. Blocking happens **before** the channel model is consulted, so a
+/// blocked link consumes no randomness — the invariant that keeps every
+/// digest of a fault-free manifest frozen (see `docs/FAULTS.md`).
+struct LinkGate<'a> {
+    loss_burst_until: SimTime,
+    partition: Option<&'a BTreeMap<NodeId, usize>>,
+    blackouts: &'a [(Region, SimTime)],
+}
+
+impl LinkGate<'_> {
+    fn blocked(
+        &self,
+        now: SimTime,
+        sender: NodeId,
+        receiver: NodeId,
+        sender_pos: Option<Point>,
+        receiver_pos: Option<Point>,
+    ) -> bool {
+        if now < self.loss_burst_until {
+            return true;
+        }
+        if let Some(groups) = self.partition {
+            if groups.get(&sender) != groups.get(&receiver) {
+                return true;
+            }
+        }
+        self.blackouts.iter().any(|(region, until)| {
+            now < *until
+                && (sender_pos.is_some_and(|p| region.contains(p.x, p.y))
+                    || receiver_pos.is_some_and(|p| region.contains(p.x, p.y)))
+        })
+    }
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -235,6 +291,8 @@ impl<P: Protocol> Simulator<P> {
             stats: MessageStats::default(),
             faults: Vec::new(),
             loss_burst_until: SimTime::ZERO,
+            partition: None,
+            region_blackouts: Vec::new(),
             events_processed: 0,
             rounds_completed: 0,
         };
@@ -592,8 +650,7 @@ impl<P: Protocol> Simulator<P> {
         if groups.is_empty() {
             return;
         }
-        let mut work: Vec<(&mut SimNode<P>, Vec<(NodeId, P::Message)>)> =
-            Vec::with_capacity(groups.len());
+        let mut work: Vec<(&mut SimNode<P>, Inbox<P>)> = Vec::with_capacity(groups.len());
         for (id, node) in self.nodes.iter_mut() {
             if let Some(msgs) = groups.remove(id) {
                 work.push((node, msgs));
@@ -699,13 +756,19 @@ impl<P: Protocol> Simulator<P> {
                             (Some(radio.as_ref()), Some(mobility.positions()))
                         }
                     };
+                    let gate = LinkGate {
+                        loss_burst_until: self.loss_burst_until,
+                        partition: self.partition.as_ref(),
+                        blackouts: &self.region_blackouts,
+                    };
                     let rng = self.streams.stream(p.sender, TAG_CHANNEL);
                     for &to in &p.neighbours {
                         if !self.nodes.contains_key(&to) {
                             continue;
                         }
                         attempted += 1;
-                        if now < self.loss_burst_until {
+                        let receiver_pos = positions.and_then(|m| m.get(&to).copied());
+                        if gate.blocked(now, p.sender, to, p.sender_pos, receiver_pos) {
                             dropped += 1;
                             continue;
                         }
@@ -716,7 +779,7 @@ impl<P: Protocol> Simulator<P> {
                                 sender: p.sender,
                                 receiver: to,
                                 sender_pos: p.sender_pos,
-                                receiver_pos: positions.and_then(|m| m.get(&to).copied()),
+                                receiver_pos,
                                 radio,
                                 loss_probability: self.config.loss_probability,
                             },
@@ -784,7 +847,12 @@ impl<P: Protocol> Simulator<P> {
         let nodes = &self.nodes;
         let channel = &*self.channel;
         let loss_probability = self.config.loss_probability;
-        let loss_burst_until = self.loss_burst_until;
+        let gate = LinkGate {
+            loss_burst_until: self.loss_burst_until,
+            partition: self.partition.as_ref(),
+            blackouts: &self.region_blackouts,
+        };
+        let gate = &gate;
         let (radio, positions): (Option<&dyn RadioModel>, Option<&BTreeMap<NodeId, Point>>) =
             match &self.mode {
                 TopologyMode::Explicit(_) => (None, None),
@@ -792,7 +860,7 @@ impl<P: Protocol> Simulator<P> {
                     (Some(radio.as_ref()), Some(mobility.positions()))
                 }
             };
-        let inputs: Vec<(ChaCha8Rng, Vec<(usize, NodeId, Option<Point>, &[NodeId])>)> = tasks
+        let inputs: Vec<SweepInput<'_>> = tasks
             .into_iter()
             .map(|(_, rng, idxs)| {
                 let items = idxs
@@ -819,7 +887,8 @@ impl<P: Protocol> Simulator<P> {
                             continue;
                         }
                         out.attempted += 1;
-                        if now < loss_burst_until {
+                        let receiver_pos = positions.and_then(|p| p.get(&to).copied());
+                        if gate.blocked(now, sender, to, sender_pos, receiver_pos) {
                             out.dropped += 1;
                             continue;
                         }
@@ -830,7 +899,7 @@ impl<P: Protocol> Simulator<P> {
                                 sender,
                                 receiver: to,
                                 sender_pos,
-                                receiver_pos: positions.and_then(|p| p.get(&to).copied()),
+                                receiver_pos,
                                 radio,
                                 loss_probability,
                             },
@@ -1152,13 +1221,19 @@ impl<P: Protocol> Simulator<P> {
         self.channel.begin_broadcast(now, id, sender_pos);
         // recipients grouped by extra delay, ascending, so sweep events are
         // scheduled (and sequence numbers assigned) in delay order
+        let gate = LinkGate {
+            loss_burst_until: self.loss_burst_until,
+            partition: self.partition.as_ref(),
+            blackouts: &self.region_blackouts,
+        };
         let mut groups: BTreeMap<u64, Vec<NodeId>> = BTreeMap::new();
         for to in neighbours {
             if !self.nodes.contains_key(&to) {
                 continue;
             }
             self.stats.attempted += 1;
-            if now < self.loss_burst_until {
+            let receiver_pos = positions.and_then(|p| p.get(&to).copied());
+            if gate.blocked(now, id, to, sender_pos, receiver_pos) {
                 self.stats.dropped += 1;
                 continue;
             }
@@ -1169,7 +1244,7 @@ impl<P: Protocol> Simulator<P> {
                     sender: id,
                     receiver: to,
                     sender_pos,
-                    receiver_pos: positions.and_then(|p| p.get(&to).copied()),
+                    receiver_pos,
                     radio,
                     loss_probability: self.config.loss_probability,
                 },
@@ -1203,8 +1278,8 @@ impl<P: Protocol> Simulator<P> {
     }
 
     fn apply_fault(&mut self, fault: &ScheduledFault) {
-        match fault.kind {
-            FaultKind::CorruptState(id) => {
+        match &fault.kind {
+            &FaultKind::CorruptState(id) => {
                 if let Some(node) = self.nodes.get_mut(&id) {
                     // the adversary's draws come from the victim's own
                     // `fault` stream under per-node seeding, so injecting a
@@ -1217,19 +1292,58 @@ impl<P: Protocol> Simulator<P> {
                     }
                 }
             }
-            FaultKind::Crash(id) => {
+            &FaultKind::CorruptMessage(id) => {
+                if let Some(node) = self.nodes.get_mut(&id) {
+                    // same stream discipline as `CorruptState`: the draws
+                    // come from the victim's `fault` stream, so flipping an
+                    // in-flight payload never perturbs any other node's
+                    // randomness. A no-op when nothing is in flight.
+                    let rng = match self.config.rng_streams {
+                        RngStreams::Legacy => &mut self.rng,
+                        RngStreams::PerNode => self.streams.stream(id, TAG_FAULT),
+                    };
+                    self.events.corrupt_broadcasts_from(id, &mut |msg| {
+                        node.protocol.corrupt_message(msg, &mut *rng)
+                    });
+                }
+            }
+            &FaultKind::Crash(id) => {
                 if let Some(node) = self.nodes.get_mut(&id) {
                     node.active = false;
                 }
             }
-            FaultKind::Restart(id) => {
+            &FaultKind::Restart(id) => {
                 if let Some(node) = self.nodes.get_mut(&id) {
                     node.protocol.reset();
                     node.active = true;
                 }
             }
-            FaultKind::LossBurst { duration } => {
+            &FaultKind::RestartStale(id) => {
+                // the harder recovery mode: the node re-enters the network
+                // with whatever state it crashed with — no reset
+                if let Some(node) = self.nodes.get_mut(&id) {
+                    node.active = true;
+                }
+            }
+            &FaultKind::LossBurst { duration } => {
                 self.loss_burst_until = self.now + duration;
+            }
+            FaultKind::Partition { groups } => {
+                let mut membership = BTreeMap::new();
+                for (idx, group) in groups.iter().enumerate() {
+                    for &node in group {
+                        membership.insert(node, idx);
+                    }
+                }
+                self.partition = Some(membership);
+            }
+            FaultKind::Heal => {
+                self.partition = None;
+            }
+            &FaultKind::RegionBlackout { region, duration } => {
+                let now = self.now;
+                self.region_blackouts.retain(|&(_, until)| until > now);
+                self.region_blackouts.push((region, now + duration));
             }
         }
     }
@@ -1551,5 +1665,285 @@ mod tests {
         assert_eq!(probe.trace().len(), 2);
         assert!(probe.trace().last().unwrap().at > SimTime::ZERO);
         assert_eq!(sim.rounds_completed(), 2);
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_links_until_heal() {
+        let mut sim = flood_sim(4, 13);
+        sim.schedule_faults(vec![
+            ScheduledFault::new(
+                SimTime(0),
+                FaultKind::Partition {
+                    groups: vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]],
+                },
+            ),
+            ScheduledFault::new(SimTime(20_000), FaultKind::Heal),
+        ]);
+        sim.run_for(15_000);
+        assert_eq!(
+            sim.protocol(NodeId(0)).unwrap().known,
+            [NodeId(0), NodeId(1)].into_iter().collect(),
+            "side A floods only within its partition"
+        );
+        assert_eq!(
+            sim.protocol(NodeId(3)).unwrap().known,
+            [NodeId(2), NodeId(3)].into_iter().collect(),
+            "side B floods only within its partition"
+        );
+        assert!(sim.stats().dropped > 0, "cross-group links were cut");
+        sim.run_for(40_000);
+        for (_, p) in sim.protocols() {
+            assert_eq!(p.known.len(), 4, "the flood converges after the heal");
+        }
+    }
+
+    /// Nodes absent from every listed group form one implicit residual
+    /// group: connected among themselves, cut off from every listed group.
+    #[test]
+    fn partition_residual_group_stays_internally_connected() {
+        let mut sim = flood_sim(4, 14);
+        sim.schedule_faults(vec![ScheduledFault::new(
+            SimTime(0),
+            FaultKind::Partition {
+                groups: vec![vec![NodeId(0), NodeId(1)]],
+            },
+        )]);
+        sim.run_rounds(10);
+        // 2 and 3 are unlisted: they still hear each other …
+        assert!(sim.protocol(NodeId(3)).unwrap().known.contains(&NodeId(2)));
+        // … but the 1–2 link crossing into the listed group is cut
+        assert!(!sim.protocol(NodeId(2)).unwrap().known.contains(&NodeId(1)));
+        assert!(!sim.protocol(NodeId(0)).unwrap().known.contains(&NodeId(3)));
+    }
+
+    #[test]
+    fn region_blackout_cuts_links_touching_the_region() {
+        use crate::mobility::Stationary;
+        use crate::radio::UnitDisk;
+        // nodes on a line at x = 0, 10, 20, 30; radio reaches neighbours
+        let mut sim: Simulator<Flood> = Simulator::new(
+            SimConfig {
+                seed: 15,
+                ..Default::default()
+            },
+            TopologyMode::Spatial {
+                radio: Box::new(UnitDisk::new(12.0)),
+                mobility: Box::new(Stationary::line(4, 10.0)),
+            },
+        );
+        sim.add_nodes((0..4).map(|i| Flood::new(NodeId(i))));
+        // the "tunnel" swallows nodes 0 and 1: links 0–1 (both inside) and
+        // 1–2 (one endpoint inside) are cut; 2–3 stays up
+        sim.schedule_faults(vec![ScheduledFault::new(
+            SimTime(0),
+            FaultKind::RegionBlackout {
+                region: Region {
+                    min_x: -1.0,
+                    min_y: -1.0,
+                    max_x: 11.0,
+                    max_y: 1.0,
+                },
+                duration: 20_000,
+            },
+        )]);
+        sim.run_for(15_000);
+        assert_eq!(
+            sim.protocol(NodeId(0)).unwrap().known.len(),
+            1,
+            "node 0 is inside the blackout and hears nothing"
+        );
+        assert!(
+            sim.protocol(NodeId(3)).unwrap().known.contains(&NodeId(2)),
+            "the 2–3 link is outside the region and stays up"
+        );
+        assert!(!sim.protocol(NodeId(2)).unwrap().known.contains(&NodeId(1)));
+        sim.run_for(50_000);
+        for (_, p) in sim.protocols() {
+            assert_eq!(p.known.len(), 4, "the flood converges after expiry");
+        }
+    }
+
+    /// Explicit-mode nodes have no positions, so they are never inside any
+    /// region: a `RegionBlackout` must block nothing there.
+    #[test]
+    fn region_blackout_is_inert_in_explicit_mode() {
+        let mut sim = flood_sim(3, 16);
+        sim.schedule_faults(vec![ScheduledFault::new(
+            SimTime(0),
+            FaultKind::RegionBlackout {
+                region: Region {
+                    min_x: f64::MIN,
+                    min_y: f64::MIN,
+                    max_x: f64::MAX,
+                    max_y: f64::MAX,
+                },
+                duration: 1_000_000,
+            },
+        )]);
+        sim.run_rounds(10);
+        assert_eq!(sim.stats().dropped, 0);
+        for (_, p) in sim.protocols() {
+            assert_eq!(p.known.len(), 3);
+        }
+    }
+
+    #[test]
+    fn corrupt_message_fault_flips_in_flight_payloads() {
+        let g = path(2);
+        let mut sim: Simulator<Flood> = Simulator::new(
+            SimConfig {
+                seed: 17,
+                stagger_phases: false,
+                ..Default::default()
+            },
+            TopologyMode::Explicit(g),
+        );
+        sim.add_nodes((0..2).map(|i| Flood::new(NodeId(i))));
+        // lockstep sends fire at t = 250 and deliver at t = 260; a fault at
+        // t = 255 catches node 0's broadcast in flight
+        sim.schedule_faults(vec![ScheduledFault::new(
+            SimTime(255),
+            FaultKind::CorruptMessage(NodeId(0)),
+        )]);
+        // stop after the corrupted delivery at t = 260 but before node 1's
+        // next send (t = 500) floods the ghost back to node 0
+        sim.run_for(400);
+        let receiver = &sim.protocol(NodeId(1)).unwrap().known;
+        assert!(
+            receiver.iter().any(|n| (3000..4000).contains(&n.raw())),
+            "the receiver absorbed the corrupted payload: {receiver:?}"
+        );
+        let sender = &sim.protocol(NodeId(0)).unwrap().known;
+        assert!(
+            sender.iter().all(|n| n.raw() < 1000),
+            "the sender's own state is untouched by in-flight corruption: {sender:?}"
+        );
+    }
+
+    #[test]
+    fn corrupt_message_is_a_noop_with_nothing_in_flight() {
+        let g = path(2);
+        let mut sim: Simulator<Flood> = Simulator::new(
+            SimConfig {
+                seed: 18,
+                stagger_phases: false,
+                ..Default::default()
+            },
+            TopologyMode::Explicit(g),
+        );
+        sim.add_nodes((0..2).map(|i| Flood::new(NodeId(i))));
+        // t = 100 is before the first send at t = 250: nothing is queued
+        sim.schedule_faults(vec![ScheduledFault::new(
+            SimTime(100),
+            FaultKind::CorruptMessage(NodeId(0)),
+        )]);
+        sim.run_for(1_000);
+        for (_, p) in sim.protocols() {
+            assert!(p.known.iter().all(|n| n.raw() < 1000), "no ghost injected");
+        }
+    }
+
+    /// `RestartStale` is the harder recovery mode: the node re-enters the
+    /// network with whatever state it crashed with, while `Restart` wipes
+    /// it back to the post-boot state.
+    #[test]
+    fn restart_stale_resumes_the_pre_crash_state() {
+        let run = |stale: bool| {
+            let g = path(3);
+            let mut sim: Simulator<Flood> = Simulator::new(
+                SimConfig {
+                    seed: 19,
+                    stagger_phases: false,
+                    ..Default::default()
+                },
+                TopologyMode::Explicit(g),
+            );
+            sim.add_nodes((0..3).map(|i| Flood::new(NodeId(i))));
+            let restart = if stale {
+                FaultKind::RestartStale(NodeId(2))
+            } else {
+                FaultKind::Restart(NodeId(2))
+            };
+            sim.schedule_faults(vec![
+                ScheduledFault::new(SimTime(5_000), FaultKind::Crash(NodeId(2))),
+                ScheduledFault::new(SimTime(10_000), restart),
+            ]);
+            // stop right after the restart, before any delivery reaches
+            // node 2 again (sends at 10_000 deliver at 10_010)
+            sim.run_for(10_005);
+            sim.protocol(NodeId(2)).unwrap().known.len()
+        };
+        assert_eq!(run(true), 3, "stale restart keeps the learned view");
+        assert_eq!(run(false), 1, "fresh restart wipes it");
+    }
+
+    /// Satellite pin: every *blocking* fault (`LossBurst`, `Partition`/
+    /// `Heal`, `RegionBlackout`) gates links identically in the inline and
+    /// staged-parallel transport paths — with per-node streams, transport
+    /// parallelism must not change a single byte of the execution even
+    /// while a blackout window and a partition are active mid-run.
+    #[test]
+    fn blocking_faults_are_invariant_under_transport_parallelism() {
+        use crate::digest::CanonicalHasher;
+        use crate::mobility::RandomWalk;
+        use crate::observer::TraceProbe;
+        use crate::radio::UnitDisk;
+        let run = |parallel: bool| {
+            let mut seed_rng = ChaCha8Rng::seed_from_u64(91);
+            let mobility = RandomWalk::new(18, 60.0, 60.0, 0.004, &mut seed_rng);
+            let mut sim: Simulator<Flood> = Simulator::new(
+                SimConfig {
+                    seed: 23,
+                    loss_probability: 0.1,
+                    rng_streams: RngStreams::PerNode,
+                    parallel_transport: parallel,
+                    ..Default::default()
+                },
+                TopologyMode::Spatial {
+                    radio: Box::new(UnitDisk::new(25.0)),
+                    mobility: Box::new(mobility),
+                },
+            );
+            sim.add_nodes((0..18).map(|i| Flood::new(NodeId(i))));
+            sim.schedule_faults(vec![
+                ScheduledFault::new(SimTime(1_000), FaultKind::LossBurst { duration: 1_500 }),
+                ScheduledFault::new(
+                    SimTime(3_000),
+                    FaultKind::Partition {
+                        groups: vec![(0..9).map(NodeId).collect(), (9..18).map(NodeId).collect()],
+                    },
+                ),
+                ScheduledFault::new(
+                    SimTime(4_000),
+                    FaultKind::RegionBlackout {
+                        region: Region {
+                            min_x: 0.0,
+                            min_y: 0.0,
+                            max_x: 30.0,
+                            max_y: 30.0,
+                        },
+                        duration: 2_000,
+                    },
+                ),
+                ScheduledFault::new(SimTime(6_000), FaultKind::Heal),
+            ]);
+            let mut probe = TraceProbe::new();
+            sim.run_rounds_observed(10, &mut probe);
+            let mut hasher = CanonicalHasher::new();
+            probe.trace().feed_digest(&mut hasher);
+            let known: Vec<_> = sim.protocols().map(|(_, p)| p.known.clone()).collect();
+            (
+                hasher.finalize(),
+                sim.stats(),
+                sim.events_processed(),
+                known,
+            )
+        };
+        let sequential = run(false);
+        assert!(
+            sequential.1.dropped > 0,
+            "the blocking faults were actually exercised"
+        );
+        assert_eq!(sequential, run(true));
     }
 }

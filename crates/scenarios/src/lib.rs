@@ -24,12 +24,17 @@
 
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod json;
 pub mod manifest;
 pub mod result;
 pub mod runner;
 pub mod toml;
 
+pub use campaign::{
+    emit_worst_case, parse_campaign_file, render_campaign_file, CampaignReport, CampaignScore,
+    ScheduleSummary,
+};
 pub use manifest::{RunMode, ScenarioManifest, SCHEMA_VERSION};
 pub use result::{
     stream_scenario, to_json, write_result, write_result_streaming, ResultWriter,

@@ -20,10 +20,19 @@
 //! it there). Stale-digest mismatches are expected while re-pinning, but a
 //! failing *behavioural* assertion still fails the process — a broken run
 //! is never silently pinned over.
+//!
+//! `--emit-campaign FILE` takes exactly one `mode = "campaign"` manifest,
+//! runs the worst-schedule search (ignoring any `[campaign] replay` pin)
+//! and writes the worst schedule to FILE in campaign-file form. CI
+//! regenerates the checked-in file this way and diffs the two, so the
+//! pinned worst case can never silently drift from what the searcher finds.
 
 #![forbid(unsafe_code)]
 
-use scenarios::{discover_manifests, passes_ignoring_golden, run_suite, suite_dir};
+use scenarios::{
+    discover_manifests, emit_worst_case, passes_ignoring_golden, run_suite, suite_dir, RunMode,
+    ScenarioManifest,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -32,6 +41,7 @@ fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("results/scenarios");
     let mut update_golden = false;
     let mut use_suite = false;
+    let mut emit_campaign: Option<PathBuf> = None;
     let mut jobs = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -57,9 +67,16 @@ fn main() -> ExitCode {
             }
             "--update-golden" => update_golden = true,
             "--suite" => use_suite = true,
+            "--emit-campaign" => {
+                let Some(file) = iter.next() else {
+                    eprintln!("--emit-campaign requires an output file argument");
+                    return ExitCode::from(2);
+                };
+                emit_campaign = Some(PathBuf::from(file));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: scenario-runner [--out DIR] [--jobs N] [--update-golden] [--suite [DIR] | MANIFEST.toml...]"
+                    "usage: scenario-runner [--out DIR] [--jobs N] [--update-golden] [--suite [DIR] | MANIFEST.toml...]\n       scenario-runner --emit-campaign FILE MANIFEST.toml"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -84,6 +101,16 @@ fn main() -> ExitCode {
     if manifests.is_empty() {
         eprintln!("no manifests given (try --suite)");
         return ExitCode::from(2);
+    }
+
+    if let Some(file) = emit_campaign {
+        return match emit_campaign_file(&manifests, &file) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(err) => {
+                eprintln!("{err}");
+                ExitCode::from(2)
+            }
+        };
     }
 
     let mut all_pass = true;
@@ -120,6 +147,31 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// The `--emit-campaign` path: run the worst-schedule search for exactly
+/// one campaign manifest and write the campaign file.
+fn emit_campaign_file(manifests: &[PathBuf], file: &PathBuf) -> Result<(), String> {
+    let [path] = manifests else {
+        return Err("--emit-campaign takes exactly one manifest".to_string());
+    };
+    let manifest = ScenarioManifest::load(path).map_err(|e| e.to_string())?;
+    if manifest.mode != RunMode::Campaign {
+        return Err(format!(
+            "{}: --emit-campaign needs `mode = \"campaign\"`",
+            path.display()
+        ));
+    }
+    let (report, rendered) = emit_worst_case(&manifest);
+    std::fs::write(file, &rendered).map_err(|e| format!("cannot write {}: {e}", file.display()))?;
+    println!(
+        "wrote {} (worst schedule #{} of {}: {})",
+        file.display(),
+        report.worst_index,
+        report.schedules.len(),
+        report.worst_score
+    );
+    Ok(())
 }
 
 /// Replace (or append) the manifest's trailing `[golden]` section with the

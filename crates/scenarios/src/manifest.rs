@@ -223,10 +223,42 @@ pub struct FaultSpec {
 
 #[derive(Clone, Debug, PartialEq)]
 pub enum FaultKindSpec {
-    Crash { node: u64 },
-    Restart { node: u64 },
-    Corrupt { node: u64 },
-    LossBurst { duration: u64 },
+    Crash {
+        node: u64,
+    },
+    Restart {
+        node: u64,
+    },
+    /// Restart that preserves the stale pre-crash state instead of
+    /// rebooting to the initial configuration.
+    RestartStale {
+        node: u64,
+    },
+    Corrupt {
+        node: u64,
+    },
+    /// Corrupt the next in-flight message broadcast by `node`.
+    CorruptMessage {
+        node: u64,
+    },
+    LossBurst {
+        duration: u64,
+    },
+    /// Sever every link between the listed groups until a `heal`.
+    Partition {
+        groups: Vec<Vec<u64>>,
+    },
+    /// Lift an active partition.
+    Heal,
+    /// Silence every node inside the rectangle for `duration` ticks
+    /// (spatial workloads only — explicit topologies have no positions).
+    RegionBlackout {
+        min_x: f64,
+        min_y: f64,
+        max_x: f64,
+        max_y: f64,
+        duration: u64,
+    },
 }
 
 /// One topology mutation applied *before* the given compute round
@@ -327,13 +359,15 @@ impl Default for ProtocolSpec {
     }
 }
 
-/// What the manifest executes: a sampled simulation (the default) or the
-/// bounded model checker over the same protocol implementation.
+/// What the manifest executes: a sampled simulation (the default), the
+/// bounded model checker over the same protocol implementation, or the
+/// seeded worst-case fault-campaign search.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum RunMode {
     #[default]
     Simulate,
     ModelCheck,
+    Campaign,
 }
 
 /// Which optional per-round probes the run composes on top of the
@@ -346,6 +380,10 @@ pub struct ReportSpec {
     pub convergence: bool,
     /// Stream ΠT ⇒ ΠC continuity accounting.
     pub continuity: bool,
+    /// Per-fault recovery accounting (MTTR, availability, histogram) via
+    /// the `ResilienceProbe`. Off by default — it requires the convergence
+    /// verdict stream and adds a `resilience` section to `result.json`.
+    pub resilience: bool,
 }
 
 impl Default for ReportSpec {
@@ -353,6 +391,7 @@ impl Default for ReportSpec {
         ReportSpec {
             convergence: true,
             continuity: true,
+            resilience: false,
         }
     }
 }
@@ -368,6 +407,11 @@ pub enum StartSpec {
     /// the legitimate configuration with that node's state replaced.
     #[default]
     Corrupted,
+    /// One exploration per unordered *pair* of simultaneously corrupted
+    /// nodes — every combination of the catalogue's variants on both
+    /// victims. Quadratically larger than `Corrupted`; keep topologies
+    /// small.
+    PairCorrupted,
 }
 
 /// The `[modelcheck]` table: bounds and adversary budget for the bounded
@@ -405,6 +449,41 @@ impl Default for ModelCheckSpec {
             max_drops: 0,
             max_duplicates: 0,
             max_crashes: 0,
+        }
+    }
+}
+
+/// The `[campaign]` table: the seeded worst-case-schedule search
+/// (`mode = "campaign"` only). The searcher samples `schedules` random
+/// fault schedules (≤ `max_faults` faults inside the `horizon` window),
+/// scores each by the resilience metrics of a full deterministic run, and
+/// re-runs the worst offender for the reported metrics. With `replay`
+/// set, the search is skipped and the pinned campaign file is replayed
+/// instead — the regression path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignSpec {
+    /// Fault schedules sampled per seed.
+    pub schedules: u32,
+    /// Maximum faults per sampled schedule.
+    pub max_faults: u32,
+    /// Injection window in ticks (default `rounds × compute_period`).
+    pub horizon: Option<u64>,
+    /// Sampler seed, mixed with each run seed — so re-pinning a manifest
+    /// seed does not reshuffle every schedule.
+    pub search_seed: u64,
+    /// Path to a pinned campaign file to replay (relative to the
+    /// manifest), instead of searching.
+    pub replay: Option<String>,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            schedules: 16,
+            max_faults: 6,
+            horizon: None,
+            search_seed: 0xCA4A,
+            replay: None,
         }
     }
 }
@@ -457,6 +536,9 @@ pub struct ScenarioManifest {
     /// Present iff `mode = "modelcheck"` (defaulted when the table is
     /// absent).
     pub modelcheck: Option<ModelCheckSpec>,
+    /// Present iff `mode = "campaign"` (defaulted when the table is
+    /// absent).
+    pub campaign: Option<CampaignSpec>,
     pub faults: Vec<FaultSpec>,
     pub churn: Vec<ChurnSpec>,
     pub assertions: AssertionSpec,
@@ -470,11 +552,23 @@ impl ScenarioManifest {
         Self::from_root(&root)
     }
 
-    /// Load from a file.
+    /// Load from a file. A `[campaign] replay` path is resolved relative
+    /// to the manifest's directory.
     pub fn load(path: &Path) -> Result<Self, ManifestError> {
         let input = std::fs::read_to_string(path)
             .map_err(|e| ManifestError(format!("cannot read {}: {e}", path.display())))?;
-        Self::parse(&input).map_err(|e| ManifestError(format!("{}: {}", path.display(), e.0)))
+        let mut manifest = Self::parse(&input)
+            .map_err(|e| ManifestError(format!("{}: {}", path.display(), e.0)))?;
+        if let Some(campaign) = &mut manifest.campaign {
+            if let Some(replay) = &campaign.replay {
+                let resolved = path
+                    .parent()
+                    .map(|dir| dir.join(replay))
+                    .unwrap_or_else(|| Path::new(replay).to_path_buf());
+                campaign.replay = Some(resolved.to_string_lossy().into_owned());
+            }
+        }
+        Ok(manifest)
     }
 
     fn from_root(root: &BTreeMap<String, Value>) -> Result<Self, ManifestError> {
@@ -515,13 +609,32 @@ impl ScenarioManifest {
 
         let modelcheck = match mode {
             RunMode::ModelCheck => Some(parse_modelcheck(root.get("modelcheck"))?),
-            RunMode::Simulate => {
+            RunMode::Simulate | RunMode::Campaign => {
                 if root.get("modelcheck").is_some() {
                     return bad("[modelcheck] requires `mode = \"modelcheck\"`");
                 }
                 None
             }
         };
+        let campaign = match mode {
+            RunMode::Campaign => Some(parse_campaign(root.get("campaign"))?),
+            RunMode::Simulate | RunMode::ModelCheck => {
+                if root.get("campaign").is_some() {
+                    return bad("[campaign] requires `mode = \"campaign\"`");
+                }
+                None
+            }
+        };
+        // RegionBlackout silences nodes by position — meaningless on an
+        // explicit topology, so fail loudly instead of running an inert fault.
+        if matches!(workload, WorkloadSpec::Explicit(_))
+            && faults
+                .iter()
+                .any(|f| matches!(f.kind, FaultKindSpec::RegionBlackout { .. }))
+        {
+            return bad("[[faults]]: `region_blackout` requires a spatial workload \
+                 ([mobility]+[radio]) — explicit topologies have no positions");
+        }
         match mode {
             RunMode::ModelCheck => {
                 if matches!(workload, WorkloadSpec::Spatial { .. }) {
@@ -536,6 +649,10 @@ impl ScenarioManifest {
                 }
                 if !churn.is_empty() {
                     return bad("the [[churn]] schedule is simulation-only");
+                }
+                if report.resilience {
+                    return bad("[report]: `resilience = true` is simulation-only — the \
+                         model checker has no per-round recovery timeline");
                 }
                 for (key, present) in [
                     ("converged_by", assertions.converged_by.is_some()),
@@ -554,6 +671,47 @@ impl ScenarioManifest {
                     }
                 }
             }
+            RunMode::Campaign => {
+                if !faults.is_empty() {
+                    return bad("mode = \"campaign\" synthesizes its own fault schedules; \
+                         the timed [[faults]] schedule is simulation-only");
+                }
+                if !churn.is_empty() {
+                    return bad("the [[churn]] schedule is simulation-only");
+                }
+                for (key, present) in [
+                    ("converged_by", assertions.converged_by.is_some()),
+                    ("view_continuity", assertions.view_continuity.is_some()),
+                    (
+                        "min_delivery_ratio",
+                        assertions.min_delivery_ratio.is_some(),
+                    ),
+                    ("agreement", assertions.agreement.is_some()),
+                    ("safety", assertions.safety.is_some()),
+                    ("maximality", assertions.maximality.is_some()),
+                    ("legitimate", assertions.legitimate.is_some()),
+                    ("min_groups", assertions.min_groups.is_some()),
+                    ("max_groups", assertions.max_groups.is_some()),
+                    ("reconverges", assertions.reconverges.is_some()),
+                ] {
+                    if present {
+                        return bad(format!(
+                            "[assertions]: `{key}` judges a single run and cannot be \
+                             checked in mode = \"campaign\" (only `max_rounds` applies)"
+                        ));
+                    }
+                }
+                if sim.rng_streams == netsim::RngStreams::Legacy {
+                    return bad("[sim]: mode = \"campaign\" requires \
+                         `rng_streams = \"per-node\"` — sampled schedules must not \
+                         perturb each other's randomness");
+                }
+                if !report.convergence {
+                    return bad("[report]: mode = \"campaign\" scores schedules on the \
+                         legitimacy verdict stream — `convergence = false` is not \
+                         allowed");
+                }
+            }
             RunMode::Simulate => {
                 if assertions.reconverges.is_some() {
                     return bad(
@@ -569,6 +727,13 @@ impl ScenarioManifest {
                 if !report.continuity && assertions.view_continuity.is_some() {
                     return bad("[report]: `continuity = false` disables the probe that \
                          `view_continuity` asserts on — enable it or drop the assertion");
+                }
+                // The resilience probe times recovery against the legitimacy
+                // verdict stream — it cannot run with convergence off.
+                if report.resilience && !report.convergence {
+                    return bad("[report]: `resilience = true` requires \
+                         `convergence = true` — recovery is timed against the \
+                         legitimacy verdict stream");
                 }
                 // Legacy replays draw every random decision from one shared
                 // stream in schedule order — there is nothing to shard.
@@ -589,6 +754,7 @@ impl ScenarioManifest {
             sim,
             report,
             modelcheck,
+            campaign,
             faults,
             churn,
             assertions,
@@ -901,8 +1067,10 @@ fn parse_mode(value: Option<&Value>) -> Result<RunMode, ManifestError> {
         Some(v) => match v.as_str() {
             Some("simulate") => Ok(RunMode::Simulate),
             Some("modelcheck") => Ok(RunMode::ModelCheck),
+            Some("campaign") => Ok(RunMode::Campaign),
             Some(other) => bad(format!(
-                "unknown `mode` `{other}` (expected \"simulate\" or \"modelcheck\")"
+                "unknown `mode` `{other}` (expected \"simulate\", \"modelcheck\" or \
+                 \"campaign\")"
             )),
             None => bad("`mode` must be a string"),
         },
@@ -920,6 +1088,44 @@ fn parse_report(value: Option<&Value>) -> Result<ReportSpec, ManifestError> {
     Ok(ReportSpec {
         convergence: opt_bool(t, "convergence", default.convergence)?,
         continuity: opt_bool(t, "continuity", default.continuity)?,
+        resilience: opt_bool(t, "resilience", default.resilience)?,
+    })
+}
+
+fn parse_campaign(value: Option<&Value>) -> Result<CampaignSpec, ManifestError> {
+    let default = CampaignSpec::default();
+    let Some(value) = value else {
+        return Ok(default);
+    };
+    let t = value
+        .as_table()
+        .ok_or_else(|| ManifestError("[campaign] must be a table".into()))?;
+    let ctx = "[campaign]";
+    let schedules = opt_u64(t, "schedules", u64::from(default.schedules), ctx)? as u32;
+    if schedules == 0 {
+        return bad("[campaign]: `schedules` must be at least 1");
+    }
+    let max_faults = opt_u64(t, "max_faults", u64::from(default.max_faults), ctx)? as u32;
+    if max_faults == 0 {
+        return bad("[campaign]: `max_faults` must be at least 1");
+    }
+    let horizon = match t.get("horizon") {
+        None => None,
+        Some(v) => Some(count_value(v, "horizon", ctx)?),
+    };
+    let replay = match t.get("replay") {
+        None => None,
+        Some(v) => match v.as_str() {
+            Some(s) => Some(s.to_string()),
+            None => return bad("[campaign]: `replay` must be a string path"),
+        },
+    };
+    Ok(CampaignSpec {
+        schedules,
+        max_faults,
+        horizon,
+        search_seed: opt_u64(t, "search_seed", default.search_seed, ctx)?,
+        replay,
     })
 }
 
@@ -937,8 +1143,12 @@ fn parse_modelcheck(value: Option<&Value>) -> Result<ModelCheckSpec, ManifestErr
         Some(v) => match v.as_str() {
             Some("legitimate") => StartSpec::Legitimate,
             Some("corrupted") => StartSpec::Corrupted,
+            Some("pair-corrupted") => StartSpec::PairCorrupted,
             _ => {
-                return bad("[modelcheck]: `start` must be \"legitimate\" or \"corrupted\"");
+                return bad(
+                    "[modelcheck]: `start` must be \"legitimate\", \"corrupted\" \
+                     or \"pair-corrupted\"",
+                );
             }
         },
     };
@@ -1063,12 +1273,67 @@ fn parse_faults(value: Option<&Value>) -> Result<Vec<FaultSpec>, ManifestError> 
             "restart" => FaultKindSpec::Restart {
                 node: req_u64(t, "node", "[[faults]]")?,
             },
+            "restart_stale" => FaultKindSpec::RestartStale {
+                node: req_u64(t, "node", "[[faults]]")?,
+            },
             "corrupt" => FaultKindSpec::Corrupt {
+                node: req_u64(t, "node", "[[faults]]")?,
+            },
+            "corrupt_message" => FaultKindSpec::CorruptMessage {
                 node: req_u64(t, "node", "[[faults]]")?,
             },
             "loss_burst" => FaultKindSpec::LossBurst {
                 duration: req_u64(t, "duration", "[[faults]]")?,
             },
+            "partition" => {
+                let groups = t.get("groups").and_then(Value::as_array).ok_or_else(|| {
+                    ManifestError(
+                        "[[faults]]: `partition` needs `groups`, an array of node-id \
+                             arrays"
+                            .into(),
+                    )
+                })?;
+                let mut parsed = Vec::new();
+                for group in groups {
+                    let ids = group.as_array().ok_or_else(|| {
+                        ManifestError("[[faults]]: each `groups` entry must be an array".into())
+                    })?;
+                    let mut members = Vec::new();
+                    for id in ids {
+                        members.push(count_value(id, "groups", "[[faults]]")?);
+                    }
+                    parsed.push(members);
+                }
+                if parsed.len() < 2 {
+                    return bad("[[faults]]: `partition` needs at least two groups");
+                }
+                FaultKindSpec::Partition { groups: parsed }
+            }
+            "heal" => FaultKindSpec::Heal,
+            "region_blackout" => {
+                let ctx = "[[faults]]";
+                let kind = FaultKindSpec::RegionBlackout {
+                    min_x: req_f64(t, "min_x", ctx)?,
+                    min_y: req_f64(t, "min_y", ctx)?,
+                    max_x: req_f64(t, "max_x", ctx)?,
+                    max_y: req_f64(t, "max_y", ctx)?,
+                    duration: req_u64(t, "duration", ctx)?,
+                };
+                if let FaultKindSpec::RegionBlackout {
+                    min_x,
+                    min_y,
+                    max_x,
+                    max_y,
+                    ..
+                } = kind
+                {
+                    if max_x < min_x || max_y < min_y {
+                        return bad("[[faults]]: `region_blackout` rectangle is inverted \
+                             (max_x/max_y below min_x/min_y)");
+                    }
+                }
+                kind
+            }
             other => return bad(format!("[[faults]]: unknown kind `{other}`")),
         };
         faults.push(FaultSpec { at, kind });
@@ -1729,12 +1994,13 @@ crashes = 1
         )
         .expect("parses");
         assert!(!m.report.convergence && !m.report.continuity);
-        // defaults keep both probes on
+        // defaults keep both probes on; resilience is opt-in
         assert_eq!(
             ReportSpec::default(),
             ReportSpec {
                 convergence: true,
-                continuity: true
+                continuity: true,
+                resilience: false,
             }
         );
 
@@ -1748,5 +2014,226 @@ crashes = 1
         )
         .expect_err("conflict").0;
         assert!(err.contains("continuity = false"), "got `{err}`");
+
+        // resilience rides on the convergence verdict stream
+        let err = ScenarioManifest::parse(
+            "name = \"x\"\n[topology]\nkind = \"path\"\nn = 2\n[report]\nconvergence = false\nresilience = true\n",
+        )
+        .expect_err("conflict").0;
+        assert!(err.contains("resilience = true"), "got `{err}`");
+        let m = ScenarioManifest::parse(
+            "name = \"x\"\n[topology]\nkind = \"path\"\nn = 2\n[report]\nresilience = true\n",
+        )
+        .expect("parses");
+        assert!(m.report.resilience);
+    }
+
+    /// Every fault kind of the adversarial campaign round-trips through
+    /// the manifest, and the spatial-only kind is rejected on explicit
+    /// topologies.
+    #[test]
+    fn adversarial_fault_kinds_parse_and_validate() {
+        let m = ScenarioManifest::parse(
+            r#"
+name = "storm"
+[topology]
+kind = "path"
+n = 6
+
+[[faults]]
+at = 1000
+kind = "partition"
+groups = [[0, 1, 2], [3, 4, 5]]
+
+[[faults]]
+at = 2000
+kind = "corrupt_message"
+node = 3
+
+[[faults]]
+at = 3000
+kind = "heal"
+
+[[faults]]
+at = 4000
+kind = "restart_stale"
+node = 2
+"#,
+        )
+        .expect("parses");
+        assert_eq!(m.faults.len(), 4);
+        assert!(matches!(
+            &m.faults[0].kind,
+            FaultKindSpec::Partition { groups } if groups == &[vec![0, 1, 2], vec![3, 4, 5]]
+        ));
+        assert!(matches!(
+            m.faults[1].kind,
+            FaultKindSpec::CorruptMessage { node: 3 }
+        ));
+        assert!(matches!(m.faults[2].kind, FaultKindSpec::Heal));
+        assert!(matches!(
+            m.faults[3].kind,
+            FaultKindSpec::RestartStale { node: 2 }
+        ));
+
+        // region_blackout parses on a spatial workload...
+        let spatial = r#"
+name = "blackout"
+[mobility]
+kind = "stationary_line"
+n = 4
+spacing = 10.0
+[radio]
+kind = "unit_disk"
+range = 15.0
+[[faults]]
+at = 500
+kind = "region_blackout"
+min_x = 0.0
+min_y = -5.0
+max_x = 20.0
+max_y = 5.0
+duration = 1000
+"#;
+        let m = ScenarioManifest::parse(spatial).expect("parses");
+        assert!(matches!(
+            m.faults[0].kind,
+            FaultKindSpec::RegionBlackout { duration: 1000, .. }
+        ));
+
+        // ...but is rejected on explicit topologies
+        let err = ScenarioManifest::parse(
+            "name = \"x\"\n[topology]\nkind = \"path\"\nn = 4\n[[faults]]\nat = 500\nkind = \"region_blackout\"\nmin_x = 0.0\nmin_y = 0.0\nmax_x = 1.0\nmax_y = 1.0\nduration = 100\n",
+        )
+        .expect_err("explicit region_blackout").0;
+        assert!(err.contains("spatial workload"), "got `{err}`");
+
+        // inverted rectangle is rejected
+        let err = ScenarioManifest::parse(
+            "name = \"x\"\n[mobility]\nkind = \"stationary_line\"\nn = 3\nspacing = 10.0\n[radio]\nkind = \"unit_disk\"\nrange = 15.0\n[[faults]]\nat = 500\nkind = \"region_blackout\"\nmin_x = 5.0\nmin_y = 0.0\nmax_x = 1.0\nmax_y = 1.0\nduration = 100\n",
+        )
+        .expect_err("inverted rect").0;
+        assert!(err.contains("inverted"), "got `{err}`");
+
+        // a one-group partition is rejected
+        let err = ScenarioManifest::parse(
+            "name = \"x\"\n[topology]\nkind = \"path\"\nn = 4\n[[faults]]\nat = 500\nkind = \"partition\"\ngroups = [[0, 1]]\n",
+        )
+        .expect_err("one group").0;
+        assert!(err.contains("at least two groups"), "got `{err}`");
+    }
+
+    #[test]
+    fn campaign_manifest_parses_with_defaults_and_overrides() {
+        let m = ScenarioManifest::parse(
+            r#"
+name = "campaign"
+mode = "campaign"
+[topology]
+kind = "path"
+n = 6
+[assertions]
+max_rounds = 80
+"#,
+        )
+        .expect("parses");
+        assert_eq!(m.mode, RunMode::Campaign);
+        assert_eq!(m.campaign, Some(CampaignSpec::default()));
+        assert_eq!(m.assertions.max_rounds, Some(80));
+
+        let m = ScenarioManifest::parse(
+            r#"
+name = "campaign"
+mode = "campaign"
+[topology]
+kind = "ring"
+n = 8
+[campaign]
+schedules = 24
+max_faults = 4
+horizon = 30000
+search_seed = 99
+replay = "campaigns/worst.txt"
+"#,
+        )
+        .expect("parses");
+        let c = m.campaign.expect("spec");
+        assert_eq!(c.schedules, 24);
+        assert_eq!(c.max_faults, 4);
+        assert_eq!(c.horizon, Some(30_000));
+        assert_eq!(c.search_seed, 99);
+        assert_eq!(c.replay.as_deref(), Some("campaigns/worst.txt"));
+    }
+
+    #[test]
+    fn campaign_mode_rejects_foreign_sections() {
+        let base = "name = \"c\"\nmode = \"campaign\"\n[topology]\nkind = \"path\"\nn = 4\n";
+        for (extra, why) in [
+            (
+                "[[faults]]\nat = 100\nkind = \"crash\"\nnode = 0\n",
+                "explicit faults",
+            ),
+            (
+                "[[churn]]\nat_round = 2\naction = \"link_down\"\na = 0\nb = 1\n",
+                "churn",
+            ),
+            ("[assertions]\nconverged_by = 10\n", "converged_by"),
+            ("[assertions]\nagreement = true\n", "agreement"),
+            ("[assertions]\nreconverges = true\n", "reconverges"),
+            ("[modelcheck]\ndepth = 8\n", "modelcheck table"),
+            (
+                "[sim]\nrng_streams = \"legacy\"\nparallel_transport = false\n",
+                "legacy streams",
+            ),
+            ("[report]\nconvergence = false\n", "convergence off"),
+            ("[campaign]\nschedules = 0\n", "zero schedules"),
+            ("[campaign]\nmax_faults = 0\n", "zero max_faults"),
+        ] {
+            let input = format!("{base}{extra}");
+            assert!(
+                ScenarioManifest::parse(&input).is_err(),
+                "campaign manifest with {why} must be rejected"
+            );
+        }
+        // [campaign] outside campaign mode is rejected
+        assert!(ScenarioManifest::parse(
+            "name = \"x\"\n[topology]\nkind = \"path\"\nn = 2\n[campaign]\nschedules = 4\n"
+        )
+        .is_err());
+        // count keys share the uniform error shape
+        let err = ScenarioManifest::parse(&format!("{base}[campaign]\nschedules = 2.5\n"))
+            .expect_err("float schedules")
+            .0;
+        assert!(
+            err.contains("[campaign]: `schedules`: expected non-negative integer"),
+            "got `{err}`"
+        );
+    }
+
+    #[test]
+    fn pair_corrupted_start_parses() {
+        let m = ScenarioManifest::parse(
+            r#"
+name = "mc-pairs"
+mode = "modelcheck"
+[topology]
+kind = "complete"
+n = 3
+[modelcheck]
+start = "pair-corrupted"
+[modelcheck.faults]
+drops = 1
+[assertions]
+reconverges = true
+"#,
+        )
+        .expect("parses");
+        assert_eq!(m.modelcheck.expect("spec").start, StartSpec::PairCorrupted);
+        // resilience accounting is simulation-only
+        let err = ScenarioManifest::parse(
+            "name = \"mc\"\nmode = \"modelcheck\"\n[topology]\nkind = \"path\"\nn = 3\n[report]\nresilience = true\n",
+        )
+        .expect_err("mc resilience").0;
+        assert!(err.contains("simulation-only"), "got `{err}`");
     }
 }

@@ -4,9 +4,11 @@
 //! The layout is stable and insertion-ordered so CI artifacts diff cleanly;
 //! see `docs/SCENARIOS.md` for the field-by-field contract.
 
+use crate::campaign::{CampaignReport, CampaignScore};
 use crate::json::Json;
 use crate::manifest::ScenarioManifest;
 use crate::runner::{run_scenario_with, McReport, RunOutcome, ScenarioOutcome};
+use grp_core::observers::ResilienceStats;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -26,6 +28,7 @@ fn modelcheck_to_json(mc: &McReport) -> Json {
                     .map(|c| {
                         Json::object()
                             .with("node", c.node)
+                            .with("partner", c.partner)
                             .with("variant", c.variant.as_str())
                             .with("outcome", c.outcome.as_str())
                             .with("converged", c.converged)
@@ -33,6 +36,87 @@ fn modelcheck_to_json(mc: &McReport) -> Json {
                             .with("goal_states", c.goal_states)
                             .with("max_depth", c.max_depth)
                             .with("trace_len", c.trace_len)
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+fn resilience_to_json(stats: &ResilienceStats) -> Json {
+    Json::object()
+        .with("rounds_observed", stats.rounds_observed)
+        .with("legitimate_rounds", stats.legitimate_rounds)
+        .with("availability", stats.availability())
+        .with("mean_mttr_rounds", stats.mean_mttr_rounds())
+        .with("max_mttr_rounds", stats.max_mttr_rounds())
+        .with("unrecovered", stats.unrecovered())
+        .with(
+            "recovery_histogram",
+            Json::Array(
+                stats
+                    .recovery_histogram()
+                    .iter()
+                    .map(|&c| Json::Int(c as i64))
+                    .collect(),
+            ),
+        )
+        .with(
+            "faults",
+            Json::Array(
+                stats
+                    .faults
+                    .iter()
+                    .map(|f| {
+                        Json::object()
+                            .with("kind", f.kind.as_str())
+                            .with("at", f.at.ticks())
+                            .with("injected_after_round", f.injected_after_round)
+                            .with("rounds_to_recover", f.rounds_to_recover)
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+fn score_to_json(score: &CampaignScore) -> Json {
+    Json::object()
+        .with("unrecovered", score.unrecovered)
+        .with("disrupted_rounds", score.disrupted_rounds)
+        .with("max_mttr", score.max_mttr)
+        .with("mean_mttr_milli", score.mean_mttr_milli)
+}
+
+fn campaign_to_json(report: &CampaignReport) -> Json {
+    Json::object()
+        .with("replay", report.replay.clone())
+        .with("worst_index", report.worst_index as u64)
+        .with("worst_score", score_to_json(&report.worst_score))
+        .with(
+            "worst_schedule",
+            Json::Array(
+                report
+                    .worst_lines
+                    .iter()
+                    .map(|l| Json::from(l.as_str()))
+                    .collect(),
+            ),
+        )
+        .with(
+            "schedules",
+            Json::Array(
+                report
+                    .schedules
+                    .iter()
+                    .map(|s| {
+                        Json::object()
+                            .with("index", s.index as u64)
+                            .with("score", score_to_json(&s.score))
+                            .with(
+                                "faults",
+                                Json::Array(
+                                    s.lines.iter().map(|l| Json::from(l.as_str())).collect(),
+                                ),
+                            )
                     })
                     .collect(),
             ),
@@ -95,10 +179,17 @@ fn run_to_json(run: &RunOutcome, golden: Option<&String>) -> Json {
                     .collect(),
             ),
         );
-    // the section exists only for `mode = "modelcheck"` runs, so the
-    // simulation documents keep their exact historical byte layout
+    // each extra section exists only when its mode/toggle produced it
+    // (`[report] resilience`, `mode = "modelcheck"`, `mode = "campaign"`),
+    // so historical simulation documents keep their exact byte layout
+    if let Some(stats) = &run.resilience {
+        doc = doc.with("resilience", resilience_to_json(stats));
+    }
     if let Some(mc) = &run.modelcheck {
         doc = doc.with("modelcheck", modelcheck_to_json(mc));
+    }
+    if let Some(report) = &run.campaign {
+        doc = doc.with("campaign", campaign_to_json(report));
     }
     doc.with("pass", run.pass)
 }
@@ -308,6 +399,21 @@ n = 3
 [assertions]
 reconverges = true
 "#,
+            r#"
+name = "stream-campaign"
+mode = "campaign"
+[protocol]
+dmax = 2
+[topology]
+kind = "path"
+n = 3
+[sim]
+rounds = 20
+seeds = [1, 2]
+[campaign]
+schedules = 2
+max_faults = 3
+"#,
         ] {
             let manifest = ScenarioManifest::parse(text).unwrap();
             let (outcome, streamed) = stream_scenario(&manifest, Vec::new()).expect("streams");
@@ -356,6 +462,79 @@ reconverges = true
         assert!(
             !text.contains("\"modelcheck\""),
             "simulation documents must keep their historical layout"
+        );
+    }
+
+    /// `[report] resilience = true` adds the resilience section to a
+    /// simulation document; `mode = "campaign"` adds both the resilience
+    /// and the campaign sections. Plain documents carry neither.
+    #[test]
+    fn result_document_carries_resilience_and_campaign_sections_when_enabled() {
+        let resilient = ScenarioManifest::parse(
+            r#"
+name = "res-result"
+[sim]
+rounds = 20
+[topology]
+kind = "path"
+n = 3
+[report]
+resilience = true
+[[faults]]
+at = 2000
+kind = "crash"
+node = 1
+"#,
+        )
+        .unwrap();
+        let text = to_json(&run_scenario(&resilient)).pretty();
+        for field in [
+            "\"resilience\":",
+            "\"availability\":",
+            "\"recovery_histogram\":",
+            "\"kind\": \"crash 1\"",
+        ] {
+            assert!(text.contains(field), "missing {field} in:\n{text}");
+        }
+        assert!(!text.contains("\"campaign\""));
+
+        let campaign = ScenarioManifest::parse(
+            r#"
+name = "campaign-result"
+mode = "campaign"
+[protocol]
+dmax = 2
+[topology]
+kind = "path"
+n = 3
+[sim]
+rounds = 20
+[campaign]
+schedules = 2
+max_faults = 3
+"#,
+        )
+        .unwrap();
+        let text = to_json(&run_scenario(&campaign)).pretty();
+        for field in [
+            "\"resilience\":",
+            "\"campaign\":",
+            "\"worst_index\":",
+            "\"worst_score\":",
+            "\"worst_schedule\":",
+            "\"disrupted_rounds\":",
+        ] {
+            assert!(text.contains(field), "missing {field} in:\n{text}");
+        }
+
+        let plain = ScenarioManifest::parse(
+            "name = \"plain-result\"\n[sim]\nrounds = 10\n[topology]\nkind = \"path\"\nn = 2\n",
+        )
+        .unwrap();
+        let text = to_json(&run_scenario(&plain)).pretty();
+        assert!(
+            !text.contains("\"resilience\"") && !text.contains("\"campaign\""),
+            "plain documents must keep their historical layout"
         );
     }
 

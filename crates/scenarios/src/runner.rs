@@ -13,23 +13,24 @@
 //! composes the standard [`GrpPipeline`] (copy-on-write snapshot recorder +
 //! convergence + continuity probes) on top of it.
 
+use crate::campaign::{self, CampaignReport};
 use crate::manifest::{
     AssertionSpec, ChannelSpec, ChurnAction, FaultKindSpec, MobilitySpec, RadioSpec, RunMode,
     ScenarioManifest, StartSpec, TopologySpec, WorkloadSpec,
 };
 use dyngraph::{generators, Graph, NodeId, TopologyEvent};
-use grp_core::observers::GrpPipeline;
+use grp_core::observers::{GrpPipeline, ResilienceStats};
 use grp_core::predicates::SystemSnapshot;
 use grp_core::{GrpConfig, GrpNode};
 use modelcheck::{
-    check_corruptions, explore, fresh_net, legitimate_start, snapshot_of, ExploreConfig,
-    FaultBudget, GrpChecker, Outcome, Report, Violation,
+    check_corruptions, check_pair_corruptions, explore, fresh_net, legitimate_start, snapshot_of,
+    ExploreConfig, FaultBudget, GrpChecker, Outcome, Report, Violation,
 };
 use netsim::mobility::{CityGrid, Highway, MixedHighway, RandomWalk, RandomWaypoint, Stationary};
 use netsim::radio::{DistanceLossDisk, LossyDisk, UnitDisk};
 use netsim::{
     CanonicalHasher, ChannelModel, Contention, ContentionConfig, FaultKind, MessageStats, Observer,
-    ScheduledFault, SimBuilder, SimConfig, SimTime, Simulator, TopologyMode, TraceDigest,
+    Region, ScheduledFault, SimBuilder, SimConfig, SimTime, Simulator, TopologyMode, TraceDigest,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -48,7 +49,12 @@ pub struct AssertionResult {
 }
 
 impl AssertionResult {
-    fn new(name: &str, expected: impl ToString, observed: impl ToString, pass: bool) -> Self {
+    pub(crate) fn new(
+        name: &str,
+        expected: impl ToString,
+        observed: impl ToString,
+        pass: bool,
+    ) -> Self {
         AssertionResult {
             name: name.to_string(),
             expected: expected.to_string(),
@@ -64,7 +70,11 @@ pub struct McCaseReport {
     /// The corrupted node, or `None` for the whole-net `start =
     /// "legitimate"` case.
     pub node: Option<u64>,
-    /// Corruption-catalogue variant name (or `"legitimate"`).
+    /// The second corrupted node of a `start = "pair-corrupted"` case
+    /// (`None` for single-node and legitimate starts).
+    pub partner: Option<u64>,
+    /// Corruption-catalogue variant name (or `"legitimate"`; pair cases
+    /// join both victims' variants with `+`).
     pub variant: String,
     /// `"converged"`, `"cycle"`, `"stuck"`, `"invariant"` or `"bounds"`.
     pub outcome: String,
@@ -100,8 +110,13 @@ pub struct RunOutcome {
     pub final_snapshot: SystemSnapshot,
     pub stats: MessageStats,
     pub continuity: ContinuityStats,
+    /// Present iff the manifest enabled `[report] resilience = true` (or
+    /// ran in `mode = "campaign"`, where the metrics are the verdict).
+    pub resilience: Option<ResilienceStats>,
     /// Present iff the manifest ran in `mode = "modelcheck"`.
     pub modelcheck: Option<McReport>,
+    /// Present iff the manifest ran in `mode = "campaign"`.
+    pub campaign: Option<CampaignReport>,
     pub assertions: Vec<AssertionResult>,
     pub pass: bool,
 }
@@ -331,11 +346,37 @@ pub fn build_simulator(manifest: &ScenarioManifest, seed: u64) -> Simulator<GrpN
                 .map(|&id| GrpNode::new(id, grp_config.clone())),
         )
         .faults(manifest.faults.iter().map(|f| {
-            let kind = match f.kind {
-                FaultKindSpec::Crash { node } => FaultKind::Crash(NodeId(node)),
-                FaultKindSpec::Restart { node } => FaultKind::Restart(NodeId(node)),
-                FaultKindSpec::Corrupt { node } => FaultKind::CorruptState(NodeId(node)),
-                FaultKindSpec::LossBurst { duration } => FaultKind::LossBurst { duration },
+            let kind = match &f.kind {
+                FaultKindSpec::Crash { node } => FaultKind::Crash(NodeId(*node)),
+                FaultKindSpec::Restart { node } => FaultKind::Restart(NodeId(*node)),
+                FaultKindSpec::RestartStale { node } => FaultKind::RestartStale(NodeId(*node)),
+                FaultKindSpec::Corrupt { node } => FaultKind::CorruptState(NodeId(*node)),
+                FaultKindSpec::CorruptMessage { node } => FaultKind::CorruptMessage(NodeId(*node)),
+                FaultKindSpec::LossBurst { duration } => FaultKind::LossBurst {
+                    duration: *duration,
+                },
+                FaultKindSpec::Partition { groups } => FaultKind::Partition {
+                    groups: groups
+                        .iter()
+                        .map(|g| g.iter().copied().map(NodeId).collect())
+                        .collect(),
+                },
+                FaultKindSpec::Heal => FaultKind::Heal,
+                FaultKindSpec::RegionBlackout {
+                    min_x,
+                    min_y,
+                    max_x,
+                    max_y,
+                    duration,
+                } => FaultKind::RegionBlackout {
+                    region: Region {
+                        min_x: *min_x,
+                        min_y: *min_y,
+                        max_x: *max_x,
+                        max_y: *max_y,
+                    },
+                    duration: *duration,
+                },
             };
             ScheduledFault::new(SimTime(f.at), kind)
         }))
@@ -425,8 +466,10 @@ pub fn drive_manifest(
 
 /// Execute one seed. `golden` is the pinned digest for this seed, if any.
 pub fn run_seed(manifest: &ScenarioManifest, seed: u64, golden: Option<&String>) -> RunOutcome {
-    if manifest.mode == RunMode::ModelCheck {
-        return run_modelcheck_seed(manifest, seed, golden);
+    match manifest.mode {
+        RunMode::ModelCheck => return run_modelcheck_seed(manifest, seed, golden),
+        RunMode::Campaign => return campaign::run_campaign_seed(manifest, seed, golden),
+        RunMode::Simulate => {}
     }
     let mut sim = build_simulator(manifest, seed);
     let dmax = manifest.protocol.dmax;
@@ -442,11 +485,15 @@ pub fn run_seed(manifest: &ScenarioManifest, seed: u64, golden: Option<&String>)
     if manifest.report.continuity {
         pipeline = pipeline.with_continuity(dmax);
     }
+    if manifest.report.resilience {
+        pipeline = pipeline.with_resilience(dmax);
+    }
     drive_manifest(&mut sim, manifest, &mut pipeline);
     let GrpPipeline {
         recorder,
         convergence,
         continuity,
+        resilience,
     } = pipeline;
 
     // canonical digest: scenario identity, seed, the engine trace
@@ -467,6 +514,7 @@ pub fn run_seed(manifest: &ScenarioManifest, seed: u64, golden: Option<&String>)
     let stats = sim.stats();
     let converged_round = convergence.and_then(|probe| probe.convergence_round());
     let continuity = continuity.map(|probe| probe.stats()).unwrap_or_default();
+    let resilience = resilience.map(|probe| probe.into_stats());
 
     let assertions = evaluate_assertions(
         &manifest.assertions,
@@ -490,7 +538,9 @@ pub fn run_seed(manifest: &ScenarioManifest, seed: u64, golden: Option<&String>)
         final_snapshot,
         stats,
         continuity,
+        resilience,
         modelcheck: None,
+        campaign: None,
         assertions,
         pass,
     }
@@ -504,7 +554,12 @@ fn violation_tag(violation: &Violation) -> (&'static str, &modelcheck::Trace) {
     }
 }
 
-fn case_report(node: Option<u64>, variant: String, report: &Report) -> McCaseReport {
+fn case_report(
+    node: Option<u64>,
+    partner: Option<u64>,
+    variant: String,
+    report: &Report,
+) -> McCaseReport {
     let (outcome, trace_len) = match &report.outcome {
         Outcome::Converged => (
             "converged",
@@ -520,6 +575,7 @@ fn case_report(node: Option<u64>, variant: String, report: &Report) -> McCaseRep
     };
     McCaseReport {
         node,
+        partner,
         variant,
         outcome: outcome.to_string(),
         converged: report.converged(),
@@ -565,6 +621,7 @@ fn run_modelcheck_seed(
     let start_tag = match spec.start {
         StartSpec::Legitimate => "legitimate",
         StartSpec::Corrupted => "corrupted",
+        StartSpec::PairCorrupted => "pair-corrupted",
     };
 
     let mut assertions = Vec::new();
@@ -587,11 +644,26 @@ fn run_modelcheck_seed(
                 let cases: Vec<McCaseReport> = match spec.start {
                     StartSpec::Corrupted => check_corruptions(&base, &checker, &explore_config)
                         .into_iter()
-                        .map(|case| case_report(Some(case.node.raw()), case.variant, &case.report))
+                        .map(|case| {
+                            case_report(Some(case.node.raw()), None, case.variant, &case.report)
+                        })
                         .collect(),
+                    StartSpec::PairCorrupted => {
+                        check_pair_corruptions(&base, &checker, &explore_config)
+                            .into_iter()
+                            .map(|case| {
+                                case_report(
+                                    Some(case.node.raw()),
+                                    Some(case.partner.raw()),
+                                    format!("{}+{}", case.variant, case.partner_variant),
+                                    &case.report,
+                                )
+                            })
+                            .collect()
+                    }
                     StartSpec::Legitimate => {
                         let report = explore(&base, &checker, &explore_config);
-                        vec![case_report(None, "legitimate".to_string(), &report)]
+                        vec![case_report(None, None, "legitimate".to_string(), &report)]
                     }
                 };
                 let report = McReport {
@@ -615,6 +687,12 @@ fn run_modelcheck_seed(
     for case in &mc.cases {
         // 0 = whole-net case; corrupted node ids are offset by one
         hasher.feed_u64(case.node.map(|n| n + 1).unwrap_or(0));
+        // pair cases additionally fold the partner; single-node and
+        // legitimate cases feed nothing here, keeping the historical
+        // mc01–mc04 digests byte-identical
+        if let Some(partner) = case.partner {
+            hasher.feed_u64(partner + 1);
+        }
         hasher.feed_str(&case.variant);
         hasher.feed_str(&case.outcome);
         hasher.feed_u64(case.visited);
@@ -649,7 +727,9 @@ fn run_modelcheck_seed(
         final_snapshot,
         stats,
         continuity,
+        resilience: None,
         modelcheck: Some(mc),
+        campaign: None,
         assertions,
         pass,
     }

@@ -140,7 +140,15 @@ fn suite_covers_the_advertised_workload_families() {
         "action = \"node_join\"",
         "kind = \"crash\"",
         "kind = \"loss_burst\"",
+        "kind = \"partition\"",
+        "kind = \"heal\"",
+        "kind = \"restart_stale\"",
+        "kind = \"corrupt_message\"",
+        "kind = \"region_blackout\"",
+        "resilience = true",
         "mode = \"modelcheck\"",
+        "start = \"pair-corrupted\"",
+        "mode = \"campaign\"",
     ] {
         assert!(text.contains(family), "suite lost its `{family}` coverage");
     }
@@ -309,6 +317,46 @@ fn contention_scenarios_are_deterministic() {
         );
         assert_eq!(first.stats, second.stats);
     }
+}
+
+/// The campaign replay (s19) is as deterministic as everything else, and
+/// its `campaign_replay` assertion really checks the pinned file's
+/// recorded score against the fresh run.
+#[test]
+fn campaign_replay_is_deterministic_and_checks_the_recorded_score() {
+    let path = suite_dir().join("s19_worst_campaign.toml");
+    let manifest = ScenarioManifest::load(&path).expect("s19 loads");
+    let seed = manifest.sim.seeds[0];
+    let first = run_seed(&manifest, seed, None);
+    let second = run_seed(&manifest, seed, None);
+    assert_eq!(
+        first.digest, second.digest,
+        "campaign replay broke digest determinism"
+    );
+    let replay = first
+        .assertions
+        .iter()
+        .find(|a| a.name == "campaign_replay")
+        .expect("replay manifests always evaluate the campaign_replay assertion");
+    assert!(
+        replay.pass,
+        "the pinned worst-case schedule no longer reproduces its recorded \
+         score: expected {}, observed {}",
+        replay.expected, replay.observed
+    );
+    let report = first.campaign.expect("campaign section present");
+    assert_eq!(
+        report
+            .replay
+            .as_deref()
+            .map(Path::new)
+            .and_then(Path::file_name),
+        Some("worst_case.txt".as_ref())
+    );
+    assert!(
+        !report.worst_lines.is_empty(),
+        "the pinned campaign file must carry at least one fault"
+    );
 }
 
 #[test]

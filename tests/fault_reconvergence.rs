@@ -125,6 +125,63 @@ fn loss_burst_stalls_but_does_not_break_convergence() {
     assert!(sim.stats().dropped > 0, "the burst dropped traffic");
 }
 
+/// The `partition` fault (a membership cut, not a topology edit): while
+/// the cut is up the two halves each re-form a legitimate group of their
+/// own; after `heal` the line re-merges into one group. Agreement and
+/// safety (ΠA/ΠS over the active nodes) must hold in the partitioned
+/// steady state too — partition is a fault the protocol stabilizes
+/// *under*, not just after.
+#[test]
+fn partition_splits_the_view_and_heal_remerges_it() {
+    let dmax = 3;
+    let mut sim = grp_sim(4, dmax, 113);
+    sim.run_rounds(40);
+    let all: BTreeSet<NodeId> = (0..4).map(NodeId).collect();
+    assert_eq!(
+        sim.protocol(NodeId(0)).unwrap().view(),
+        &all,
+        "sanity: one group before the cut"
+    );
+
+    sim.schedule_faults(vec![ScheduledFault::new(
+        SimTime(sim.now().ticks() + 500),
+        FaultKind::Partition {
+            groups: vec![(0..2).map(NodeId).collect(), (2..4).map(NodeId).collect()],
+        },
+    )]);
+    sim.run_rounds(60);
+    let snapshot = active_snapshot(&sim);
+    assert!(
+        snapshot.agreement() && snapshot.safety(dmax),
+        "ΠA/ΠS must hold in the partitioned steady state: {:?}",
+        snapshot.views
+    );
+    assert_eq!(
+        snapshot.group_count(),
+        2,
+        "the cut halves re-form one group each: {:?}",
+        snapshot.views
+    );
+    assert!(
+        !sim.protocol(NodeId(0)).unwrap().view().contains(&NodeId(2)),
+        "nodes across the cut age out of each other's views"
+    );
+
+    sim.schedule_faults(vec![ScheduledFault::new(
+        SimTime(sim.now().ticks() + 500),
+        FaultKind::Heal,
+    )]);
+    sim.run_rounds(80);
+    let snapshot = active_snapshot(&sim);
+    assert!(snapshot.legitimate(dmax), "views: {:?}", snapshot.views);
+    assert_eq!(snapshot.group_count(), 1, "the healed line re-merges");
+    assert_eq!(
+        sim.protocol(NodeId(0)).unwrap().view(),
+        &all,
+        "every node returns to the full view after heal"
+    );
+}
+
 #[test]
 fn edge_removal_between_rounds_splits_the_view() {
     let dmax = 3;

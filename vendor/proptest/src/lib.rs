@@ -165,6 +165,8 @@ impl_tuple_strategy!(A);
 impl_tuple_strategy!(A, B);
 impl_tuple_strategy!(A, B, C);
 impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
 
 /// Strategy wrapping a constant.
 #[derive(Clone, Debug)]
@@ -175,6 +177,53 @@ impl<T: Clone + fmt::Debug> Strategy for Just<T> {
     fn sample(&self, _rng: &mut TestRng) -> T {
         self.0.clone()
     }
+}
+
+/// A type-erased strategy: the building block of [`prop_oneof!`], which
+/// needs to hold arms of different strategy types producing one value
+/// type. ([`Strategy`] itself is not object-safe because of the generic
+/// `prop_map`, so the erasure wraps the sampling function instead.)
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+/// Erase a strategy's type, keeping only its sampling behaviour.
+pub fn boxed<S: Strategy + 'static>(strategy: S) -> BoxedStrategy<S::Value> {
+    BoxedStrategy(Box::new(move |rng| strategy.sample(rng)))
+}
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice between type-erased arms (`prop_oneof!`). Real proptest
+/// supports per-arm weights; the shim keeps every arm equally likely.
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].sample(rng)
+    }
+}
+
+/// Uniform choice between strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::boxed($arm)),+])
+    };
 }
 
 /// Collection strategies (`proptest::collection`).
@@ -278,8 +327,8 @@ pub mod collection {
 /// Everything a property test usually imports.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
-        TestCaseError, TestCaseResult,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
     };
 }
 
@@ -418,6 +467,20 @@ mod tests {
             prop_assert_eq!(n % 2, 0);
             prop_assert_ne!(n, 1);
         }
+
+        #[test]
+        fn oneof_samples_every_arm(choice in prop_oneof![
+            (0u64..10).prop_map(|n| ("small", n)),
+            (100u64..110).prop_map(|n| ("large", n)),
+            Just(("fixed", 42u64)),
+        ]) {
+            match choice {
+                ("small", n) => prop_assert!(n < 10),
+                ("large", n) => prop_assert!((100..110).contains(&n)),
+                ("fixed", n) => prop_assert_eq!(n, 42),
+                other => return Err(TestCaseError::fail(format!("unknown arm {other:?}"))),
+            }
+        }
     }
 
     #[test]
@@ -425,6 +488,7 @@ mod tests {
         ranges_and_tuples();
         collections_respect_bounds();
         mapped_strategies();
+        oneof_samples_every_arm();
     }
 
     proptest! {
